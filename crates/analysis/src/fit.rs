@@ -1,0 +1,173 @@
+//! Least-squares fitting of measured quantities against the complexity
+//! shapes the paper's theorems predict.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Candidate asymptotic shapes `f(n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Shape {
+    /// Constant.
+    One,
+    /// `log n`.
+    LogN,
+    /// `log² n`.
+    Log2N,
+    /// `n`.
+    N,
+    /// `n log n`.
+    NLogN,
+    /// `n log² n`.
+    NLog2N,
+    /// `n²`.
+    N2,
+}
+
+impl Shape {
+    /// All candidate shapes in increasing asymptotic order.
+    pub const ALL: [Shape; 7] = [
+        Shape::One,
+        Shape::LogN,
+        Shape::Log2N,
+        Shape::N,
+        Shape::NLogN,
+        Shape::NLog2N,
+        Shape::N2,
+    ];
+
+    /// Evaluates the shape at `n`.
+    pub fn eval(&self, n: usize) -> f64 {
+        let nf = n.max(2) as f64;
+        let log = nf.log2();
+        match self {
+            Shape::One => 1.0,
+            Shape::LogN => log,
+            Shape::Log2N => log * log,
+            Shape::N => nf,
+            Shape::NLogN => nf * log,
+            Shape::NLog2N => nf * log * log,
+            Shape::N2 => nf * nf,
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Shape::One => "1",
+            Shape::LogN => "log n",
+            Shape::Log2N => "log^2 n",
+            Shape::N => "n",
+            Shape::NLogN => "n log n",
+            Shape::NLog2N => "n log^2 n",
+            Shape::N2 => "n^2",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Outcome of fitting `y ≈ c · f(n)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FitResult {
+    /// The shape that minimises the relative residual.
+    pub shape: Shape,
+    /// The least-squares constant `c`.
+    pub constant: f64,
+    /// Mean relative error of the best fit (0 = perfect).
+    pub mean_relative_error: f64,
+}
+
+/// Fits `y ≈ c · f(n)` for every candidate shape and returns the best one
+/// by mean relative error. Returns `None` for fewer than two data points.
+pub fn best_fit(points: &[(usize, f64)]) -> Option<FitResult> {
+    if points.len() < 2 {
+        return None;
+    }
+    let mut best: Option<FitResult> = None;
+    for shape in Shape::ALL {
+        // Least squares for y = c·f(n): c = Σ y·f / Σ f².
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(n, y) in points {
+            let f = shape.eval(n);
+            num += y * f;
+            den += f * f;
+        }
+        if den == 0.0 {
+            continue;
+        }
+        let c = num / den;
+        let mut rel_err = 0.0;
+        for &(n, y) in points {
+            let pred = c * shape.eval(n);
+            let denom = y.abs().max(1.0);
+            rel_err += (pred - y).abs() / denom;
+        }
+        rel_err /= points.len() as f64;
+        let candidate = FitResult {
+            shape,
+            constant: c,
+            mean_relative_error: rel_err,
+        };
+        match &best {
+            Some(b) if b.mean_relative_error <= rel_err => {}
+            _ => best = Some(candidate),
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(shape: Shape, c: f64) -> Vec<(usize, f64)> {
+        [64usize, 128, 256, 512, 1024, 2048]
+            .iter()
+            .map(|&n| (n, c * shape.eval(n)))
+            .collect()
+    }
+
+    #[test]
+    fn recovers_linear_growth() {
+        let fit = best_fit(&series(Shape::N, 3.0)).unwrap();
+        assert_eq!(fit.shape, Shape::N);
+        assert!((fit.constant - 3.0).abs() < 1e-6);
+        assert!(fit.mean_relative_error < 1e-9);
+    }
+
+    #[test]
+    fn recovers_n_log_n_growth() {
+        let fit = best_fit(&series(Shape::NLogN, 0.7)).unwrap();
+        assert_eq!(fit.shape, Shape::NLogN);
+    }
+
+    #[test]
+    fn recovers_quadratic_growth() {
+        let fit = best_fit(&series(Shape::N2, 0.5)).unwrap();
+        assert_eq!(fit.shape, Shape::N2);
+    }
+
+    #[test]
+    fn recovers_logarithmic_growth_with_noise() {
+        let points: Vec<(usize, f64)> = [64usize, 256, 1024, 4096, 16384]
+            .iter()
+            .map(|&n| (n, 2.0 * (n as f64).log2() + 1.0))
+            .collect();
+        let fit = best_fit(&points).unwrap();
+        assert_eq!(fit.shape, Shape::LogN);
+    }
+
+    #[test]
+    fn too_few_points_is_none() {
+        assert!(best_fit(&[(10, 1.0)]).is_none());
+        assert!(best_fit(&[]).is_none());
+    }
+
+    #[test]
+    fn shapes_display_and_order() {
+        assert_eq!(Shape::NLogN.to_string(), "n log n");
+        assert!(Shape::N2.eval(100) > Shape::NLog2N.eval(100));
+        assert_eq!(Shape::One.eval(12345), 1.0);
+    }
+}

@@ -1,0 +1,17 @@
+//! # adn-analysis — experiment harness
+//!
+//! Runs the algorithms of `adn-core` over parameter sweeps, collects the
+//! paper's edge-complexity measures into [`RunRecord`]s, fits the observed
+//! growth against candidate complexity shapes, and formats the tables and
+//! series that regenerate every claim of the paper (see DESIGN.md §5 and
+//! EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod fit;
+pub mod record;
+
+pub use fit::{best_fit, FitResult, Shape};
+pub use record::{Algorithm, RunRecord};

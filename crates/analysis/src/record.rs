@@ -1,0 +1,249 @@
+//! Run records: one row per (algorithm, workload, n, seed) execution.
+
+use adn_core::baselines::clique::run_clique_formation;
+use adn_core::centralized::run_centralized_general;
+use adn_core::graph_to_star::run_graph_to_star;
+use adn_core::graph_to_thin_wreath::run_graph_to_thin_wreath;
+use adn_core::graph_to_wreath::run_graph_to_wreath;
+use adn_core::{CoreError, TransformationOutcome};
+use adn_graph::{Graph, GraphFamily, UidAssignment, UidMap};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The algorithms compared by the experiment tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// GraphToStar (Section 3).
+    GraphToStar,
+    /// GraphToWreath (Section 4).
+    GraphToWreath,
+    /// GraphToThinWreath (Section 5).
+    GraphToThinWreath,
+    /// The clique-formation straw-man (Section 1.2).
+    CliqueFormation,
+    /// The centralized Euler-tour + CutInHalf strategy (Theorem 6.3).
+    CentralizedEuler,
+}
+
+impl Algorithm {
+    /// All algorithms in canonical comparison order.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::GraphToStar,
+        Algorithm::GraphToWreath,
+        Algorithm::GraphToThinWreath,
+        Algorithm::CliqueFormation,
+        Algorithm::CentralizedEuler,
+    ];
+
+    /// The three distributed algorithms of the paper.
+    pub const DISTRIBUTED: [Algorithm; 3] = [
+        Algorithm::GraphToStar,
+        Algorithm::GraphToWreath,
+        Algorithm::GraphToThinWreath,
+    ];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::GraphToStar => "GraphToStar",
+            Algorithm::GraphToWreath => "GraphToWreath",
+            Algorithm::GraphToThinWreath => "GraphToThinWreath",
+            Algorithm::CliqueFormation => "CliqueFormation",
+            Algorithm::CentralizedEuler => "Centralized(Euler+CutInHalf)",
+        }
+    }
+
+    /// Runs the algorithm on the given instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying algorithm errors.
+    pub fn run(
+        &self,
+        graph: &Graph,
+        uids: &UidMap,
+    ) -> Result<TransformationOutcome, CoreError> {
+        match self {
+            Algorithm::GraphToStar => run_graph_to_star(graph, uids),
+            Algorithm::GraphToWreath => run_graph_to_wreath(graph, uids),
+            Algorithm::GraphToThinWreath => run_graph_to_thin_wreath(graph, uids),
+            Algorithm::CliqueFormation => run_clique_formation(graph, uids),
+            Algorithm::CentralizedEuler => run_centralized_general(graph, uids, true),
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One row of measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Algorithm executed.
+    pub algorithm: Algorithm,
+    /// Workload family name.
+    pub family: String,
+    /// Number of nodes of the instance actually generated.
+    pub n: usize,
+    /// Seed used for the instance and the UID permutation.
+    pub seed: u64,
+    /// Rounds consumed.
+    pub rounds: usize,
+    /// Phases (0 when not phase-structured).
+    pub phases: usize,
+    /// Total edge activations.
+    pub total_activations: usize,
+    /// Maximum concurrently-active activated (non-initial) edges.
+    pub max_activated_edges: usize,
+    /// Maximum activated degree.
+    pub max_activated_degree: usize,
+    /// Maximum total degree observed.
+    pub max_total_degree: usize,
+    /// Diameter of the final network.
+    pub final_diameter: Option<usize>,
+    /// Whether the elected leader is the maximum-UID node.
+    pub leader_ok: bool,
+}
+
+impl RunRecord {
+    /// Runs `algorithm` on one instance of `family` and records the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates algorithm errors.
+    pub fn measure(
+        algorithm: Algorithm,
+        family: GraphFamily,
+        n: usize,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        let graph = family.generate(n, seed);
+        let actual_n = graph.node_count();
+        let uids = UidMap::new(actual_n, UidAssignment::RandomPermutation { seed });
+        let outcome = algorithm.run(&graph, &uids)?;
+        Ok(RunRecord::from_outcome(
+            algorithm,
+            family.name().to_string(),
+            actual_n,
+            seed,
+            &uids,
+            &outcome,
+        ))
+    }
+
+    /// Builds a record from an already-computed outcome.
+    pub fn from_outcome(
+        algorithm: Algorithm,
+        family: String,
+        n: usize,
+        seed: u64,
+        uids: &UidMap,
+        outcome: &TransformationOutcome,
+    ) -> Self {
+        RunRecord {
+            algorithm,
+            family,
+            n,
+            seed,
+            rounds: outcome.rounds,
+            phases: outcome.phases,
+            total_activations: outcome.metrics.total_activations,
+            max_activated_edges: outcome.metrics.max_activated_edges,
+            max_activated_degree: outcome.metrics.max_activated_degree,
+            max_total_degree: outcome.metrics.max_total_degree,
+            final_diameter: outcome.final_diameter(),
+            leader_ok: uids.max_uid_node() == Some(outcome.leader),
+        }
+    }
+
+    /// Sweeps `(n, seed)` pairs for one algorithm/family combination.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first algorithm error encountered.
+    pub fn sweep(
+        algorithm: Algorithm,
+        family: GraphFamily,
+        sizes: &[usize],
+        seeds: &[u64],
+    ) -> Result<Vec<RunRecord>, CoreError> {
+        let mut out = Vec::with_capacity(sizes.len() * seeds.len());
+        for &n in sizes {
+            for &seed in seeds {
+                out.push(RunRecord::measure(algorithm, family, n, seed)?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Formats a slice of records as a GitHub-flavoured markdown table.
+pub fn markdown_table(records: &[RunRecord]) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "| algorithm | family | n | rounds | phases | total act. | max act. edges | max act. deg | max deg | final diam | leader ok |\n",
+    );
+    s.push_str("|---|---|---|---|---|---|---|---|---|---|---|\n");
+    for r in records {
+        s.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            r.algorithm,
+            r.family,
+            r.n,
+            r.rounds,
+            r.phases,
+            r.total_activations,
+            r.max_activated_edges,
+            r.max_activated_degree,
+            r.max_total_degree,
+            r.final_diameter.map_or("-".to_string(), |d| d.to_string()),
+            if r.leader_ok { "yes" } else { "no" },
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_produces_consistent_records() {
+        let r = RunRecord::measure(Algorithm::GraphToStar, GraphFamily::Line, 32, 1).unwrap();
+        assert_eq!(r.n, 32);
+        assert!(r.leader_ok);
+        assert_eq!(r.final_diameter, Some(2));
+        assert!(r.rounds > 0);
+        let table = markdown_table(&[r]);
+        assert!(table.contains("GraphToStar"));
+        assert!(table.contains("| line |"));
+    }
+
+    #[test]
+    fn all_algorithms_run_on_a_small_ring() {
+        for alg in Algorithm::ALL {
+            let r = RunRecord::measure(alg, GraphFamily::Ring, 24, 3).unwrap();
+            assert!(r.leader_ok, "{alg} elected the wrong leader");
+            assert!(r.final_diameter.is_some(), "{alg} disconnected the network");
+        }
+    }
+
+    #[test]
+    fn sweep_covers_all_combinations() {
+        let records =
+            RunRecord::sweep(Algorithm::CentralizedEuler, GraphFamily::Line, &[8, 16], &[1, 2])
+                .unwrap();
+        assert_eq!(records.len(), 4);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<_> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Algorithm::ALL.len());
+    }
+}

@@ -1,0 +1,34 @@
+//! Wall-clock benchmarks for the centralized strategies (experiments T6/F6).
+
+use adn_core::centralized::{run_centralized_general, run_cut_in_half_on_line};
+use adn_graph::{generators, GraphFamily, NodeId, UidAssignment, UidMap};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("centralized");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for n in [256usize, 1024] {
+        let line = generators::line(n);
+        let order: Vec<NodeId> = (0..n).map(NodeId).collect();
+        group.bench_with_input(
+            BenchmarkId::new("cut_in_half/line", n),
+            &(line, order),
+            |b, (g, order)| b.iter(|| run_cut_in_half_on_line(g, order).unwrap()),
+        );
+        let graph = GraphFamily::SparseRandom.generate(n, 1);
+        let uids = UidMap::new(graph.node_count(), UidAssignment::RandomPermutation { seed: 1 });
+        group.bench_with_input(
+            BenchmarkId::new("euler_cut_in_half/sparse_random", n),
+            &(graph, uids),
+            |b, (g, uids)| b.iter(|| run_centralized_general(g, uids, true).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

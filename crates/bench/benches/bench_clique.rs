@@ -1,0 +1,27 @@
+//! Wall-clock benchmark for the clique-formation baseline (experiment T4).
+
+use adn_core::baselines::clique::run_clique_formation;
+use adn_graph::{GraphFamily, UidAssignment, UidMap};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clique_formation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for n in [32usize, 64, 128] {
+        let graph = GraphFamily::Ring.generate(n, 1);
+        let uids = UidMap::new(graph.node_count(), UidAssignment::Sequential);
+        group.bench_with_input(
+            BenchmarkId::new("ring", n),
+            &(graph, uids),
+            |b, (graph, uids)| b.iter(|| run_clique_formation(graph, uids).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Wall-clock benchmark for GraphToThinWreath (experiment T3, Section 5).
+
+use adn_core::graph_to_thin_wreath::run_graph_to_thin_wreath;
+use adn_graph::{GraphFamily, UidAssignment, UidMap};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_to_thin_wreath");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for n in [64usize, 256, 512] {
+        let graph = GraphFamily::Ring.generate(n, 1);
+        let uids = UidMap::new(graph.node_count(), UidAssignment::RandomPermutation { seed: 1 });
+        group.bench_with_input(
+            BenchmarkId::new("ring", n),
+            &(graph, uids),
+            |b, (graph, uids)| b.iter(|| run_graph_to_thin_wreath(graph, uids).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

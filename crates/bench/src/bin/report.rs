@@ -1,0 +1,10 @@
+//! Regenerates the experiment tables and figures of the reproduction.
+//!
+//! Usage: `cargo run -p adn-bench --release --bin report [-- <experiment-id>]`
+//! where `<experiment-id>` is one of t1, t4, f1, f3, f4, f5, t6, f7, t8, f9.
+//! Without an id the full report (as captured in EXPERIMENTS.md) is printed.
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    println!("{}", adn_bench::report_for(arg.as_deref()));
+}

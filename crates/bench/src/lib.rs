@@ -1,0 +1,42 @@
+//! # adn-bench
+//!
+//! Criterion wall-clock benchmarks (one per algorithm family) and the
+//! `report` binary that regenerates every model-level table and figure of
+//! the reproduction (rounds, activations, degrees — the quantities the
+//! paper's theorems are about, which are independent of wall-clock time).
+//!
+//! * `cargo bench -p adn-bench` — wall-clock benchmarks.
+//! * `cargo run -p adn-bench --release --bin report` — full experiment
+//!   report (all tables/figures, as captured in EXPERIMENTS.md).
+//! * `cargo run -p adn-bench --release --bin report -- t1` — a single
+//!   experiment (ids: t1, t4, f1, f3, f4, f5, t6, f7, t8, f9).
+
+/// Returns the experiment fragment for the given id, or the full report
+/// when `id` is `None` / unrecognised.
+pub fn report_for(id: Option<&str>) -> String {
+    use adn_analysis::experiments as ex;
+    match id {
+        Some("t1") => ex::t1_contribution_table(&[64, 128, 256, 512], 256),
+        Some("t4") => ex::t4_clique_baseline(&[32, 64, 128, 256]),
+        Some("f1") => ex::f1_subroutines(&[64, 128, 256, 512, 1024]),
+        Some("f3") => ex::f3_async_equivalence(&[64, 256]),
+        Some("f4") => ex::f4_committee_decay(256, 11),
+        Some("f5") => ex::f5_time_lower_bound(&[64, 128, 256, 512]),
+        Some("t6") => ex::t6_centralized(&[64, 128, 256, 512, 1024]),
+        Some("f7") => ex::f7_distributed_lower_bound(&[64, 128, 256, 512]),
+        Some("t8") => ex::t8_tasks(&[64, 128, 256, 512]),
+        Some("f9") => ex::f9_tradeoff(256),
+        _ => ex::run_all_default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_experiment_lookup_works() {
+        let s = report_for(Some("f4"));
+        assert!(s.contains("committees alive"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Token dissemination by flooding over the static initial network.
+//!
+//! Every node starts with one token (its UID). In every round, every node
+//! sends the set of tokens it knows to all of its neighbours. No edges are
+//! ever activated, so the edge complexity is zero — but the running time
+//! is the eccentricity of the slowest node, i.e. `Θ(diameter)` rounds,
+//! which on the paper's worst-case inputs (spanning lines) is `Θ(n)`.
+//! This is the "strategies that do not modify the input network" baseline
+//! of Section 1.2, used by experiment T8.
+
+use crate::CoreError;
+use adn_graph::{Graph, NodeId, Uid, UidMap};
+use adn_sim::engine::{run_programs, EngineConfig, NodeDecision, NodeProgram, NodeView};
+use adn_sim::{EdgeMetrics, Network};
+use std::collections::BTreeSet;
+
+/// Result of a flooding run.
+#[derive(Debug, Clone)]
+pub struct FloodingOutcome {
+    /// Rounds until every node knew every token (and knew that it could
+    /// stop, see below).
+    pub rounds: usize,
+    /// Edge metrics of the run (always zero activations).
+    pub metrics: EdgeMetrics,
+    /// Tokens known by each node at the end (should be all `n`).
+    pub tokens_per_node: Vec<usize>,
+    /// The leader elected as a by-product (maximum UID seen — with full
+    /// dissemination this is the global maximum).
+    pub leader: NodeId,
+}
+
+struct FloodNode {
+    known: BTreeSet<Uid>,
+    /// Rounds in a row in which nothing new arrived; a node terminates
+    /// when it has seen `n` tokens (it knows `n` here, as in the paper's
+    /// ThinWreath assumption) — `n` is read from the view.
+    done: bool,
+}
+
+impl NodeProgram for FloodNode {
+    type Message = Vec<Uid>;
+
+    fn send(&mut self, view: &NodeView) -> Vec<(NodeId, Self::Message)> {
+        let payload: Vec<Uid> = self.known.iter().copied().collect();
+        view.neighbors.iter().map(|&v| (v, payload.clone())).collect()
+    }
+
+    fn step(&mut self, view: &NodeView, inbox: &[(NodeId, Self::Message)]) -> NodeDecision {
+        for (_, tokens) in inbox {
+            self.known.extend(tokens.iter().copied());
+        }
+        if self.known.len() >= view.n {
+            self.done = true;
+        }
+        NodeDecision::none()
+    }
+
+    fn has_terminated(&self) -> bool {
+        self.done
+    }
+}
+
+/// Floods all tokens over the static graph until every node holds every
+/// token.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidInput`] for disconnected graphs (flooding
+/// would never complete) and propagates simulator errors.
+pub fn run_flooding(graph: &Graph, uids: &UidMap) -> Result<FloodingOutcome, CoreError> {
+    if !adn_graph::traversal::is_connected(graph) {
+        return Err(CoreError::InvalidInput {
+            reason: "flooding requires a connected network".into(),
+        });
+    }
+    let n = graph.node_count();
+    let mut network = Network::new(graph.clone());
+    let mut programs: Vec<FloodNode> = (0..n)
+        .map(|i| FloodNode {
+            known: [uids.uid(NodeId(i))].into_iter().collect(),
+            done: n == 1,
+        })
+        .collect();
+    let config = EngineConfig {
+        max_rounds: 2 * n + 4,
+        record_trace: false,
+    };
+    let report = run_programs(&mut network, &mut programs, uids, &config)?;
+    let leader = uids.max_uid_node().ok_or_else(|| CoreError::InvalidInput {
+        reason: "empty network".into(),
+    })?;
+    Ok(FloodingOutcome {
+        rounds: report.rounds,
+        metrics: report.metrics,
+        tokens_per_node: programs.iter().map(|p| p.known.len()).collect(),
+        leader,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_graph::{generators, UidAssignment};
+
+    #[test]
+    fn flooding_on_a_line_takes_diameter_rounds() {
+        let n = 40;
+        let g = generators::line(n);
+        let uids = UidMap::new(n, UidAssignment::Sequential);
+        let outcome = run_flooding(&g, &uids).unwrap();
+        // The two endpoints are at distance n-1, so n-1 rounds are needed
+        // (plus potentially one detection round).
+        assert!(outcome.rounds >= n - 1);
+        assert!(outcome.rounds <= n + 1);
+        assert!(outcome.tokens_per_node.iter().all(|&t| t == n));
+        assert_eq!(outcome.metrics.total_activations, 0);
+        assert_eq!(outcome.leader, NodeId(n - 1));
+    }
+
+    #[test]
+    fn flooding_on_a_star_is_fast() {
+        let n = 40;
+        let g = generators::star(n);
+        let uids = UidMap::new(n, UidAssignment::Sequential);
+        let outcome = run_flooding(&g, &uids).unwrap();
+        assert!(outcome.rounds <= 3);
+        assert!(outcome.tokens_per_node.iter().all(|&t| t == n));
+    }
+
+    #[test]
+    fn rejects_disconnected_graphs() {
+        let mut g = generators::line(5);
+        g.remove_edge(NodeId(1), NodeId(2)).unwrap();
+        let uids = UidMap::new(5, UidAssignment::Sequential);
+        assert!(matches!(
+            run_flooding(&g, &uids),
+            Err(CoreError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn single_node_is_instant() {
+        let g = Graph::new(1);
+        let uids = UidMap::new(1, UidAssignment::Sequential);
+        let outcome = run_flooding(&g, &uids).unwrap();
+        assert_eq!(outcome.tokens_per_node, vec![1]);
+    }
+}

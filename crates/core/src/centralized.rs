@@ -1,0 +1,247 @@
+//! Centralized transformation strategies (Section 6, Appendix D).
+//!
+//! These strategies have global knowledge of the network and a central
+//! controller deciding every node's actions. They serve two roles in the
+//! paper and in this reproduction:
+//!
+//! 1. [`run_cut_in_half_on_line`] is the `CutInHalf` algorithm: on a
+//!    spanning line it reaches diameter `O(log n)` in `log n` rounds with
+//!    only `Θ(n)` total edge activations — establishing that the
+//!    centralized optimum for total activations is linear (tight against
+//!    Lemma 6.2 / D.3).
+//! 2. [`run_centralized_general`] is the strategy of Theorem 6.3 / D.5 for
+//!    arbitrary connected graphs: compute a spanning tree, walk an Euler
+//!    tour to obtain a *virtual ring* of at most `2n` positions, and run
+//!    `CutInHalf` on it. It shows the `Θ(n)`-activation bound holds for
+//!    every initial network, which is the baseline our distributed
+//!    algorithms are compared against in experiment F6/F7 (they must pay
+//!    an extra `Θ(log n)` factor — Theorem 6.4).
+
+use crate::{CoreError, TransformationOutcome};
+use adn_graph::traversal::{bfs_spanning_tree, euler_tour};
+use adn_graph::{Graph, NodeId, UidMap};
+use adn_sim::Network;
+
+/// Runs `CutInHalf` on a network whose initial graph is a spanning line
+/// given by `line` (consecutive entries adjacent). In round `i` it
+/// activates the edges `(u_j, u_{j + 2^i})` for every `j` that is a
+/// multiple of `2^i`, doubling the reachable distance each round.
+///
+/// Returns the outcome with the line's first node as root/leader.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidInput`] if `line` is not a path of the network.
+pub fn run_cut_in_half_on_line(
+    initial: &Graph,
+    line: &[NodeId],
+) -> Result<TransformationOutcome, CoreError> {
+    if line.is_empty() {
+        return Err(CoreError::InvalidInput {
+            reason: "line must be non-empty".into(),
+        });
+    }
+    for w in line.windows(2) {
+        if !initial.has_edge(w[0], w[1]) {
+            return Err(CoreError::InvalidInput {
+                reason: format!("line nodes {} and {} are not adjacent", w[0], w[1]),
+            });
+        }
+    }
+    let mut network = Network::new(initial.clone());
+    cut_in_half(&mut network, line)?;
+    Ok(TransformationOutcome {
+        leader: line[0],
+        final_graph: network.graph().clone(),
+        phases: 0,
+        rounds: network.metrics().rounds,
+        metrics: network.metrics().clone(),
+        committees_per_phase: Vec::new(),
+        trace: Vec::new(),
+    })
+}
+
+/// The virtual-line `CutInHalf` core: positions along `order` (which may
+/// repeat nodes, as in an Euler tour) are connected at doubling distances.
+/// Activations between positions that map to the same node or to already
+/// adjacent nodes are skipped (they cost nothing).
+fn cut_in_half(network: &mut Network, order: &[NodeId]) -> Result<(), CoreError> {
+    let len = order.len();
+    let mut step = 1usize;
+    while step < len.saturating_sub(1) {
+        let hop = step * 2;
+        let mut staged_any = false;
+        let mut j = 0usize;
+        while j + hop < len {
+            let a = order[j];
+            let b = order[j + hop];
+            if a != b && !network.graph().has_edge(a, b) {
+                network.stage_activation(a, b)?;
+                staged_any = true;
+            }
+            j += hop;
+        }
+        if staged_any {
+            network.commit_round();
+        } else {
+            // The round still elapses even if every doubling edge happened
+            // to exist already (e.g. repeated Euler-tour nodes).
+            network.advance_idle_rounds(1);
+        }
+        step = hop;
+    }
+    Ok(())
+}
+
+/// The general centralized strategy of Theorem 6.3: spanning tree → Euler
+/// tour → virtual ring → `CutInHalf`, followed (optionally) by a single
+/// clean-up round that prunes the graph down to a BFS tree rooted at
+/// `root`, yielding a Depth-`O(log n)` tree.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidInput`] for disconnected graphs.
+pub fn run_centralized_general(
+    initial: &Graph,
+    uids: &UidMap,
+    prune_to_tree: bool,
+) -> Result<TransformationOutcome, CoreError> {
+    let n = initial.node_count();
+    if n == 0 {
+        return Err(CoreError::InvalidInput {
+            reason: "the initial network must contain at least one node".into(),
+        });
+    }
+    if !adn_graph::traversal::is_connected(initial) {
+        return Err(CoreError::InvalidInput {
+            reason: "the centralized strategy requires a connected network".into(),
+        });
+    }
+    let root = uids.max_uid_node().ok_or_else(|| CoreError::InvalidInput {
+        reason: "one UID per node is required".into(),
+    })?;
+    let tree = bfs_spanning_tree(initial, root).expect("connected graph has a spanning tree");
+    let tour = euler_tour(&tree);
+
+    let mut network = Network::new(initial.clone());
+    cut_in_half(&mut network, &tour)?;
+
+    if prune_to_tree && n > 1 {
+        // One clean-up round: keep only a BFS tree of the current
+        // low-diameter graph rooted at `root`.
+        let bfs = bfs_spanning_tree(network.graph(), root)
+            .expect("network stayed connected");
+        let keep = bfs.to_graph();
+        let current = network.graph().clone();
+        for e in current.edges() {
+            if !keep.has_edge(e.a, e.b) {
+                network.stage_deactivation(e.a, e.b)?;
+            }
+        }
+        network.commit_round();
+    }
+
+    Ok(TransformationOutcome {
+        leader: root,
+        final_graph: network.graph().clone(),
+        phases: 0,
+        rounds: network.metrics().rounds,
+        metrics: network.metrics().clone(),
+        committees_per_phase: Vec::new(),
+        trace: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_graph::properties::ceil_log2;
+    use adn_graph::traversal::diameter;
+    use adn_graph::{generators, GraphFamily, UidAssignment};
+
+    #[test]
+    fn cut_in_half_reaches_log_diameter_with_linear_activations() {
+        for &n in &[8usize, 16, 64, 128, 256, 500] {
+            let g = generators::line(n);
+            let line: Vec<NodeId> = (0..n).map(NodeId).collect();
+            let outcome = run_cut_in_half_on_line(&g, &line).unwrap();
+            // Θ(n) total activations (in fact < n).
+            assert!(
+                outcome.metrics.total_activations <= n,
+                "n={n}: {} activations",
+                outcome.metrics.total_activations
+            );
+            // O(log n) rounds.
+            assert!(outcome.rounds <= ceil_log2(n) + 1, "n={n}");
+            // O(log n) final diameter.
+            let d = diameter(&outcome.final_graph).unwrap();
+            assert!(d <= 2 * ceil_log2(n) + 2, "n={n}: diameter {d}");
+        }
+    }
+
+    #[test]
+    fn cut_in_half_rejects_non_lines() {
+        let g = generators::line(5);
+        assert!(matches!(
+            run_cut_in_half_on_line(&g, &[NodeId(0), NodeId(2)]),
+            Err(CoreError::InvalidInput { .. })
+        ));
+        assert!(matches!(
+            run_cut_in_half_on_line(&g, &[]),
+            Err(CoreError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn general_strategy_works_on_all_families() {
+        for family in GraphFamily::ALL {
+            let g = family.generate(60, 3);
+            let n = g.node_count();
+            let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed: 1 });
+            let outcome = run_centralized_general(&g, &uids, false).unwrap();
+            // Θ(n) activations: the Euler tour has < 2n positions.
+            assert!(
+                outcome.metrics.total_activations <= 2 * n,
+                "{family}: {} activations for n={n}",
+                outcome.metrics.total_activations
+            );
+            // O(log n) rounds.
+            assert!(outcome.rounds <= ceil_log2(2 * n) + 2, "{family}");
+            // Low final diameter.
+            let d = diameter(&outcome.final_graph).unwrap();
+            assert!(d <= 3 * ceil_log2(n.max(2)) + 3, "{family}: diameter {d}");
+        }
+    }
+
+    #[test]
+    fn pruned_variant_yields_a_low_depth_tree() {
+        let g = generators::line(200);
+        let uids = UidMap::new(200, UidAssignment::Sequential);
+        let outcome = run_centralized_general(&g, &uids, true).unwrap();
+        assert!(adn_graph::properties::is_tree(&outcome.final_graph));
+        let tree =
+            adn_graph::RootedTree::from_tree_graph(&outcome.final_graph, outcome.leader).unwrap();
+        assert!(tree.depth() <= 3 * ceil_log2(200), "depth {}", tree.depth());
+        // Leader is the max UID node (node 199 under Sequential).
+        assert_eq!(outcome.leader, NodeId(199));
+    }
+
+    #[test]
+    fn rejects_disconnected_graphs() {
+        let mut g = generators::line(6);
+        g.remove_edge(NodeId(1), NodeId(2)).unwrap();
+        let uids = UidMap::new(6, UidAssignment::Sequential);
+        assert!(matches!(
+            run_centralized_general(&g, &uids, false),
+            Err(CoreError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn single_node_is_trivial() {
+        let g = Graph::new(1);
+        let uids = UidMap::new(1, UidAssignment::Sequential);
+        let outcome = run_centralized_general(&g, &uids, true).unwrap();
+        assert_eq!(outcome.metrics.total_activations, 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type shared by the algorithms in this crate.
+
+use adn_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the transformation algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A model violation or round-limit error raised by the simulator.
+    Sim(SimError),
+    /// The input network does not satisfy the algorithm's precondition
+    /// (for example, a disconnected initial network, or a non-line input
+    /// to `LineToCompleteBinaryTree`).
+    InvalidInput {
+        /// Human-readable description of the violated precondition.
+        reason: String,
+    },
+    /// The algorithm did not converge within its internal phase budget.
+    /// This indicates a bug (the algorithms are proven to terminate) and
+    /// is surfaced as an error rather than a panic so that property tests
+    /// can report the offending instance.
+    DidNotConverge {
+        /// Name of the algorithm.
+        algorithm: &'static str,
+        /// The phase budget that was exhausted.
+        phase_limit: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Sim(e) => write!(f, "simulator error: {e}"),
+            CoreError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            CoreError::DidNotConverge {
+                algorithm,
+                phase_limit,
+            } => write!(
+                f,
+                "{algorithm} did not converge within {phase_limit} phases"
+            ),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(value: SimError) -> Self {
+        CoreError::Sim(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_graph::NodeId;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::from(SimError::SelfLoop { node: NodeId(1) });
+        assert!(e.to_string().contains("simulator error"));
+        assert!(Error::source(&e).is_some());
+        let e = CoreError::InvalidInput {
+            reason: "disconnected".into(),
+        };
+        assert!(e.to_string().contains("disconnected"));
+        assert!(Error::source(&e).is_none());
+        let e = CoreError::DidNotConverge {
+            algorithm: "GraphToStar",
+            phase_limit: 42,
+        };
+        assert!(e.to_string().contains("GraphToStar"));
+        assert!(e.to_string().contains("42"));
+    }
+}

@@ -1,0 +1,612 @@
+//! **GraphToStar** (Section 3): the edge-optimal algorithm for general
+//! graphs.
+//!
+//! The nodes are partitioned into *committees*, each internally organised
+//! as a star whose centre is the committee's leader (the maximum-UID node
+//! of the committee). Committees repeatedly select the largest-UID
+//! neighbouring committee and merge into it; chains of selections form
+//! trees of committees which are collapsed with the `TreeToStar` idea
+//! applied at committee granularity (the *pulling* mode). When a single
+//! committee remains, its leader is the network-wide maximum-UID node
+//! `u_max`, and one final phase deactivates every remaining edge except the
+//! star edges, solving Depth-1 Tree.
+//!
+//! Complexity (Theorem 3.8), all verified by the tests and the benchmark
+//! harness: `O(log n)` rounds, at most `2n` active edges per round, an
+//! optimal `O(n log n)` total edge activations, and (necessarily) a linear
+//! maximum degree at the star centre.
+
+use crate::{CoreError, TransformationOutcome};
+use adn_graph::{Graph, NodeId, Uid, UidMap};
+use adn_sim::{Network, RoundStats};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The mode a committee executes in during a phase (Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Looking for a larger neighbouring committee to join.
+    Selection,
+    /// Merging into the committee led by the given node in this phase.
+    Merging { into: NodeId },
+    /// Climbing the tree of selections towards its root. `attach` is the
+    /// node (in the committee above us) that our leader currently holds an
+    /// activated edge to; it is the parent committee's leader when we first
+    /// enter pulling mode, and is advanced one hop towards the tree's root
+    /// every phase (TreeToStar applied at committee granularity).
+    Pulling { attach: NodeId },
+    /// Selected by others; waiting for them to merge into us.
+    Waiting,
+}
+
+#[derive(Debug, Clone)]
+struct Committee {
+    leader: NodeId,
+    members: Vec<NodeId>,
+    mode: Mode,
+}
+
+impl Committee {
+    fn uid(&self, uids: &UidMap) -> Uid {
+        uids.uid(self.leader)
+    }
+}
+
+/// Result of the selection step of a phase.
+#[derive(Debug, Clone)]
+struct Selection {
+    selector: NodeId,
+    target: NodeId,
+    /// Bridge nodes: `x` in the selector committee adjacent to `y` in the
+    /// target committee.
+    bridge_x: NodeId,
+    bridge_y: NodeId,
+}
+
+/// Runs GraphToStar on `initial` with the given UID assignment.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidInput`] for empty or disconnected initial
+///   networks.
+/// * [`CoreError::DidNotConverge`] / [`CoreError::Sim`] on implementation
+///   bugs (the algorithm is deterministic and proven to terminate).
+pub fn run_graph_to_star(
+    initial: &Graph,
+    uids: &UidMap,
+) -> Result<TransformationOutcome, CoreError> {
+    let n = initial.node_count();
+    if n == 0 {
+        return Err(CoreError::InvalidInput {
+            reason: "the initial network must contain at least one node".into(),
+        });
+    }
+    if uids.len() != n {
+        return Err(CoreError::InvalidInput {
+            reason: "one UID per node is required".into(),
+        });
+    }
+    if !adn_graph::traversal::is_connected(initial) {
+        return Err(CoreError::InvalidInput {
+            reason: "GraphToStar requires a connected initial network".into(),
+        });
+    }
+
+    let mut network = Network::new(initial.clone());
+    let mut state = State::new(initial);
+    let mut committees_per_phase = Vec::new();
+    let mut trace: Vec<RoundStats> = Vec::new();
+    let mut phases = 0usize;
+    let phase_limit = 40 * adn_graph::properties::ceil_log2(n.max(2)) + 80;
+
+    while state.committees.len() > 1 {
+        phases += 1;
+        if phases > phase_limit {
+            return Err(CoreError::DidNotConverge {
+                algorithm: "GraphToStar",
+                phase_limit,
+            });
+        }
+        committees_per_phase.push(state.committees.len());
+        state.run_phase(&mut network, uids, &mut trace)?;
+    }
+
+    // Termination phase: keep only the star edges.
+    let leader = state
+        .committees
+        .values()
+        .next()
+        .map(|c| c.leader)
+        .expect("exactly one committee remains");
+    if n > 1 {
+        let graph = network.graph().clone();
+        for e in graph.edges() {
+            if e.a != leader && e.b != leader {
+                network.stage_deactivation(e.a, e.b)?;
+            }
+        }
+        let summary = network.commit_round();
+        trace.push(round_stats(&network, summary, state.committees.len()));
+        // The paper charges 2 rounds for the termination phase (detection +
+        // clean-up); charge the detection round explicitly.
+        network.advance_idle_rounds(1);
+        phases += 1;
+        committees_per_phase.push(1);
+    }
+
+    debug_assert_eq!(Some(leader), uids.max_uid_node());
+    Ok(TransformationOutcome {
+        leader,
+        final_graph: network.graph().clone(),
+        phases,
+        rounds: network.metrics().rounds,
+        metrics: network.metrics().clone(),
+        committees_per_phase,
+        trace,
+    })
+}
+
+fn round_stats(network: &Network, summary: adn_sim::RoundSummary, groups: usize) -> RoundStats {
+    RoundStats {
+        round: summary.round,
+        activations: summary.activations,
+        deactivations: summary.deactivations,
+        activated_edges: summary.activated_edges_now,
+        max_degree: network.graph().max_degree(),
+        groups_alive: groups,
+    }
+}
+
+struct State {
+    /// Committee keyed by its leader.
+    committees: BTreeMap<NodeId, Committee>,
+    /// Leader of the committee each node belongs to.
+    committee_of: Vec<NodeId>,
+    /// Edges of the initial network (never deactivated before termination).
+    initial_edges: Graph,
+}
+
+impl State {
+    fn new(initial: &Graph) -> Self {
+        let n = initial.node_count();
+        let committees = (0..n)
+            .map(|i| {
+                (
+                    NodeId(i),
+                    Committee {
+                        leader: NodeId(i),
+                        members: vec![NodeId(i)],
+                        mode: Mode::Selection,
+                    },
+                )
+            })
+            .collect();
+        State {
+            committees,
+            committee_of: (0..n).map(NodeId).collect(),
+            initial_edges: initial.clone(),
+        }
+    }
+
+    /// Committee adjacency over the current network: for each ordered pair
+    /// of distinct neighbouring committees `(a, b)`, the lexicographically
+    /// smallest bridge `(x, y)` with `x ∈ a`, `y ∈ b`.
+    fn committee_adjacency(
+        &self,
+        network: &Network,
+    ) -> BTreeMap<NodeId, BTreeMap<NodeId, (NodeId, NodeId)>> {
+        let mut adj: BTreeMap<NodeId, BTreeMap<NodeId, (NodeId, NodeId)>> = BTreeMap::new();
+        for e in network.graph().edges() {
+            let ca = self.committee_of[e.a.index()];
+            let cb = self.committee_of[e.b.index()];
+            if ca == cb {
+                continue;
+            }
+            let entry = adj.entry(ca).or_default().entry(cb).or_insert((e.a, e.b));
+            if (e.a, e.b) < *entry {
+                *entry = (e.a, e.b);
+            }
+            let entry = adj.entry(cb).or_default().entry(ca).or_insert((e.b, e.a));
+            if (e.b, e.a) < *entry {
+                *entry = (e.b, e.a);
+            }
+        }
+        adj
+    }
+
+    fn run_phase(
+        &mut self,
+        network: &mut Network,
+        uids: &UidMap,
+        trace: &mut Vec<RoundStats>,
+    ) -> Result<(), CoreError> {
+        let adjacency = self.committee_adjacency(network);
+        let start_modes: BTreeMap<NodeId, Mode> = self
+            .committees
+            .iter()
+            .map(|(&l, c)| (l, c.mode))
+            .collect();
+
+        // ------------------------------------------------------------------
+        // 1. Selection decisions (no edge operations yet).
+        // ------------------------------------------------------------------
+        let mut selections: BTreeMap<NodeId, Selection> = BTreeMap::new();
+        for (&leader, committee) in &self.committees {
+            if committee.mode != Mode::Selection {
+                continue;
+            }
+            let my_uid = committee.uid(uids);
+            let Some(neighbors) = adjacency.get(&leader) else {
+                continue;
+            };
+            let candidate = neighbors
+                .iter()
+                .filter(|(other, _)| {
+                    let other_mode = start_modes[*other];
+                    uids.uid(**other) > my_uid
+                        && !matches!(other_mode, Mode::Pulling { .. } | Mode::Merging { .. })
+                })
+                .max_by_key(|(other, _)| uids.uid(**other));
+            if let Some((&target, &(x, y))) = candidate {
+                selections.insert(
+                    leader,
+                    Selection {
+                        selector: leader,
+                        target,
+                        bridge_x: x,
+                        bridge_y: y,
+                    },
+                );
+            }
+        }
+        let selected_by: BTreeSet<NodeId> = selections.values().map(|s| s.target).collect();
+
+        // ------------------------------------------------------------------
+        // 2. Edge operations: round A then round B.
+        // ------------------------------------------------------------------
+        // Selection round A: the selector's leader connects towards the
+        // target committee (helper edge e1, or directly the leader-leader
+        // edge when it is already at distance <= 2). `pending_b` collects
+        // the round-B second hops.
+        let mut pending_b: Vec<(NodeId, NodeId, Option<(NodeId, NodeId)>)> = Vec::new();
+        for sel in selections.values() {
+            let u = sel.selector;
+            let v = sel.target;
+            let x = sel.bridge_x;
+            let y = sel.bridge_y;
+            if network.graph().has_edge(u, v) {
+                // Already adjacent (for example both singletons joined by an
+                // initial edge): nothing to activate.
+                continue;
+            }
+            if u == x || y == v {
+                // The leader-leader edge is one hop away: witness y (if the
+                // selector's leader is the bridge) or witness x (if the
+                // bridge lands on the target leader).
+                network.stage_activation(u, v)?;
+                continue;
+            }
+            // General case: helper edge e1 = (u, y) via witness x now, then
+            // the leader-leader edge via witness y in round B.
+            network.stage_activation(u, y)?;
+            pending_b.push((u, v, Some((u, y))));
+        }
+
+        // Merging committees: every member joins the target leader's star.
+        let mut merges: Vec<(NodeId, NodeId)> = Vec::new(); // (dying leader, absorbing leader)
+        for (&leader, committee) in &self.committees {
+            if let Mode::Merging { into } = committee.mode {
+                merges.push((leader, into));
+                for &x in &committee.members {
+                    if x == leader {
+                        continue;
+                    }
+                    network.stage_activation(x, into)?;
+                    if !self.initial_edges.has_edge(x, leader) {
+                        network.stage_deactivation(x, leader)?;
+                    }
+                }
+            }
+        }
+
+        // Pulling committees: climb one level of the committee tree
+        // (TreeToStar applied to committees). The climb target is the next
+        // node up the selection tree as it stood at the beginning of the
+        // phase: the attach node's committee leader if we are attached to
+        // an ordinary member, otherwise whatever our attach leader itself
+        // points upwards to (its merge target or its own attach node).
+        let mut climbs: Vec<(NodeId, NodeId)> = Vec::new(); // (leader, new attach node)
+        for (&leader, committee) in &self.committees {
+            if let Mode::Pulling { attach } = committee.mode {
+                let attach_leader = self.committee_of[attach.index()];
+                let target = if attach != attach_leader {
+                    // Hop from an ex-leader member to its current leader.
+                    attach_leader
+                } else {
+                    match start_modes.get(&attach_leader).copied() {
+                        Some(Mode::Merging { into }) => into,
+                        Some(Mode::Pulling { attach: up }) => up,
+                        // The attach committee is a root (waiting or back in
+                        // selection): stay put, we merge into it next phase.
+                        _ => attach,
+                    }
+                };
+                if target != attach {
+                    network.stage_activation(leader, target)?;
+                    if !self.initial_edges.has_edge(leader, attach) {
+                        network.stage_deactivation(leader, attach)?;
+                    }
+                }
+                climbs.push((leader, target));
+            }
+        }
+
+        let groups_now = self.committees.len();
+        let summary_a = network.commit_round();
+        trace.push(round_stats(network, summary_a, groups_now));
+
+        // Round B: second selection hop.
+        let mut any_b = false;
+        for (u, v, helper) in &pending_b {
+            network.stage_activation(*u, *v)?;
+            if let Some((a, b)) = helper {
+                if !self.initial_edges.has_edge(*a, *b) {
+                    network.stage_deactivation(*a, *b)?;
+                }
+            }
+            any_b = true;
+        }
+        if any_b || !selections.is_empty() {
+            // A selection phase always costs 2 rounds (Lemma 3.7), even if
+            // the second hop happened to be unnecessary for some selectors.
+            let summary_b = network.commit_round();
+            trace.push(round_stats(network, summary_b, groups_now));
+        } else if summary_a.activations == 0 && summary_a.deactivations == 0 {
+            // A phase with no edge operations at all (pure mode
+            // transitions) still costs a round of communication.
+            network.advance_idle_rounds(1);
+        }
+
+        // ------------------------------------------------------------------
+        // 3. Apply merges to the committee structure.
+        // ------------------------------------------------------------------
+        for (dying, absorbing) in &merges {
+            let dead = self
+                .committees
+                .remove(dying)
+                .expect("merging committee exists");
+            let target = self
+                .committees
+                .get_mut(absorbing)
+                .expect("absorbing committee exists");
+            for &m in &dead.members {
+                self.committee_of[m.index()] = *absorbing;
+            }
+            target.members.extend(dead.members);
+        }
+
+        // ------------------------------------------------------------------
+        // 4. Mode transitions for the next phase.
+        // ------------------------------------------------------------------
+        // Pulling committees first (their new attach nodes were computed
+        // above). If the attach node is now the leader of a root committee
+        // (waiting / back in selection), we merge into it next phase;
+        // otherwise we keep pulling.
+        for (leader, new_attach) in climbs {
+            let attach_committee = self.committee_of[new_attach.index()];
+            let attach_is_root_leader = new_attach == attach_committee
+                && matches!(
+                    self.committees.get(&attach_committee).map(|c| c.mode),
+                    Some(Mode::Waiting) | Some(Mode::Selection)
+                );
+            if let Some(c) = self.committees.get_mut(&leader) {
+                c.mode = if attach_is_root_leader {
+                    Mode::Merging { into: new_attach }
+                } else {
+                    Mode::Pulling { attach: new_attach }
+                };
+            }
+        }
+
+        // Selector committees.
+        for sel in selections.values() {
+            let target_selected = selections.contains_key(&sel.target);
+            if let Some(c) = self.committees.get_mut(&sel.selector) {
+                c.mode = if target_selected {
+                    Mode::Pulling { attach: sel.target }
+                } else {
+                    Mode::Merging { into: sel.target }
+                };
+            }
+        }
+
+        // Committees that did not select: Waiting / Selection transitions.
+        let has_children: BTreeSet<NodeId> = self
+            .committees
+            .values()
+            .filter_map(|c| match c.mode {
+                Mode::Merging { into } => Some(self.committee_of[into.index()]),
+                Mode::Pulling { attach } => Some(self.committee_of[attach.index()]),
+                _ => None,
+            })
+            .collect();
+        for (&leader, committee) in self.committees.iter_mut() {
+            match committee.mode {
+                Mode::Merging { .. } | Mode::Pulling { .. } => {}
+                Mode::Selection | Mode::Waiting => {
+                    if selected_by.contains(&leader) || has_children.contains(&leader) {
+                        committee.mode = Mode::Waiting;
+                    } else {
+                        committee.mode = Mode::Selection;
+                    }
+                }
+            }
+        }
+
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_graph::properties::{ceil_log2, is_star, star_center};
+    use adn_graph::{generators, GraphFamily, UidAssignment};
+
+    fn check_outcome(initial: &Graph, uids: &UidMap, outcome: &TransformationOutcome) {
+        let n = initial.node_count();
+        // Depth-1 Tree: the final network is a spanning star...
+        assert!(
+            is_star(&outcome.final_graph),
+            "final graph is not a star (n={n})"
+        );
+        // ...centred at the elected leader, which is the max-UID node.
+        assert_eq!(star_center(&outcome.final_graph), Some(outcome.leader));
+        assert_eq!(Some(outcome.leader), uids.max_uid_node());
+        // Final diameter 2 (for n >= 3).
+        if n >= 3 {
+            assert_eq!(outcome.final_diameter(), Some(2));
+        }
+    }
+
+    fn run(initial: &Graph, assignment: UidAssignment) -> (UidMap, TransformationOutcome) {
+        let uids = UidMap::new(initial.node_count(), assignment);
+        let outcome = run_graph_to_star(initial, &uids).expect("GraphToStar must succeed");
+        (uids, outcome)
+    }
+
+    #[test]
+    fn solves_depth_1_tree_on_lines() {
+        for &n in &[2usize, 3, 4, 7, 8, 16, 31, 64, 100, 128] {
+            let g = generators::line(n);
+            let (uids, outcome) = run(&g, UidAssignment::Sequential);
+            check_outcome(&g, &uids, &outcome);
+        }
+    }
+
+    #[test]
+    fn solves_depth_1_tree_on_rings_and_stars_and_grids() {
+        for g in [
+            generators::ring(30),
+            generators::star(30),
+            generators::grid(5, 6),
+            generators::complete_binary_tree(31),
+        ] {
+            let (uids, outcome) = run(&g, UidAssignment::Sequential);
+            check_outcome(&g, &uids, &outcome);
+            let (uids, outcome) = run(&g, UidAssignment::Reversed);
+            check_outcome(&g, &uids, &outcome);
+        }
+    }
+
+    #[test]
+    fn solves_depth_1_tree_on_random_graphs_with_random_uids() {
+        for seed in 0..6u64 {
+            let g = generators::random_connected(50, 0.08, seed);
+            let (uids, outcome) = run(&g, UidAssignment::RandomPermutation { seed });
+            check_outcome(&g, &uids, &outcome);
+        }
+    }
+
+    #[test]
+    fn solves_depth_1_tree_on_all_families() {
+        for family in GraphFamily::ALL {
+            let g = family.generate(40, 11);
+            let (uids, outcome) = run(&g, UidAssignment::RandomPermutation { seed: 5 });
+            check_outcome(&g, &uids, &outcome);
+        }
+    }
+
+    #[test]
+    fn time_is_logarithmic() {
+        for &n in &[16usize, 64, 256] {
+            let g = generators::line(n);
+            let (_, outcome) = run(&g, UidAssignment::RandomPermutation { seed: 2 });
+            // Theorem 3.8: O(log n) rounds. Generous constant: 12.
+            assert!(
+                outcome.rounds <= 12 * ceil_log2(n) + 12,
+                "n={n}: rounds {} not O(log n)",
+                outcome.rounds
+            );
+            // Phases are O(log n) too.
+            assert!(outcome.phases <= 8 * ceil_log2(n) + 8);
+        }
+    }
+
+    #[test]
+    fn edge_complexity_matches_theorem_3_8() {
+        for &n in &[32usize, 64, 128, 256] {
+            let g = generators::line(n);
+            let (_, outcome) = run(&g, UidAssignment::RandomPermutation { seed: 3 });
+            let m = &outcome.metrics;
+            // O(n log n) total activations, generous constant 4.
+            assert!(
+                m.total_activations <= 4 * n * ceil_log2(n).max(1),
+                "n={n}: {} activations",
+                m.total_activations
+            );
+            // At most 2n activated (non-initial) edges alive at any time.
+            assert!(
+                m.max_activated_edges <= 2 * n,
+                "n={n}: {} active activated edges",
+                m.max_activated_edges
+            );
+            // Each node activates at most one edge per round.
+            assert!(m.max_node_activations_in_round <= 1);
+        }
+    }
+
+    #[test]
+    fn committee_count_decays_to_one() {
+        let g = generators::random_connected(80, 0.05, 4);
+        let (_, outcome) = run(&g, UidAssignment::RandomPermutation { seed: 4 });
+        let counts = &outcome.committees_per_phase;
+        assert_eq!(counts.first(), Some(&80));
+        assert_eq!(counts.last(), Some(&1));
+        // Monotonically non-increasing.
+        for w in counts.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn network_stays_connected_throughout() {
+        // Connectivity preservation: the final graph must span all nodes; a
+        // disconnection could never be repaired by distance-2 activations,
+        // so a connected final star certifies connectivity was preserved.
+        let g = generators::barbell(8, 6);
+        let (uids, outcome) = run(&g, UidAssignment::Sequential);
+        check_outcome(&g, &uids, &outcome);
+        assert!(adn_graph::traversal::is_connected(&outcome.final_graph));
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let uids = UidMap::new(0, UidAssignment::Sequential);
+        assert!(matches!(
+            run_graph_to_star(&Graph::new(0), &uids),
+            Err(CoreError::InvalidInput { .. })
+        ));
+        let mut g = generators::line(6);
+        g.remove_edge(NodeId(2), NodeId(3)).unwrap();
+        let uids = UidMap::new(6, UidAssignment::Sequential);
+        assert!(matches!(
+            run_graph_to_star(&g, &uids),
+            Err(CoreError::InvalidInput { .. })
+        ));
+        let uids = UidMap::new(5, UidAssignment::Sequential);
+        assert!(matches!(
+            run_graph_to_star(&generators::line(6), &uids),
+            Err(CoreError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn single_node_and_pair() {
+        let (uids, outcome) = run(&Graph::new(1), UidAssignment::Sequential);
+        assert_eq!(outcome.leader, uids.max_uid_node().unwrap());
+        assert_eq!(outcome.final_graph.edge_count(), 0);
+
+        let (uids, outcome) = run(&generators::line(2), UidAssignment::Sequential);
+        check_outcome(&generators::line(2), &uids, &outcome);
+    }
+}

@@ -1,0 +1,213 @@
+//! Lower-bound machinery (Section 6, Appendix D).
+//!
+//! The paper proves three lower bounds for the Depth-`log n` Tree problem:
+//!
+//! * **Ω(log n) rounds** for any (even centralized) strategy when the
+//!   initial network is a spanning line (Lemma 6.1 / D.2), because the
+//!   *potential* `PO_{u,v}` between the two endpoints starts at `n - 1`
+//!   and can at best halve per round (edge activations) plus decrease by
+//!   one (information propagation).
+//! * **Ω(n) total activations and Ω(n / log n) activations per round**
+//!   for any centralized strategy running in `O(log n)` rounds
+//!   (Lemma 6.2 / D.3–D.4).
+//! * **Ω(n log n) total activations** for any *distributed*
+//!   comparison-based algorithm running in `O(log n)` rounds, via the
+//!   increasing-order ring construction (Theorem 6.4 / D.12): nodes in
+//!   corresponding states must behave identically, so whenever one node of
+//!   the symmetric section activates an edge, Θ(n) of them do, and at
+//!   least `log n` such *live* rounds are needed.
+//!
+//! This module provides the potential function of Definition D.1, the
+//! closed-form bounds used by the experiment tables, and the
+//! increasing-order-ring experiment that demonstrates the Θ(n) vs
+//! Θ(n log n) separation between the centralized and distributed settings
+//! empirically (experiment F7).
+
+use adn_graph::properties::ceil_log2;
+use adn_graph::traversal::bfs_distances;
+use adn_graph::{Graph, NodeId};
+
+/// The potential `PO_{u,v}` of Definition D.1: the minimum, over all nodes
+/// `w` that currently know `UID_u` (given by `knowers`), of the distance
+/// between `w` and `v` in `graph`.
+///
+/// Returns `None` if no knower can reach `v` (disconnected).
+pub fn potential(graph: &Graph, knowers: &[NodeId], v: NodeId) -> Option<usize> {
+    let dist = bfs_distances(graph, v);
+    knowers
+        .iter()
+        .filter_map(|w| dist.get(w.index()).copied().flatten())
+        .min()
+}
+
+/// Best-case evolution of the potential on a spanning line (Lemma D.2):
+/// starting from `n - 1`, in every round the potential can at best be
+/// halved (by activating edges along the whole shortest path) and then
+/// reduced by one more (by propagating the UID one hop). Returns the
+/// number of rounds needed to bring it down to `log2 n`, which is a lower
+/// bound on the running time of *any* strategy solving Depth-`log n` Tree
+/// from a spanning line.
+pub fn line_time_lower_bound(n: usize) -> usize {
+    if n <= 2 {
+        return 0;
+    }
+    let target = ceil_log2(n).max(1);
+    let mut potential = n - 1;
+    let mut rounds = 0usize;
+    while potential > target {
+        // Halve (edge activations along the path) then subtract one
+        // (information propagation) — the most optimistic round possible.
+        potential = potential.div_ceil(2).saturating_sub(1).max(1);
+        rounds += 1;
+    }
+    rounds
+}
+
+/// Lemma D.3: any strategy solving Depth-`log n` Tree on a spanning line in
+/// `O(log n)` rounds must activate at least `n - 1 - 2·log n` edges.
+pub fn centralized_total_activation_lower_bound(n: usize) -> usize {
+    (n.saturating_sub(1)).saturating_sub(2 * ceil_log2(n.max(2)))
+}
+
+/// Lemma D.4: dividing the total-activation lower bound by the `O(log n)`
+/// round budget gives the per-round lower bound `Ω(n / log n)`.
+pub fn centralized_per_round_activation_lower_bound(n: usize) -> usize {
+    let rounds = ceil_log2(n.max(2)).max(1);
+    centralized_total_activation_lower_bound(n) / rounds
+}
+
+/// Theorem 6.4 (asymptotic form): any distributed comparison-based
+/// algorithm solving Depth-`log n` Tree in `O(log n)` time on the
+/// increasing-order ring performs at least on the order of `n · log n`
+/// edge activations. The proof shows that at least `log n` rounds must be
+/// *live* (a node of the symmetric section activates an edge) and that in
+/// a live round all `Θ(n)` nodes still in corresponding states activate
+/// simultaneously; the explicit constant below is the conservative
+/// `(n - 2·log n) · log n / 4` used by the comparison tables.
+pub fn distributed_total_activation_lower_bound(n: usize) -> usize {
+    let logn = ceil_log2(n.max(2)).max(1);
+    n.saturating_sub(2 * logn) * logn / 4
+}
+
+/// Nodes `i` and `j` of an increasing-order ring are in *corresponding
+/// states* after `k` active rounds as long as neither of their
+/// `k`-expo-neighbourhoods (Definition D.10) contains both the minimum-UID
+/// and the maximum-UID node. This predicate is used by the
+/// symmetry-tracking experiment.
+pub fn in_corresponding_states(n: usize, i: usize, j: usize, k: usize) -> bool {
+    if n < 4 {
+        return false;
+    }
+    let radius = 1usize << k.min(63);
+    let covers_extremes = |x: usize| {
+        // Positions of the minimum (0) and maximum (n - 1) UID holders on
+        // the increasing-order ring.
+        ring_distance(n, x, 0) <= radius && ring_distance(n, x, n - 1) <= radius
+    };
+    !covers_extremes(i) && !covers_extremes(j)
+}
+
+/// Distance between positions `a` and `b` on a ring of `n` nodes.
+pub fn ring_distance(n: usize, a: usize, b: usize) -> usize {
+    let d = a.abs_diff(b) % n;
+    d.min(n - d)
+}
+
+/// Number of nodes of an increasing-order ring of size `n` that are still
+/// in corresponding states (pairwise symmetric) after `k` active rounds:
+/// those whose `k`-expo-neighbourhood does not contain both extremes.
+pub fn symmetric_section_size(n: usize, k: usize) -> usize {
+    (0..n)
+        .filter(|&i| {
+            let radius = 1usize << k.min(63);
+            !(ring_distance(n, i, 0) <= radius && ring_distance(n, i, n - 1) <= radius)
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_graph::generators;
+
+    #[test]
+    fn potential_matches_definition() {
+        let g = generators::line(6);
+        // Only node 0 knows the UID: potential to node 5 is the full
+        // distance 5.
+        assert_eq!(potential(&g, &[NodeId(0)], NodeId(5)), Some(5));
+        // If node 3 also knows it, the potential drops to 2.
+        assert_eq!(potential(&g, &[NodeId(0), NodeId(3)], NodeId(5)), Some(2));
+        // Knower equal to the destination: potential 0.
+        assert_eq!(potential(&g, &[NodeId(5)], NodeId(5)), Some(0));
+        // Disconnected case.
+        let mut h = generators::line(4);
+        h.remove_edge(NodeId(1), NodeId(2)).unwrap();
+        assert_eq!(potential(&h, &[NodeId(0)], NodeId(3)), None);
+    }
+
+    #[test]
+    fn time_lower_bound_is_logarithmic() {
+        for &n in &[8usize, 64, 256, 1024, 4096] {
+            let lb = line_time_lower_bound(n);
+            let logn = ceil_log2(n);
+            // The bound is Θ(log n): between log n - log log n - 2 and log n.
+            assert!(lb <= logn, "n={n}: bound {lb} exceeds log n");
+            assert!(
+                lb + ceil_log2(logn.max(2)) + 2 >= logn,
+                "n={n}: bound {lb} too weak"
+            );
+        }
+        assert_eq!(line_time_lower_bound(2), 0);
+    }
+
+    #[test]
+    fn centralized_bounds_scale_linearly() {
+        assert!(centralized_total_activation_lower_bound(1024) >= 1000);
+        assert!(centralized_total_activation_lower_bound(4) <= 3);
+        let per_round = centralized_per_round_activation_lower_bound(1024);
+        assert!(per_round >= 100, "per-round bound {per_round}");
+        assert!(per_round <= 1024 / 10 + 20);
+    }
+
+    #[test]
+    fn distributed_bound_dominates_centralized_bound() {
+        for &n in &[64usize, 256, 1024, 4096] {
+            assert!(
+                distributed_total_activation_lower_bound(n)
+                    > centralized_total_activation_lower_bound(n),
+                "n={n}: the distributed bound must be asymptotically larger"
+            );
+        }
+        // Shape: Θ(n log n), i.e. super-linear.
+        let r1 = distributed_total_activation_lower_bound(1 << 10) as f64 / (1 << 10) as f64;
+        let r2 = distributed_total_activation_lower_bound(1 << 14) as f64 / (1 << 14) as f64;
+        assert!(r2 > r1 * 1.2);
+    }
+
+    #[test]
+    fn ring_distance_and_corresponding_states() {
+        assert_eq!(ring_distance(10, 1, 9), 2);
+        assert_eq!(ring_distance(10, 0, 5), 5);
+        assert_eq!(ring_distance(10, 7, 7), 0);
+        // Right after the start (k = 0) almost every node is symmetric.
+        assert!(symmetric_section_size(64, 0) >= 60);
+        // After log n active rounds the symmetric section has collapsed.
+        assert_eq!(symmetric_section_size(64, 7), 0);
+        // The antipodal node stays symmetric the longest.
+        let n = 64;
+        assert!(in_corresponding_states(n, n / 2, n / 2 + 1, 3));
+        assert!(!in_corresponding_states(n, 0, 1, 3), "node 0 sees both extremes quickly");
+    }
+
+    #[test]
+    fn symmetric_section_shrinks_geometrically() {
+        let n = 1024;
+        let mut previous = symmetric_section_size(n, 0);
+        for k in 1..10 {
+            let now = symmetric_section_size(n, k);
+            assert!(now <= previous);
+            previous = now;
+        }
+    }
+}

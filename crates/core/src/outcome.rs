@@ -1,0 +1,66 @@
+//! Common result type for the transformation algorithms.
+
+use adn_graph::{Graph, NodeId};
+use adn_sim::{EdgeMetrics, RoundStats};
+
+/// Outcome of one of the paper's transformation algorithms
+/// (`GraphToStar`, `GraphToWreath`, `GraphToThinWreath`, clique formation
+/// or a centralized strategy).
+///
+/// Besides the metered execution, it records the two pieces of the
+/// Depth-d Tree problem statement: the elected leader (root) and the final
+/// reconfigured network.
+#[derive(Debug, Clone)]
+pub struct TransformationOutcome {
+    /// The elected unique leader (the paper's `u_max` for the distributed
+    /// algorithms; the chosen root for centralized strategies).
+    pub leader: NodeId,
+    /// The final network `G_f` produced by the transformation.
+    pub final_graph: Graph,
+    /// Number of phases executed (0 for algorithms without a phase
+    /// structure).
+    pub phases: usize,
+    /// Rounds consumed (mirrors `metrics.rounds`).
+    pub rounds: usize,
+    /// The edge-complexity metrics of the execution.
+    pub metrics: EdgeMetrics,
+    /// Per-phase number of committees alive (empty when not applicable);
+    /// drives the committee-decay figure (F4).
+    pub committees_per_phase: Vec<usize>,
+    /// Optional per-round trace.
+    pub trace: Vec<RoundStats>,
+}
+
+impl TransformationOutcome {
+    /// Final diameter of `G_f` (None if disconnected — which would be an
+    /// algorithm bug).
+    pub fn final_diameter(&self) -> Option<usize> {
+        adn_graph::traversal::diameter(&self.final_graph)
+    }
+
+    /// Maximum degree of `G_f`.
+    pub fn final_max_degree(&self) -> usize {
+        self.final_graph.max_degree()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_graph::generators;
+
+    #[test]
+    fn outcome_accessors() {
+        let outcome = TransformationOutcome {
+            leader: NodeId(0),
+            final_graph: generators::star(8),
+            phases: 3,
+            rounds: 6,
+            metrics: EdgeMetrics::default(),
+            committees_per_phase: vec![8, 4, 1],
+            trace: Vec::new(),
+        };
+        assert_eq!(outcome.final_diameter(), Some(2));
+        assert_eq!(outcome.final_max_degree(), 7);
+    }
+}

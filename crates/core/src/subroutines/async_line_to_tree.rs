@@ -1,0 +1,434 @@
+//! Asynchronous `LineToCompleteBinaryTree` (Appendix B), generalised to
+//! arbitrary arity.
+//!
+//! Nodes wake up at different rounds (in the wreath algorithms the wake-up
+//! round is the time at which the activation message propagated from an
+//! ex-committee leader reaches the node). The paper sequences the pointer
+//! jumps of the synchronous subroutine with `EA`/`DEA` activation and
+//! deactivation counters so that, despite the staggered wake-ups, the
+//! asynchronous execution performs **exactly the same edge activations and
+//! deactivations** as the synchronous one (Lemma B.4) and finishes within
+//! `O(log n + k)` rounds where `k` is the last wake-up time
+//! (Corollary B.5).
+//!
+//! We implement the same discipline in its extensional form: every node
+//! follows its synchronous jump schedule, and a jump is performed in a
+//! round only when (i) the node, its current parent and the jump target
+//! are awake, (ii) the supporting edge between the current parent and the
+//! target is active at the beginning of the round (the distance-2
+//! witness), and (iii) no child of the node still needs the edge about to
+//! be deactivated — unless that child performs its own jump in the very
+//! same round, mirroring the simultaneity of the synchronous execution.
+//! These are precisely the constraints the `EA`/`DEA` counters encode; the
+//! result is bit-for-bit the synchronous tree, which the tests assert for
+//! arbitrary wake-up schedules.
+
+use crate::CoreError;
+use adn_graph::{Edge, NodeId, RootedTree};
+use adn_sim::Network;
+use std::collections::BTreeSet;
+
+/// Configuration for [`run_async_line_to_tree`].
+#[derive(Debug, Clone)]
+pub struct AsyncLineConfig {
+    /// Maximum number of children per node in the constructed tree.
+    pub arity: usize,
+    /// Edges that must never be deactivated (ring edges in the wreath
+    /// algorithms).
+    pub protected_edges: BTreeSet<Edge>,
+    /// Wake-up round (1-based, relative to the start of the subroutine)
+    /// for each position of the line. Position `i` refers to `line[i]`.
+    pub wake_round: Vec<usize>,
+}
+
+impl AsyncLineConfig {
+    /// Synchronous special case: every node awake from round 1.
+    pub fn all_awake(n: usize, arity: usize) -> Self {
+        AsyncLineConfig {
+            arity,
+            protected_edges: BTreeSet::new(),
+            wake_round: vec![1; n],
+        }
+    }
+
+    /// Builder-style setter for the protected edge set.
+    pub fn with_protected_edges(mut self, edges: BTreeSet<Edge>) -> Self {
+        self.protected_edges = edges;
+        self
+    }
+}
+
+/// The synchronous jump schedule: for every position, the ordered list of
+/// grandparent positions it hops to. Computed by replaying the synchronous
+/// subroutine purely on positions (no network).
+fn plan_sync_schedule(n: usize, arity: usize) -> Vec<Vec<usize>> {
+    let mut schedule: Vec<Vec<usize>> = vec![Vec::new(); n];
+    if n <= 1 {
+        return schedule;
+    }
+    let mut parent_pos: Vec<usize> = (0..n).map(|i| i.saturating_sub(1)).collect();
+    let mut child_count: Vec<usize> = (0..n).map(|i| usize::from(i + 1 < n)).collect();
+    let mut terminated: Vec<bool> = vec![false; n];
+    terminated[0] = true;
+    loop {
+        let begin_child_count = child_count.clone();
+        let mut planned_new: Vec<usize> = vec![0; n];
+        let mut jumps: Vec<(usize, usize, usize)> = Vec::new();
+        for pos in 1..n {
+            if terminated[pos] {
+                continue;
+            }
+            let p = parent_pos[pos];
+            if p == 0 {
+                terminated[pos] = true;
+                continue;
+            }
+            let gp = parent_pos[p];
+            if begin_child_count[gp] >= arity {
+                terminated[pos] = true;
+                continue;
+            }
+            if begin_child_count[gp] + planned_new[gp] >= arity {
+                continue;
+            }
+            planned_new[gp] += 1;
+            jumps.push((pos, p, gp));
+        }
+        if jumps.is_empty() {
+            if terminated.iter().all(|&t| t) {
+                break;
+            }
+            continue;
+        }
+        for (pos, p, gp) in jumps {
+            schedule[pos].push(gp);
+            parent_pos[pos] = gp;
+            child_count[p] -= 1;
+            child_count[gp] += 1;
+        }
+    }
+    schedule
+}
+
+/// Runs the asynchronous line-to-tree subroutine.
+///
+/// Arguments are as in
+/// [`run_line_to_tree`](crate::subroutines::run_line_to_tree); the
+/// returned tree is again in position space (vertex `i` is `line[i]`).
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidInput`] on malformed lines, zero arity, or a
+///   `wake_round` vector of the wrong length.
+/// * [`CoreError::DidNotConverge`] / [`CoreError::Sim`] on implementation
+///   bugs.
+pub fn run_async_line_to_tree(
+    network: &mut Network,
+    line: &[NodeId],
+    config: &AsyncLineConfig,
+) -> Result<(RootedTree, usize), CoreError> {
+    let n = line.len();
+    if n == 0 {
+        return Err(CoreError::InvalidInput {
+            reason: "line must contain at least one node".into(),
+        });
+    }
+    if config.arity == 0 {
+        return Err(CoreError::InvalidInput {
+            reason: "arity must be at least 1".into(),
+        });
+    }
+    if config.wake_round.len() != n {
+        return Err(CoreError::InvalidInput {
+            reason: format!(
+                "wake_round has {} entries for a line of {} nodes",
+                config.wake_round.len(),
+                n
+            ),
+        });
+    }
+    let mut seen = BTreeSet::new();
+    for &u in line {
+        if !seen.insert(u) {
+            return Err(CoreError::InvalidInput {
+                reason: format!("node {u} appears twice in the line"),
+            });
+        }
+    }
+    for w in line.windows(2) {
+        if !network.graph().has_edge(w[0], w[1]) {
+            return Err(CoreError::InvalidInput {
+                reason: format!(
+                    "consecutive line nodes {} and {} are not adjacent",
+                    w[0], w[1]
+                ),
+            });
+        }
+    }
+    if n == 1 {
+        let tree = RootedTree::from_parents(NodeId(0), vec![None]).expect("trivial tree");
+        return Ok((tree, 0));
+    }
+
+    let schedule = plan_sync_schedule(n, config.arity);
+    let mut parent_pos: Vec<usize> = (0..n).map(|i| i.saturating_sub(1)).collect();
+    let mut children: Vec<BTreeSet<usize>> = (0..n)
+        .map(|i| {
+            if i + 1 < n {
+                [i + 1].into_iter().collect()
+            } else {
+                BTreeSet::new()
+            }
+        })
+        .collect();
+    let mut jumps_done: Vec<usize> = vec![0; n];
+
+    let is_done =
+        |jumps_done: &[usize], pos: usize| jumps_done[pos] >= schedule[pos].len();
+
+    let max_wake = config.wake_round.iter().copied().max().unwrap_or(1);
+    let round_limit = max_wake + 8 * adn_graph::properties::ceil_log2(n.max(2)) + 32;
+    let mut rounds = 0usize;
+
+    while !(1..n).all(|pos| is_done(&jumps_done, pos)) {
+        rounds += 1;
+        if rounds > round_limit {
+            return Err(CoreError::DidNotConverge {
+                algorithm: "AsyncLineToTree",
+                phase_limit: round_limit,
+            });
+        }
+        let awake = |pos: usize| rounds >= config.wake_round[pos];
+
+        // Fixpoint marking of the jumps performed this round: a node may
+        // jump if its children either finished, are already ahead, or jump
+        // simultaneously (the synchronous-simultaneity case).
+        let mut will_jump = vec![false; n];
+        loop {
+            let mut changed = false;
+            for pos in (1..n).rev() {
+                if will_jump[pos] || is_done(&jumps_done, pos) || !awake(pos) {
+                    continue;
+                }
+                let cp = parent_pos[pos];
+                let gp = schedule[pos][jumps_done[pos]];
+                if !awake(cp) || !awake(gp) {
+                    continue;
+                }
+                // Distance-2 witness: the supporting edge (cp, gp) must be
+                // active at the beginning of this round.
+                if !network.graph().has_edge(line[cp], line[gp]) {
+                    continue;
+                }
+                // Children that still need the (pos, cp) edge must move in
+                // the same round.
+                let children_ok = children[pos].iter().all(|&c| {
+                    is_done(&jumps_done, c)
+                        || jumps_done[c] > jumps_done[pos]
+                        || will_jump[c]
+                });
+                if !children_ok {
+                    continue;
+                }
+                will_jump[pos] = true;
+                changed = true;
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let movers: Vec<usize> = (1..n).filter(|&p| will_jump[p]).collect();
+        if movers.is_empty() {
+            network.advance_idle_rounds(1);
+            continue;
+        }
+        for &pos in &movers {
+            let cp = parent_pos[pos];
+            let gp = schedule[pos][jumps_done[pos]];
+            network.stage_activation(line[pos], line[gp])?;
+            let old_edge = Edge::new(line[pos], line[cp]);
+            if !config.protected_edges.contains(&old_edge) {
+                network.stage_deactivation(line[pos], line[cp])?;
+            }
+        }
+        network.commit_round();
+        for pos in movers {
+            let cp = parent_pos[pos];
+            let gp = schedule[pos][jumps_done[pos]];
+            parent_pos[pos] = gp;
+            children[cp].remove(&pos);
+            children[gp].insert(pos);
+            jumps_done[pos] += 1;
+        }
+    }
+
+    let parents: Vec<Option<NodeId>> = (0..n)
+        .map(|pos| if pos == 0 { None } else { Some(NodeId(parent_pos[pos])) })
+        .collect();
+    let tree = RootedTree::from_parents(NodeId(0), parents).expect("valid tree by construction");
+    Ok((tree, rounds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subroutines::line_to_tree::{run_line_to_tree, LineToTreeConfig};
+    use adn_graph::properties::ceil_log2;
+    use adn_graph::{generators, NodeId};
+    use rand::Rng;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn identity_line(n: usize) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    fn sync_tree(n: usize, arity: usize) -> RootedTree {
+        let g = generators::line(n);
+        let mut net = Network::new(g);
+        let config = LineToTreeConfig {
+            arity,
+            protected_edges: BTreeSet::new(),
+        };
+        run_line_to_tree(&mut net, &identity_line(n), &config).unwrap().0
+    }
+
+    #[test]
+    fn all_awake_matches_synchronous_output() {
+        for &n in &[2usize, 5, 8, 16, 33, 64] {
+            let g = generators::line(n);
+            let mut net = Network::new(g);
+            let config = AsyncLineConfig::all_awake(n, 2);
+            let (tree, rounds) =
+                run_async_line_to_tree(&mut net, &identity_line(n), &config).unwrap();
+            assert_eq!(tree, sync_tree(n, 2), "n={n}");
+            assert!(rounds <= ceil_log2(n) + 2);
+        }
+    }
+
+    #[test]
+    fn uniform_delay_matches_synchronous_output_shifted_in_time() {
+        for &delay in &[3usize, 7] {
+            let n = 48;
+            let g = generators::line(n);
+            let mut net = Network::new(g);
+            let config = AsyncLineConfig {
+                arity: 2,
+                protected_edges: BTreeSet::new(),
+                wake_round: vec![delay; n],
+            };
+            let (tree, rounds) =
+                run_async_line_to_tree(&mut net, &identity_line(n), &config).unwrap();
+            assert_eq!(tree, sync_tree(n, 2));
+            assert!(rounds >= delay);
+            assert!(rounds <= delay + ceil_log2(n) + 2);
+        }
+    }
+
+    #[test]
+    fn propagation_wake_schedules_match_synchronous_output() {
+        // Wake-up times as produced by the wreath merge: the activation
+        // message reaches a node after at most O(log n) rounds.
+        for &n in &[8usize, 16, 32, 64] {
+            let wake: Vec<usize> = (0..n).map(|i| 1 + (i % (ceil_log2(n).max(1)))).collect();
+            let g = generators::line(n);
+            let mut net = Network::new(g);
+            let config = AsyncLineConfig {
+                arity: 2,
+                protected_edges: BTreeSet::new(),
+                wake_round: wake,
+            };
+            let (tree, rounds) =
+                run_async_line_to_tree(&mut net, &identity_line(n), &config).unwrap();
+            // Lemma B.4: identical final tree.
+            assert_eq!(tree, sync_tree(n, 2), "n={n}");
+            // Corollary B.5: O(log n + k) rounds.
+            assert!(rounds <= 4 * ceil_log2(n) + 8, "n={n}: rounds {rounds}");
+            assert!(net.metrics().max_total_degree <= 4);
+        }
+    }
+
+    #[test]
+    fn random_wake_schedules_match_synchronous_output() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for &n in &[16usize, 40, 64] {
+            for _ in 0..4 {
+                let max_delay = ceil_log2(n) + 3;
+                let wake: Vec<usize> = (0..n).map(|_| 1 + rng.gen_range(0..max_delay)).collect();
+                let g = generators::line(n);
+                let mut net = Network::new(g);
+                let config = AsyncLineConfig {
+                    arity: 2,
+                    protected_edges: BTreeSet::new(),
+                    wake_round: wake.clone(),
+                };
+                let (tree, rounds) =
+                    run_async_line_to_tree(&mut net, &identity_line(n), &config).unwrap();
+                // Lemma B.4: identical to the synchronous execution.
+                assert_eq!(tree, sync_tree(n, 2), "n={n}, wake={wake:?}");
+                // Corollary B.5: O(log n + k).
+                assert!(rounds <= 4 * ceil_log2(n) + 2 * max_delay + 8);
+                assert!(net.metrics().max_total_degree <= 4, "n={n}, wake={wake:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn polylog_arity_async_matches_sync() {
+        let n = 128;
+        let arity = ceil_log2(n);
+        let wake: Vec<usize> = (0..n).map(|i| 1 + i % 5).collect();
+        let g = generators::line(n);
+        let mut net = Network::new(g);
+        let config = AsyncLineConfig {
+            arity,
+            protected_edges: BTreeSet::new(),
+            wake_round: wake,
+        };
+        let (tree, _) = run_async_line_to_tree(&mut net, &identity_line(n), &config).unwrap();
+        assert_eq!(tree, sync_tree(n, arity));
+        for u in (0..n).map(NodeId) {
+            assert!(tree.child_count(u) <= arity);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let g = generators::line(4);
+        let mut net = Network::new(g);
+        assert!(matches!(
+            run_async_line_to_tree(&mut net, &[], &AsyncLineConfig::all_awake(0, 2)),
+            Err(CoreError::InvalidInput { .. })
+        ));
+        assert!(matches!(
+            run_async_line_to_tree(
+                &mut net,
+                &identity_line(4),
+                &AsyncLineConfig::all_awake(3, 2) // wrong wake length
+            ),
+            Err(CoreError::InvalidInput { .. })
+        ));
+        assert!(matches!(
+            run_async_line_to_tree(&mut net, &identity_line(4), &AsyncLineConfig::all_awake(4, 0)),
+            Err(CoreError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn protected_edges_survive_async_run() {
+        let n = 24;
+        let g = generators::line(n);
+        let protected: BTreeSet<Edge> = g.edges().collect();
+        let mut net = Network::new(g.clone());
+        let config = AsyncLineConfig {
+            arity: 2,
+            protected_edges: protected,
+            wake_round: (0..n).map(|i| 1 + i % 3).collect(),
+        };
+        let _ = run_async_line_to_tree(&mut net, &identity_line(n), &config).unwrap();
+        for e in g.edges() {
+            assert!(net.graph().has_edge(e.a, e.b));
+        }
+    }
+}

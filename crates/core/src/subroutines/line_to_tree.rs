@@ -1,0 +1,417 @@
+//! Synchronous `LineToCompleteBinaryTree` (Proposition 2.2), generalised
+//! to complete `k`-ary trees.
+//!
+//! Every node repeatedly activates an edge with its grandparent and
+//! deactivates the edge with its former parent, *unless* its grandparent
+//! already has `k` children (in which case it stops, keeping its current
+//! parent) or its parent is the root (in which case it has reached its
+//! final position). With `k = 2` this is exactly the paper's
+//! `LineToCompleteBinaryTree`; with `k = ⌈log n⌉` it is the
+//! `LineToCompletePolylogarithmicTree` of Section 5.
+//!
+//! The paper notes that "there are some special cases where the above
+//! process needs to be tweaked"; our single tweak is a deterministic
+//! admission rule when several grandchildren could hop onto the same
+//! grandparent in one round and exceed its capacity: the lowest-position
+//! candidates are admitted first and the rest simply retry in the next
+//! round. On a line with `k = 2` the rule never triggers.
+
+use crate::CoreError;
+use adn_graph::{Edge, NodeId, RootedTree};
+use adn_sim::Network;
+use std::collections::BTreeSet;
+
+/// Configuration for [`run_line_to_tree`].
+#[derive(Debug, Clone)]
+pub struct LineToTreeConfig {
+    /// Maximum number of children per node in the constructed tree
+    /// (2 for the complete binary tree).
+    pub arity: usize,
+    /// Edges that must never be deactivated (the wreath algorithms protect
+    /// the ring edges so the ring survives the tree construction).
+    pub protected_edges: BTreeSet<Edge>,
+}
+
+impl LineToTreeConfig {
+    /// The paper's `LineToCompleteBinaryTree` configuration.
+    pub fn binary() -> Self {
+        LineToTreeConfig {
+            arity: 2,
+            protected_edges: BTreeSet::new(),
+        }
+    }
+
+    /// The `LineToCompletePolylogarithmicTree` configuration for a network
+    /// of `n` nodes: arity `max(2, ⌈log2 n⌉)`.
+    pub fn polylog(n: usize) -> Self {
+        LineToTreeConfig {
+            arity: adn_graph::properties::ceil_log2(n.max(2)).max(2),
+            protected_edges: BTreeSet::new(),
+        }
+    }
+
+    /// Adds protected edges (builder style).
+    pub fn with_protected_edges(mut self, edges: BTreeSet<Edge>) -> Self {
+        self.protected_edges = edges;
+        self
+    }
+}
+
+/// Runs the synchronous line-to-tree subroutine on `network`.
+///
+/// `line` lists the nodes in order; `line[0]` is the root and consecutive
+/// entries must be adjacent in the network's current graph.
+///
+/// Returns the constructed rooted tree **in position space** (vertex `i`
+/// of the returned tree is `line[i]`, the root is position 0) together
+/// with the number of rounds consumed. Use
+/// [`positional_parents_to_node_ids`] to translate the parent pointers
+/// back into network node ids; when `line` is simply `0..n` in order the
+/// two coincide.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidInput`] if `line` is empty, repeats nodes, has
+///   non-adjacent consecutive entries, or `config.arity < 1`.
+/// * [`CoreError::Sim`] on model violations (implementation bugs).
+/// * [`CoreError::DidNotConverge`] if the internal round budget is
+///   exhausted (implementation bugs).
+pub fn run_line_to_tree(
+    network: &mut Network,
+    line: &[NodeId],
+    config: &LineToTreeConfig,
+) -> Result<(RootedTree, usize), CoreError> {
+    validate_line(network, line, config)?;
+    let n = line.len();
+    if n == 1 {
+        let tree = RootedTree::from_parents(NodeId(0), vec![None]).expect("trivial tree");
+        // Re-map to the actual node id.
+        let tree = remap_tree(&tree, line);
+        return Ok((tree, 0));
+    }
+
+    // All state is positional: position 0 is the root.
+    let mut parent_pos: Vec<usize> = (0..n).map(|i| i.saturating_sub(1)).collect();
+    let mut child_count: Vec<usize> = (0..n).map(|i| usize::from(i + 1 < n)).collect();
+    let mut terminated: Vec<bool> = vec![false; n];
+    terminated[0] = true; // the root never moves
+
+    let mut rounds = 0usize;
+    let round_limit = 4 * adn_graph::properties::ceil_log2(n.max(2)) + 8;
+
+    loop {
+        let begin_child_count = child_count.clone();
+        let mut planned_new: Vec<usize> = vec![0; n];
+        // (position, old parent position, grandparent position)
+        let mut jumps: Vec<(usize, usize, usize)> = Vec::new();
+        for pos in 1..n {
+            if terminated[pos] {
+                continue;
+            }
+            let p = parent_pos[pos];
+            if p == 0 {
+                terminated[pos] = true;
+                continue;
+            }
+            let gp = parent_pos[p];
+            if begin_child_count[gp] >= config.arity {
+                // The paper's stop rule: grandparent already has k children.
+                terminated[pos] = true;
+                continue;
+            }
+            if begin_child_count[gp] + planned_new[gp] >= config.arity {
+                // Admission rule: too many simultaneous candidates; retry
+                // next round.
+                continue;
+            }
+            planned_new[gp] += 1;
+            jumps.push((pos, p, gp));
+        }
+
+        if jumps.is_empty() {
+            if terminated.iter().all(|&t| t) {
+                break;
+            }
+            // No jump was planned but some node is still unterminated:
+            // only possible transiently; loop again to mark terminations.
+            // Guard against a livelock just in case.
+            rounds += 1;
+            if rounds >= round_limit {
+                return Err(CoreError::DidNotConverge {
+                    algorithm: "LineToTree",
+                    phase_limit: round_limit,
+                });
+            }
+            continue;
+        }
+        if rounds >= round_limit {
+            return Err(CoreError::DidNotConverge {
+                algorithm: "LineToTree",
+                phase_limit: round_limit,
+            });
+        }
+
+        for &(pos, p, gp) in &jumps {
+            network.stage_activation(line[pos], line[gp])?;
+            let old_edge = Edge::new(line[pos], line[p]);
+            if !config.protected_edges.contains(&old_edge) {
+                network.stage_deactivation(line[pos], line[p])?;
+            }
+        }
+        network.commit_round();
+        rounds += 1;
+
+        for (pos, p, gp) in jumps {
+            parent_pos[pos] = gp;
+            child_count[p] -= 1;
+            child_count[gp] += 1;
+        }
+    }
+
+    // Build the resulting rooted tree in node-id space.
+    let mut parent_by_position: Vec<Option<usize>> = vec![None; n];
+    for pos in 1..n {
+        parent_by_position[pos] = Some(parent_pos[pos]);
+    }
+    let positional_tree = RootedTree::from_parents(
+        NodeId(0),
+        parent_by_position
+            .iter()
+            .map(|p| p.map(NodeId))
+            .collect(),
+    )
+    .expect("construction yields a valid tree");
+    Ok((remap_tree(&positional_tree, line), rounds))
+}
+
+fn validate_line(
+    network: &Network,
+    line: &[NodeId],
+    config: &LineToTreeConfig,
+) -> Result<(), CoreError> {
+    if line.is_empty() {
+        return Err(CoreError::InvalidInput {
+            reason: "line must contain at least one node".into(),
+        });
+    }
+    if config.arity == 0 {
+        return Err(CoreError::InvalidInput {
+            reason: "arity must be at least 1".into(),
+        });
+    }
+    let mut seen = BTreeSet::new();
+    for &u in line {
+        if !seen.insert(u) {
+            return Err(CoreError::InvalidInput {
+                reason: format!("node {u} appears twice in the line"),
+            });
+        }
+    }
+    for w in line.windows(2) {
+        if !network.graph().has_edge(w[0], w[1]) {
+            return Err(CoreError::InvalidInput {
+                reason: format!("consecutive line nodes {} and {} are not adjacent", w[0], w[1]),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The returned tree lives in position space because [`RootedTree`] is
+/// defined over a dense vertex set `0..n` while the line nodes are
+/// arbitrary ids within a larger network.
+fn remap_tree(positional: &RootedTree, line: &[NodeId]) -> RootedTree {
+    let _ = line;
+    positional.clone()
+}
+
+/// Translates the positional tree returned by [`run_line_to_tree`] into
+/// per-node parent pointers in node-id space.
+///
+/// Entry `i` of the result is the parent (as a network node id) of node
+/// `line[i]`, or `None` for the root `line[0]`.
+pub fn positional_parents_to_node_ids(tree: &RootedTree, line: &[NodeId]) -> Vec<Option<NodeId>> {
+    (0..line.len())
+        .map(|pos| tree.parent(NodeId(pos)).map(|p| line[p.index()]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_graph::properties::ceil_log2;
+    use adn_graph::{generators, NodeId};
+
+    fn identity_line(n: usize) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn line_becomes_binary_tree_with_log_depth() {
+        for &n in &[2usize, 3, 4, 7, 8, 16, 31, 32, 64, 100, 128] {
+            let g = generators::line(n);
+            let mut net = Network::new(g);
+            let (tree, rounds) =
+                run_line_to_tree(&mut net, &identity_line(n), &LineToTreeConfig::binary()).unwrap();
+            assert_eq!(tree.node_count(), n);
+            assert_eq!(tree.root(), NodeId(0));
+            // Depth is logarithmic (⌈log n⌉, plus 1 of slack for odd sizes).
+            assert!(
+                tree.depth() <= ceil_log2(n) + 1,
+                "n={n}: depth {} too large",
+                tree.depth()
+            );
+            // Every node has at most 2 children, so tree degree <= 3.
+            for u in (0..n).map(NodeId) {
+                assert!(tree.child_count(u) <= 2, "n={n}: node {u} has too many children");
+            }
+            assert!(tree.max_degree() <= 3);
+            // Proposition 2.2: ⌈log d⌉ rounds (+1 slack for the final
+            // termination-detection sweep).
+            assert!(rounds <= ceil_log2(n) + 2, "n={n}: rounds {rounds}");
+            // Degree during execution stays at most 4.
+            assert!(net.metrics().max_total_degree <= 4, "n={n}");
+            // Active edges per round at most 2n - 3.
+            assert!(net.metrics().max_active_edges_total <= 2 * n);
+            // Each node activates at most 1 edge per round.
+            assert!(net.metrics().max_node_activations_in_round <= 1);
+        }
+    }
+
+    #[test]
+    fn final_network_edges_match_tree_edges() {
+        let n = 64;
+        let g = generators::line(n);
+        let mut net = Network::new(g);
+        let (tree, _) =
+            run_line_to_tree(&mut net, &identity_line(n), &LineToTreeConfig::binary()).unwrap();
+        // The final active edge set is exactly the tree's edge set (no
+        // protected edges here, so all former parent edges are gone).
+        let final_graph = net.graph();
+        assert_eq!(final_graph.edge_count(), n - 1);
+        for u in (1..n).map(NodeId) {
+            let p = tree.parent(u).unwrap();
+            assert!(final_graph.has_edge(u, p));
+        }
+    }
+
+    #[test]
+    fn protected_edges_survive() {
+        let n = 32;
+        let g = generators::line(n);
+        let protected: BTreeSet<Edge> = g.edges().collect();
+        let mut net = Network::new(g.clone());
+        let config = LineToTreeConfig::binary().with_protected_edges(protected);
+        let (tree, _) = run_line_to_tree(&mut net, &identity_line(n), &config).unwrap();
+        // All original line edges are still active.
+        for e in g.edges() {
+            assert!(net.graph().has_edge(e.a, e.b), "protected edge {e:?} was removed");
+        }
+        // And the tree edges are active too.
+        for u in (1..n).map(NodeId) {
+            let p = tree.parent(u).unwrap();
+            assert!(net.graph().has_edge(u, p));
+        }
+        // Degree: 2 line edges + at most (1 parent + 2 children) tree edges.
+        assert!(net.metrics().max_total_degree <= 6);
+    }
+
+    #[test]
+    fn polylog_arity_gives_shallower_trees() {
+        let n = 256;
+        let g = generators::line(n);
+        let mut net_bin = Network::new(g.clone());
+        let (bin, _) =
+            run_line_to_tree(&mut net_bin, &identity_line(n), &LineToTreeConfig::binary())
+                .unwrap();
+        let mut net_poly = Network::new(g);
+        let (poly, _) =
+            run_line_to_tree(&mut net_poly, &identity_line(n), &LineToTreeConfig::polylog(n))
+                .unwrap();
+        assert!(poly.depth() < bin.depth(), "poly {} vs bin {}", poly.depth(), bin.depth());
+        let arity = LineToTreeConfig::polylog(n).arity;
+        for u in (0..n).map(NodeId) {
+            assert!(poly.child_count(u) <= arity);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let g = generators::line(4);
+        let mut net = Network::new(g);
+        // Empty line.
+        assert!(matches!(
+            run_line_to_tree(&mut net, &[], &LineToTreeConfig::binary()),
+            Err(CoreError::InvalidInput { .. })
+        ));
+        // Repeated node.
+        assert!(matches!(
+            run_line_to_tree(
+                &mut net,
+                &[NodeId(0), NodeId(1), NodeId(0)],
+                &LineToTreeConfig::binary()
+            ),
+            Err(CoreError::InvalidInput { .. })
+        ));
+        // Non-adjacent consecutive nodes.
+        assert!(matches!(
+            run_line_to_tree(
+                &mut net,
+                &[NodeId(0), NodeId(2)],
+                &LineToTreeConfig::binary()
+            ),
+            Err(CoreError::InvalidInput { .. })
+        ));
+        // Zero arity.
+        assert!(matches!(
+            run_line_to_tree(
+                &mut net,
+                &[NodeId(0), NodeId(1)],
+                &LineToTreeConfig {
+                    arity: 0,
+                    protected_edges: BTreeSet::new()
+                }
+            ),
+            Err(CoreError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn singleton_and_pair_lines() {
+        let g = generators::line(2);
+        let mut net = Network::new(g);
+        let (tree, rounds) =
+            run_line_to_tree(&mut net, &identity_line(2), &LineToTreeConfig::binary()).unwrap();
+        assert_eq!(rounds, 0);
+        assert_eq!(tree.depth(), 1);
+
+        let g1 = generators::line(1);
+        let mut net1 = Network::new(g1);
+        let (tree1, rounds1) =
+            run_line_to_tree(&mut net1, &identity_line(1), &LineToTreeConfig::binary()).unwrap();
+        assert_eq!(rounds1, 0);
+        assert_eq!(tree1.node_count(), 1);
+    }
+
+    #[test]
+    fn works_on_reversed_lines_within_larger_networks() {
+        // The line need not be the whole vertex set nor in index order:
+        // build a line graph but feed the subroutine the reversed order
+        // (root at the other end).
+        let n = 33;
+        let g = generators::line(n);
+        let mut net = Network::new(g);
+        let line: Vec<NodeId> = (0..n).rev().map(NodeId).collect();
+        let (tree, _) = run_line_to_tree(&mut net, &line, &LineToTreeConfig::binary()).unwrap();
+        let parents = positional_parents_to_node_ids(&tree, &line);
+        // The root position maps to node n-1.
+        assert_eq!(parents[0], None);
+        assert!(tree.depth() <= ceil_log2(n) + 1);
+        // Node-id-space parents must be adjacent in the final network.
+        for (pos, parent) in parents.iter().enumerate() {
+            if let Some(p) = parent {
+                assert!(net.graph().has_edge(line[pos], *p));
+            }
+        }
+    }
+}

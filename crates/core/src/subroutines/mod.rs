@@ -1,0 +1,18 @@
+//! Basic subroutines (Section 2.3 and Appendices A–C).
+//!
+//! * [`tree_to_star`] — `TreeToStar`: any rooted tree becomes a spanning
+//!   star centred at the root in `⌈log d⌉` rounds (Proposition 2.1).
+//! * [`line_to_tree`] — the synchronous `LineToCompleteBinaryTree`
+//!   (Proposition 2.2) generalised to arbitrary arity `k`; `k = 2` is the
+//!   paper's binary variant, `k = ⌈log n⌉` is the
+//!   `LineToCompletePolylogarithmicTree` used by `GraphToThinWreath`.
+//! * [`async_line_to_tree`] — the asynchronous wake-up variant
+//!   (Appendix B), which the wreath algorithms run after merging rings.
+
+pub mod async_line_to_tree;
+pub mod line_to_tree;
+pub mod tree_to_star;
+
+pub use async_line_to_tree::{run_async_line_to_tree, AsyncLineConfig};
+pub use line_to_tree::{run_line_to_tree, LineToTreeConfig};
+pub use tree_to_star::run_tree_to_star;

@@ -1,0 +1,180 @@
+//! `TreeToStar` (Proposition 2.1).
+//!
+//! Every node repeatedly activates an edge with its grandparent and
+//! deactivates the edge with its parent ("pointer jumping"), until its
+//! parent is the root. Starting from a rooted tree of depth `d` this takes
+//! `⌈log d⌉` rounds, keeps at most `2n - 3` active edges per round and
+//! performs `O(n log n)` total edge activations.
+
+use crate::CoreError;
+use adn_graph::{NodeId, RootedTree};
+use adn_sim::Network;
+
+/// Runs `TreeToStar` on `network`, whose active edge set must contain the
+/// edges of `tree` (typically the network's initial graph *is* the tree).
+///
+/// Returns the number of rounds consumed. Upon return, every non-root node
+/// of `tree` is adjacent to the root (the activated subgraph restricted to
+/// the former tree edges is a spanning star centred at `tree.root()`).
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidInput`] if a tree edge is missing from the
+///   network.
+/// * [`CoreError::Sim`] if an edge operation violates the model (this
+///   would indicate a bug in the implementation).
+pub fn run_tree_to_star(network: &mut Network, tree: &RootedTree) -> Result<usize, CoreError> {
+    let n = tree.node_count();
+    for u in (0..n).map(NodeId) {
+        if let Some(p) = tree.parent(u) {
+            if !network.graph().has_edge(u, p) {
+                return Err(CoreError::InvalidInput {
+                    reason: format!("tree edge ({u}, {p}) is not active in the network"),
+                });
+            }
+        }
+    }
+
+    let root = tree.root();
+    // Current parent pointers; `None` only for the root.
+    let mut parent: Vec<Option<NodeId>> = (0..n).map(|i| tree.parent(NodeId(i))).collect();
+    let mut rounds = 0usize;
+    // Depth halves every round, so ⌈log2 d⌉ + 1 rounds suffice; the extra
+    // slack only guards against implementation bugs.
+    let round_limit = 2 * adn_graph::properties::ceil_log2(n.max(2)) + 4;
+
+    loop {
+        // Plan the simultaneous jumps of this round on the snapshot.
+        let mut jumps: Vec<(NodeId, NodeId, NodeId)> = Vec::new(); // (node, old parent, grandparent)
+        for i in 0..n {
+            let u = NodeId(i);
+            if u == root {
+                continue;
+            }
+            let p = parent[i].expect("non-root nodes always have a parent");
+            if p == root {
+                continue; // already attached to the root
+            }
+            let gp = parent[p.index()].expect("p is not the root, so it has a parent");
+            jumps.push((u, p, gp));
+        }
+        if jumps.is_empty() {
+            break;
+        }
+        if rounds >= round_limit {
+            return Err(CoreError::DidNotConverge {
+                algorithm: "TreeToStar",
+                phase_limit: round_limit,
+            });
+        }
+        for &(u, p, gp) in &jumps {
+            network.stage_activation(u, gp)?;
+            network.stage_deactivation(u, p)?;
+        }
+        network.commit_round();
+        rounds += 1;
+        for (u, _, gp) in jumps {
+            parent[u.index()] = Some(gp);
+        }
+    }
+    Ok(rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_graph::properties::{ceil_log2, is_star};
+    use adn_graph::{generators, Graph, RootedTree};
+
+    fn run_on_tree(tree_graph: &Graph, root: NodeId) -> (Network, usize) {
+        let tree = RootedTree::from_tree_graph(tree_graph, root).unwrap();
+        let mut net = Network::new(tree_graph.clone());
+        let rounds = run_tree_to_star(&mut net, &tree).unwrap();
+        (net, rounds)
+    }
+
+    #[test]
+    fn line_becomes_star_in_log_rounds() {
+        for &n in &[2usize, 3, 5, 8, 16, 33, 64, 100] {
+            let g = generators::line(n);
+            let (net, rounds) = run_on_tree(&g, NodeId(0));
+            // Every node is now adjacent to the root.
+            for i in 1..n {
+                assert!(net.graph().has_edge(NodeId(0), NodeId(i)), "n={n}, node {i}");
+            }
+            // Proposition 2.1: ⌈log d⌉ rounds where d = depth = n-1.
+            assert!(
+                rounds <= ceil_log2(n) + 1,
+                "n={n}: rounds {rounds} exceeds ⌈log n⌉+1"
+            );
+            // At most 2n - 3 active edges at any time (Proposition 2.1).
+            assert!(
+                net.metrics().max_active_edges_total <= 2 * n.saturating_sub(1),
+                "n={n}: too many active edges"
+            );
+        }
+    }
+
+    #[test]
+    fn random_trees_become_stars() {
+        for seed in 0..8u64 {
+            let n = 60;
+            let g = generators::random_tree(n, seed);
+            let (net, rounds) = run_on_tree(&g, NodeId(0));
+            for i in 1..n {
+                assert!(net.graph().has_edge(NodeId(0), NodeId(i)));
+            }
+            let tree = RootedTree::from_tree_graph(&g, NodeId(0)).unwrap();
+            assert!(rounds <= ceil_log2(tree.depth().max(1)) + 1);
+        }
+    }
+
+    #[test]
+    fn already_a_star_takes_zero_rounds() {
+        let g = generators::star(10);
+        let (net, rounds) = run_on_tree(&g, NodeId(0));
+        assert_eq!(rounds, 0);
+        assert_eq!(net.metrics().total_activations, 0);
+        assert!(is_star(net.graph()));
+    }
+
+    #[test]
+    fn final_graph_is_exactly_a_star_when_input_is_a_line() {
+        // When the input tree is a line rooted at an endpoint, the
+        // intermediate parent edges are all deactivated, so the final graph
+        // is exactly the spanning star.
+        let n = 32;
+        let g = generators::line(n);
+        let (net, _) = run_on_tree(&g, NodeId(0));
+        assert!(is_star(net.graph()), "final graph should be a spanning star");
+        assert_eq!(net.graph().degree(NodeId(0)), n - 1);
+    }
+
+    #[test]
+    fn total_activations_are_n_log_n_ish() {
+        let n = 128;
+        let g = generators::line(n);
+        let (net, rounds) = run_on_tree(&g, NodeId(0));
+        let bound = n * (ceil_log2(n) + 1);
+        assert!(
+            net.metrics().total_activations <= bound,
+            "activations {} exceed n·(log n + 1) = {bound}",
+            net.metrics().total_activations
+        );
+        assert!(rounds <= ceil_log2(n) + 1);
+        // Each node activates at most one edge per round.
+        assert!(net.metrics().max_node_activations_in_round <= 1);
+    }
+
+    #[test]
+    fn missing_tree_edge_is_rejected() {
+        let g = generators::line(5);
+        let tree = RootedTree::from_tree_graph(&g, NodeId(0)).unwrap();
+        // Build the network over a DIFFERENT graph missing edge (3,4).
+        let mut broken = g.clone();
+        broken.remove_edge(NodeId(3), NodeId(4)).unwrap();
+        let mut net = Network::new(broken);
+        let err = run_tree_to_star(&mut net, &tree).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidInput { .. }));
+    }
+}

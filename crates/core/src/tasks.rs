@@ -1,0 +1,149 @@
+//! Distributed tasks layered on top of the transformation (Section 2.2 and
+//! the composition argument of Section 1.3).
+//!
+//! Once a transformation algorithm has produced a target network of
+//! (poly)logarithmic diameter with an elected leader, any algorithm `B`
+//! that assumes small diameter and a unique leader can run on top of it.
+//! This module provides the two tasks the paper names:
+//!
+//! * **Leader election** — solved by the transformation itself
+//!   ([`verify_leader_election`] checks the outcome).
+//! * **Token dissemination / global function computation** — performed by
+//!   convergecast + broadcast over the final low-diameter network
+//!   ([`disseminate_after_transformation`]), compared against plain
+//!   flooding on the original network (the no-reconfiguration baseline).
+
+use crate::baselines::flooding::run_flooding;
+use crate::{CoreError, TransformationOutcome};
+use adn_graph::traversal::eccentricity;
+use adn_graph::{Graph, NodeId, UidMap};
+use adn_sim::EdgeMetrics;
+
+/// Checks that a transformation outcome constitutes a correct leader
+/// election: exactly one leader, and (for the paper's distributed
+/// algorithms) it is the maximum-UID node.
+pub fn verify_leader_election(outcome: &TransformationOutcome, uids: &UidMap) -> bool {
+    uids.max_uid_node() == Some(outcome.leader)
+}
+
+/// Result of running token dissemination after a transformation.
+#[derive(Debug, Clone)]
+pub struct DisseminationReport {
+    /// Rounds spent by the transformation.
+    pub transformation_rounds: usize,
+    /// Rounds spent disseminating over the final network
+    /// (convergecast + broadcast ≤ 2 × eccentricity of the leader; we
+    /// measure it by flooding on the final network, which has the same
+    /// round count as broadcast from the worst-positioned source).
+    pub dissemination_rounds: usize,
+    /// Combined metrics (transformation + dissemination; dissemination
+    /// activates no edges).
+    pub metrics: EdgeMetrics,
+    /// The computed global function: the maximum UID (any other
+    /// associative function over the inputs would disseminate identically).
+    pub global_max_uid: u64,
+}
+
+/// Runs token dissemination over the transformed network and merges the
+/// accounting with the transformation's own cost.
+///
+/// # Errors
+///
+/// Propagates flooding errors (e.g. if the final network were
+/// disconnected, which would indicate a transformation bug).
+pub fn disseminate_after_transformation(
+    outcome: &TransformationOutcome,
+    uids: &UidMap,
+) -> Result<DisseminationReport, CoreError> {
+    let flood = run_flooding(&outcome.final_graph, uids)?;
+    let mut metrics = outcome.metrics.clone();
+    metrics.absorb_sequential(&flood.metrics);
+    Ok(DisseminationReport {
+        transformation_rounds: outcome.rounds,
+        dissemination_rounds: flood.rounds,
+        metrics,
+        global_max_uid: uids.uid(outcome.leader).value(),
+    })
+}
+
+/// Token dissemination without reconfiguration: plain flooding over the
+/// initial network. Returned as (rounds, metrics); the rounds equal the
+/// worst eccentricity, i.e. Θ(diameter).
+///
+/// # Errors
+///
+/// Propagates flooding errors for disconnected inputs.
+pub fn disseminate_by_flooding_only(
+    initial: &Graph,
+    uids: &UidMap,
+) -> Result<(usize, EdgeMetrics), CoreError> {
+    let flood = run_flooding(initial, uids)?;
+    Ok((flood.rounds, flood.metrics))
+}
+
+/// Upper bound on the rounds needed for convergecast + broadcast from the
+/// leader over a graph: `2 × eccentricity(leader)`. Used by the analysis
+/// tables to report the "algorithm B" cost the composition argument of
+/// Section 1.3 promises.
+pub fn convergecast_broadcast_rounds(graph: &Graph, leader: NodeId) -> Option<usize> {
+    eccentricity(graph, leader).map(|e| 2 * e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph_to_star::run_graph_to_star;
+    use adn_graph::{generators, UidAssignment};
+
+    #[test]
+    fn transformation_plus_dissemination_beats_flooding_on_a_line() {
+        let n = 128;
+        let g = generators::line(n);
+        let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed: 1 });
+        let outcome = run_graph_to_star(&g, &uids).unwrap();
+        assert!(verify_leader_election(&outcome, &uids));
+
+        let report = disseminate_after_transformation(&outcome, &uids).unwrap();
+        let (flood_rounds, flood_metrics) = disseminate_by_flooding_only(&g, &uids).unwrap();
+
+        // Flooding alone needs Θ(n) rounds; transform + disseminate needs
+        // O(log n) + O(1) rounds.
+        assert!(flood_rounds >= n - 1);
+        let total = report.transformation_rounds + report.dissemination_rounds;
+        assert!(
+            total < flood_rounds / 2,
+            "transform+disseminate ({total}) should beat flooding ({flood_rounds})"
+        );
+        // Flooding performs no activations; the transformation does.
+        assert_eq!(flood_metrics.total_activations, 0);
+        assert!(report.metrics.total_activations > 0);
+        // The global function (max UID) is computed correctly.
+        assert_eq!(
+            report.global_max_uid,
+            uids.uid(uids.max_uid_node().unwrap()).value()
+        );
+    }
+
+    #[test]
+    fn convergecast_bound_is_twice_eccentricity() {
+        let star = generators::star(20);
+        assert_eq!(convergecast_broadcast_rounds(&star, NodeId(0)), Some(2));
+        assert_eq!(convergecast_broadcast_rounds(&star, NodeId(3)), Some(4));
+        let line = generators::line(10);
+        assert_eq!(convergecast_broadcast_rounds(&line, NodeId(0)), Some(18));
+        let mut disc = generators::line(4);
+        disc.remove_edge(NodeId(1), NodeId(2)).unwrap();
+        assert_eq!(convergecast_broadcast_rounds(&disc, NodeId(0)), None);
+    }
+
+    #[test]
+    fn dissemination_after_transformation_is_constant_on_the_star() {
+        let n = 64;
+        let g = generators::ring(n);
+        let uids = UidMap::new(n, UidAssignment::Sequential);
+        let outcome = run_graph_to_star(&g, &uids).unwrap();
+        let report = disseminate_after_transformation(&outcome, &uids).unwrap();
+        // The star has diameter 2, so dissemination is O(1) rounds.
+        assert!(report.dissemination_rounds <= 4);
+    }
+}

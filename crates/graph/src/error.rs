@@ -1,0 +1,105 @@
+//! Error types for graph construction and manipulation.
+
+use crate::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or mutating a [`crate::Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node index was outside the vertex set `0..n`.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// A self-loop was requested; the model only allows simple graphs.
+    SelfLoop {
+        /// The node on which the self-loop was requested.
+        node: NodeId,
+    },
+    /// An operation required an edge that is not present.
+    MissingEdge {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+    },
+    /// A generator was asked for an impossible size (for example a ring on
+    /// fewer than three nodes).
+    InvalidSize {
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// A rooted tree could not be built because the underlying graph is not
+    /// a tree, is disconnected, or the parent map is inconsistent.
+    NotATree {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} is out of range for a graph on {n} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop requested on node {node}")
+            }
+            GraphError::MissingEdge { u, v } => {
+                write!(f, "edge ({u}, {v}) is not present")
+            }
+            GraphError::InvalidSize { reason } => {
+                write!(f, "invalid size: {reason}")
+            }
+            GraphError::NotATree { reason } => {
+                write!(f, "not a valid rooted tree: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfRange {
+            node: NodeId(9),
+            n: 4,
+        };
+        assert!(e.to_string().contains("v9"));
+        assert!(e.to_string().contains('4'));
+
+        let e = GraphError::SelfLoop { node: NodeId(2) };
+        assert!(e.to_string().contains("self-loop"));
+
+        let e = GraphError::MissingEdge {
+            u: NodeId(1),
+            v: NodeId(2),
+        };
+        assert!(e.to_string().contains("not present"));
+
+        let e = GraphError::InvalidSize {
+            reason: "ring needs at least 3 nodes".into(),
+        };
+        assert!(e.to_string().contains("ring"));
+
+        let e = GraphError::NotATree {
+            reason: "cycle detected".into(),
+        };
+        assert!(e.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,199 @@
+//! Named workload families used across experiments and benches.
+//!
+//! A [`GraphFamily`] names one of the initial-network families the paper's
+//! theorems quantify over, bundled with the parameters needed to sample a
+//! concrete instance. The analysis harness sweeps `(family, n, seed)`
+//! triples and tags every run record with the family name, so the printed
+//! tables can be grouped exactly like the paper groups its claims
+//! ("any connected graph", "any connected graph with constant degree",
+//! "spanning line", "increasing-order ring", …).
+
+use crate::{generators, Graph};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named family of initial networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GraphFamily {
+    /// Spanning line (path). Diameter `n - 1`; the hard case for the time
+    /// lower bound (Lemma 6.1).
+    Line,
+    /// Ring (cycle). Used with the increasing-order UID assignment for the
+    /// Ω(n log n) activation lower bound (Theorem 6.4).
+    Ring,
+    /// Spanning star. Already a Depth-1 tree; sanity-check workload.
+    Star,
+    /// Complete binary tree.
+    CompleteBinaryTree,
+    /// 2-D grid, as square as possible.
+    Grid,
+    /// Uniform random recursive tree (unbounded degree, Θ(log n) expected
+    /// depth).
+    RandomTree,
+    /// Random tree with maximum degree 3 — the bounded-degree workload for
+    /// `GraphToWreath`.
+    BoundedDegreeTree,
+    /// Ring plus random chords with maximum degree 4 — bounded-degree,
+    /// non-tree workload.
+    BoundedDegreeConnected,
+    /// Connected Erdős–Rényi graph with edge probability ~ `4/n`.
+    SparseRandom,
+    /// Connected Erdős–Rényi graph with edge probability 0.5 (dense).
+    DenseRandom,
+    /// Two cliques joined by a path (high diameter with dense regions).
+    Barbell,
+    /// Caterpillar tree (spine plus legs).
+    Caterpillar,
+    /// Hypercube of dimension ⌈log2 n⌉ (node count rounded up to a power
+    /// of two).
+    Hypercube,
+}
+
+impl GraphFamily {
+    /// All families, in a canonical order (used by sweeps).
+    pub const ALL: [GraphFamily; 13] = [
+        GraphFamily::Line,
+        GraphFamily::Ring,
+        GraphFamily::Star,
+        GraphFamily::CompleteBinaryTree,
+        GraphFamily::Grid,
+        GraphFamily::RandomTree,
+        GraphFamily::BoundedDegreeTree,
+        GraphFamily::BoundedDegreeConnected,
+        GraphFamily::SparseRandom,
+        GraphFamily::DenseRandom,
+        GraphFamily::Barbell,
+        GraphFamily::Caterpillar,
+        GraphFamily::Hypercube,
+    ];
+
+    /// The families with bounded maximum degree (the precondition of
+    /// Theorem 4.2, `GraphToWreath`).
+    pub const BOUNDED_DEGREE: [GraphFamily; 5] = [
+        GraphFamily::Line,
+        GraphFamily::Ring,
+        GraphFamily::Grid,
+        GraphFamily::BoundedDegreeTree,
+        GraphFamily::BoundedDegreeConnected,
+    ];
+
+    /// A short, stable, machine-friendly name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GraphFamily::Line => "line",
+            GraphFamily::Ring => "ring",
+            GraphFamily::Star => "star",
+            GraphFamily::CompleteBinaryTree => "cbt",
+            GraphFamily::Grid => "grid",
+            GraphFamily::RandomTree => "random_tree",
+            GraphFamily::BoundedDegreeTree => "bounded_degree_tree",
+            GraphFamily::BoundedDegreeConnected => "bounded_degree_connected",
+            GraphFamily::SparseRandom => "sparse_random",
+            GraphFamily::DenseRandom => "dense_random",
+            GraphFamily::Barbell => "barbell",
+            GraphFamily::Caterpillar => "caterpillar",
+            GraphFamily::Hypercube => "hypercube",
+        }
+    }
+
+    /// Generates an instance with (approximately) `n` nodes.
+    ///
+    /// Some families round `n` to the nearest realisable size (grids round
+    /// to `rows × cols`, hypercubes to a power of two); the caller should
+    /// use [`Graph::node_count`] of the result rather than assuming `n`.
+    pub fn generate(&self, n: usize, seed: u64) -> Graph {
+        match self {
+            GraphFamily::Line => generators::line(n),
+            GraphFamily::Ring => generators::ring(n),
+            GraphFamily::Star => generators::star(n),
+            GraphFamily::CompleteBinaryTree => generators::complete_binary_tree(n),
+            GraphFamily::Grid => {
+                let rows = (n as f64).sqrt().round().max(1.0) as usize;
+                let cols = n.div_ceil(rows).max(1);
+                generators::grid(rows, cols)
+            }
+            GraphFamily::RandomTree => generators::random_tree(n, seed),
+            GraphFamily::BoundedDegreeTree => generators::random_bounded_degree_tree(n, 3, seed),
+            GraphFamily::BoundedDegreeConnected => {
+                generators::random_bounded_degree_connected(n, 4, n / 4, seed)
+            }
+            GraphFamily::SparseRandom => {
+                let p = (4.0 / n.max(2) as f64).min(1.0);
+                generators::random_connected(n, p, seed)
+            }
+            GraphFamily::DenseRandom => generators::random_connected(n, 0.5, seed),
+            GraphFamily::Barbell => {
+                let k = (n / 3).max(1);
+                generators::barbell(k, n.saturating_sub(2 * k))
+            }
+            GraphFamily::Caterpillar => {
+                let spine = (n / 4).max(1);
+                let legs = if spine == 0 { 0 } else { (n / spine).saturating_sub(1) };
+                generators::caterpillar(spine, legs)
+            }
+            GraphFamily::Hypercube => {
+                let d = (usize::BITS - n.max(1).next_power_of_two().leading_zeros() - 1).max(1);
+                generators::hypercube(d)
+            }
+        }
+    }
+}
+
+impl fmt::Display for GraphFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn every_family_generates_a_connected_graph() {
+        for family in GraphFamily::ALL {
+            for &n in &[8usize, 33, 64] {
+                let g = family.generate(n, 42);
+                assert!(
+                    is_connected(&g),
+                    "family {family} with n={n} must be connected"
+                );
+                assert!(g.node_count() >= n / 2, "family {family} shrank too much");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_degree_families_have_small_degree() {
+        for family in GraphFamily::BOUNDED_DEGREE {
+            let g = family.generate(100, 7);
+            assert!(
+                g.max_degree() <= 4,
+                "family {family} should have degree <= 4, got {}",
+                g.max_degree()
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = GraphFamily::ALL.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), GraphFamily::ALL.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for family in GraphFamily::ALL {
+            assert_eq!(family.generate(40, 1), family.generate(40, 1));
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(GraphFamily::Line.to_string(), "line");
+        assert_eq!(GraphFamily::SparseRandom.to_string(), "sparse_random");
+    }
+}

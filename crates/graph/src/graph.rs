@@ -1,0 +1,398 @@
+//! A simple undirected graph over a fixed vertex set `0..n`.
+
+use crate::{GraphError, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// An undirected edge, stored in canonical (sorted) order.
+///
+/// Two `Edge` values compare equal iff they connect the same pair of nodes,
+/// regardless of the order in which the endpoints were supplied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// The smaller endpoint.
+    pub a: NodeId,
+    /// The larger endpoint.
+    pub b: NodeId,
+}
+
+impl Edge {
+    /// Creates a canonical edge between `u` and `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v`; the model only allows simple graphs.
+    pub fn new(u: NodeId, v: NodeId) -> Self {
+        assert_ne!(u, v, "self-loops are not allowed in the model");
+        if u < v {
+            Edge { a: u, b: v }
+        } else {
+            Edge { a: v, b: u }
+        }
+    }
+
+    /// Returns the endpoint opposite `node`, or `None` if `node` is not an
+    /// endpoint of this edge.
+    pub fn other(&self, node: NodeId) -> Option<NodeId> {
+        if node == self.a {
+            Some(self.b)
+        } else if node == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// Returns true if `node` is an endpoint of this edge.
+    pub fn touches(&self, node: NodeId) -> bool {
+        self.a == node || self.b == node
+    }
+}
+
+/// A simple undirected graph on the fixed vertex set `{0, …, n-1}`.
+///
+/// This is the snapshot `D(i) = (V, E(i))` of the paper's temporal graph:
+/// the vertex set never changes, only the edge set does. Adjacency is kept
+/// as a sorted set per node so that iteration order is deterministic, which
+/// matters for reproducible executions of the deterministic algorithms.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    n: usize,
+    adjacency: Vec<BTreeSet<NodeId>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph (no edges) on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            n,
+            adjacency: vec![BTreeSet::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Creates a graph on `n` nodes from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an endpoint is out of range or a self-loop is
+    /// requested. Duplicate edges are silently collapsed (the model forbids
+    /// multi-edges).
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges currently present.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Returns true if the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edge_count == 0
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n).map(NodeId)
+    }
+
+    fn check_node(&self, u: NodeId) -> Result<(), GraphError> {
+        if u.index() >= self.n {
+            Err(GraphError::NodeOutOfRange { node: u, n: self.n })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}`. Returns `true` if the edge was
+    /// newly inserted, `false` if it was already present.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an endpoint is out of range or `u == v`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        let inserted = self.adjacency[u.index()].insert(v);
+        self.adjacency[v.index()].insert(u);
+        if inserted {
+            self.edge_count += 1;
+        }
+        Ok(inserted)
+    }
+
+    /// Removes the undirected edge `{u, v}`. Returns `true` if the edge was
+    /// present and removed, `false` if it was absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an endpoint is out of range.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        let removed = self.adjacency[u.index()].remove(&v);
+        self.adjacency[v.index()].remove(&u);
+        if removed {
+            self.edge_count -= 1;
+        }
+        Ok(removed)
+    }
+
+    /// Returns true if the edge `{u, v}` is present.
+    ///
+    /// Out-of-range queries simply return `false`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adjacency
+            .get(u.index())
+            .map(|adj| adj.contains(&v))
+            .unwrap_or(false)
+    }
+
+    /// Neighbours of `u` (the paper's `N_1(u)`), in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adjacency[u.index()].iter().copied()
+    }
+
+    /// The set of nodes at distance exactly two from `u` (the paper's
+    /// `N_2(u)`, the *potential neighbours*): nodes `w` such that some `v`
+    /// is adjacent to both `u` and `w`, and `w` is not adjacent to `u` and
+    /// `w != u`.
+    pub fn potential_neighbors(&self, u: NodeId) -> BTreeSet<NodeId> {
+        let mut out = BTreeSet::new();
+        for v in self.neighbors(u) {
+            for w in self.neighbors(v) {
+                if w != u && !self.has_edge(u, w) {
+                    out.insert(w);
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns true if `u` and `w` are at distance exactly two (share a
+    /// common neighbour and are not adjacent).
+    pub fn at_distance_two(&self, u: NodeId, w: NodeId) -> bool {
+        if u == w || self.has_edge(u, w) {
+            return false;
+        }
+        self.neighbors(u).any(|v| self.has_edge(v, w))
+    }
+
+    /// A common neighbour of `u` and `w`, if any (a witness for the
+    /// distance-2 activation rule).
+    pub fn common_neighbor(&self, u: NodeId, w: NodeId) -> Option<NodeId> {
+        self.neighbors(u).find(|&v| self.has_edge(v, w))
+    }
+
+    /// Degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adjacency[u.index()].len()
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(|adj| adj.len()).max().unwrap_or(0)
+    }
+
+    /// Iterator over all edges in canonical order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(u, adj)| {
+            adj.iter()
+                .filter(move |v| v.index() > u)
+                .map(move |&v| Edge::new(NodeId(u), v))
+        })
+    }
+
+    /// Collects the edge set into a vector (canonical order).
+    pub fn edge_vec(&self) -> Vec<Edge> {
+        self.edges().collect()
+    }
+
+    /// Returns the union of this graph with `other` (same vertex set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two graphs have different node counts.
+    pub fn union(&self, other: &Graph) -> Graph {
+        assert_eq!(
+            self.n,
+            other.n,
+            "graph union requires identical vertex sets"
+        );
+        let mut g = self.clone();
+        for e in other.edges() {
+            let _ = g.add_edge(e.a, e.b);
+        }
+        g
+    }
+
+    /// Returns the graph containing exactly the edges of `self` that are
+    /// not in `other` (same vertex set). This is the paper's
+    /// `D(i) \ D(1)` used to define the *maximum activated degree*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two graphs have different node counts.
+    pub fn difference(&self, other: &Graph) -> Graph {
+        assert_eq!(
+            self.n,
+            other.n,
+            "graph difference requires identical vertex sets"
+        );
+        let mut g = Graph::new(self.n);
+        for e in self.edges() {
+            if !other.has_edge(e.a, e.b) {
+                let _ = g.add_edge(e.a, e.b);
+            }
+        }
+        g
+    }
+
+    /// Checks that the internal adjacency structure is symmetric and the
+    /// edge count matches. Used by property tests.
+    pub fn check_invariants(&self) -> bool {
+        let mut count = 0usize;
+        for u in 0..self.n {
+            for &v in &self.adjacency[u] {
+                if v.index() >= self.n || v.index() == u {
+                    return false;
+                }
+                if !self.adjacency[v.index()].contains(&NodeId(u)) {
+                    return false;
+                }
+                if v.index() > u {
+                    count += 1;
+                }
+            }
+        }
+        count == self.edge_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn edge_is_canonical() {
+        let e1 = Edge::new(nid(3), nid(1));
+        let e2 = Edge::new(nid(1), nid(3));
+        assert_eq!(e1, e2);
+        assert_eq!(e1.a, nid(1));
+        assert_eq!(e1.b, nid(3));
+        assert_eq!(e1.other(nid(1)), Some(nid(3)));
+        assert_eq!(e1.other(nid(3)), Some(nid(1)));
+        assert_eq!(e1.other(nid(5)), None);
+        assert!(e1.touches(nid(1)));
+        assert!(!e1.touches(nid(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn edge_rejects_self_loop() {
+        let _ = Edge::new(nid(2), nid(2));
+    }
+
+    #[test]
+    fn add_and_remove_edges() {
+        let mut g = Graph::new(4);
+        assert!(g.add_edge(nid(0), nid(1)).unwrap());
+        assert!(!g.add_edge(nid(1), nid(0)).unwrap(), "duplicate collapses");
+        assert!(g.add_edge(nid(1), nid(2)).unwrap());
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(nid(0), nid(1)));
+        assert!(g.has_edge(nid(1), nid(0)));
+        assert!(!g.has_edge(nid(0), nid(2)));
+        assert!(g.remove_edge(nid(0), nid(1)).unwrap());
+        assert!(!g.remove_edge(nid(0), nid(1)).unwrap());
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_self_loops() {
+        let mut g = Graph::new(3);
+        assert!(matches!(
+            g.add_edge(nid(0), nid(3)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(nid(1), nid(1)),
+            Err(GraphError::SelfLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn potential_neighbors_are_distance_two() {
+        // Path 0 - 1 - 2 - 3
+        let g = Graph::from_edges(4, vec![(nid(0), nid(1)), (nid(1), nid(2)), (nid(2), nid(3))])
+            .unwrap();
+        let p0 = g.potential_neighbors(nid(0));
+        assert_eq!(p0.into_iter().collect::<Vec<_>>(), vec![nid(2)]);
+        assert!(g.at_distance_two(nid(0), nid(2)));
+        assert!(!g.at_distance_two(nid(0), nid(3)));
+        assert!(!g.at_distance_two(nid(0), nid(1)));
+        assert_eq!(g.common_neighbor(nid(0), nid(2)), Some(nid(1)));
+        assert_eq!(g.common_neighbor(nid(0), nid(3)), None);
+    }
+
+    #[test]
+    fn degrees_and_edges() {
+        let g = Graph::from_edges(5, vec![(nid(0), nid(1)), (nid(0), nid(2)), (nid(0), nid(3))])
+            .unwrap();
+        assert_eq!(g.degree(nid(0)), 3);
+        assert_eq!(g.degree(nid(4)), 0);
+        assert_eq!(g.max_degree(), 3);
+        let edges = g.edge_vec();
+        assert_eq!(edges.len(), 3);
+        assert!(edges.contains(&Edge::new(nid(0), nid(3))));
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a = Graph::from_edges(4, vec![(nid(0), nid(1)), (nid(1), nid(2))]).unwrap();
+        let b = Graph::from_edges(4, vec![(nid(1), nid(2)), (nid(2), nid(3))]).unwrap();
+        let u = a.union(&b);
+        assert_eq!(u.edge_count(), 3);
+        let d = u.difference(&a);
+        assert_eq!(d.edge_count(), 1);
+        assert!(d.has_edge(nid(2), nid(3)));
+    }
+
+    #[test]
+    fn nodes_iterator_covers_vertex_set() {
+        let g = Graph::new(3);
+        let nodes: Vec<_> = g.nodes().collect();
+        assert_eq!(nodes, vec![nid(0), nid(1), nid(2)]);
+        assert!(g.is_empty());
+    }
+}

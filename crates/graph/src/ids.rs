@@ -1,0 +1,99 @@
+//! Strongly-typed identifiers: node indices and UIDs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node in a network with vertex set `0..n`.
+///
+/// The paper's vertex set `V` is static; we index it densely so that all
+/// per-node state can live in flat vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Returns the underlying dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(value: usize) -> Self {
+        NodeId(value)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(value: NodeId) -> Self {
+        value.0
+    }
+}
+
+/// A unique identifier drawn from the namespace `U` of the paper.
+///
+/// The paper assumes the maximum UID is representable with `O(log n)` bits
+/// and that algorithms are *comparison based*: UIDs are only ever compared
+/// with `<`, `>` and `=`. A `u64` comfortably covers every experiment size
+/// we run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Uid(pub u64);
+
+impl Uid {
+    /// Returns the raw value of the UID.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Uid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "uid({})", self.0)
+    }
+}
+
+impl From<u64> for Uid {
+    fn from(value: u64) -> Self {
+        Uid(value)
+    }
+}
+
+impl From<Uid> for u64 {
+    fn from(value: Uid) -> Self {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from(7usize);
+        assert_eq!(id.index(), 7);
+        assert_eq!(usize::from(id), 7);
+        assert_eq!(id.to_string(), "v7");
+    }
+
+    #[test]
+    fn uid_ordering_is_numeric() {
+        assert!(Uid(3) < Uid(10));
+        assert!(Uid(10) > Uid(3));
+        assert_eq!(Uid(5), Uid(5));
+        assert_eq!(Uid::from(9u64).value(), 9);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{:?}", NodeId(0)).is_empty());
+        assert!(!format!("{}", Uid(0)).is_empty());
+    }
+}

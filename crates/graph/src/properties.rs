@@ -1,0 +1,248 @@
+//! Structural predicates used to verify that transformation algorithms
+//! reach the target families claimed by the paper.
+
+use crate::traversal::{diameter, is_connected};
+use crate::{Graph, NodeId, RootedTree};
+
+/// Returns true if the graph is a tree: connected with exactly `n - 1`
+/// edges.
+pub fn is_tree(graph: &Graph) -> bool {
+    let n = graph.node_count();
+    n > 0 && graph.edge_count() == n - 1 && is_connected(graph)
+}
+
+/// Returns the centre of the graph if it is a spanning star
+/// (one node adjacent to every other node, and no other edges).
+///
+/// For `n <= 2` any connected graph is trivially a star; node 0 (or the
+/// higher-degree node) is returned.
+pub fn star_center(graph: &Graph) -> Option<NodeId> {
+    let n = graph.node_count();
+    if n == 0 {
+        return None;
+    }
+    if n == 1 {
+        return Some(NodeId(0));
+    }
+    if graph.edge_count() != n - 1 {
+        return None;
+    }
+    let center = graph.nodes().max_by_key(|&u| graph.degree(u))?;
+    if graph.degree(center) != n - 1 {
+        return None;
+    }
+    // All other nodes must have degree exactly 1.
+    for u in graph.nodes() {
+        if u != center && graph.degree(u) != 1 {
+            return None;
+        }
+    }
+    Some(center)
+}
+
+/// Returns true if the graph is a spanning star.
+pub fn is_star(graph: &Graph) -> bool {
+    star_center(graph).is_some()
+}
+
+/// Returns true if the graph is a simple path (spanning line).
+pub fn is_line(graph: &Graph) -> bool {
+    let n = graph.node_count();
+    if n == 0 {
+        return false;
+    }
+    if n == 1 {
+        return graph.edge_count() == 0;
+    }
+    if graph.edge_count() != n - 1 || !is_connected(graph) {
+        return false;
+    }
+    let deg1 = graph.nodes().filter(|&u| graph.degree(u) == 1).count();
+    let deg2 = graph.nodes().filter(|&u| graph.degree(u) == 2).count();
+    deg1 == 2 && deg2 == n - 2
+}
+
+/// Returns true if the graph is a spanning ring (cycle).
+pub fn is_ring(graph: &Graph) -> bool {
+    let n = graph.node_count();
+    if n < 3 {
+        return false;
+    }
+    graph.edge_count() == n && is_connected(graph) && graph.nodes().all(|u| graph.degree(u) == 2)
+}
+
+/// Returns true if `graph` is a rooted tree of depth at most `d` when
+/// rooted at `root` — the paper's *Depth-d Tree* target predicate.
+pub fn is_depth_d_tree(graph: &Graph, root: NodeId, d: usize) -> bool {
+    if !is_tree(graph) {
+        return false;
+    }
+    match RootedTree::from_tree_graph(graph, root) {
+        Ok(t) => t.depth() <= d,
+        Err(_) => false,
+    }
+}
+
+/// Returns true if the graph, rooted at `root`, is a binary tree
+/// (every node has at most 2 children) of depth at most `max_depth`.
+pub fn is_bounded_binary_tree(graph: &Graph, root: NodeId, max_depth: usize) -> bool {
+    is_bounded_arity_tree(graph, root, 2, max_depth)
+}
+
+/// Returns true if the graph, rooted at `root`, is a tree where every node
+/// has at most `arity` children and depth is at most `max_depth`.
+pub fn is_bounded_arity_tree(graph: &Graph, root: NodeId, arity: usize, max_depth: usize) -> bool {
+    if !is_tree(graph) {
+        return false;
+    }
+    match RootedTree::from_tree_graph(graph, root) {
+        Ok(t) => {
+            t.depth() <= max_depth && graph.nodes().all(|u| t.child_count(u) <= arity)
+        }
+        Err(_) => false,
+    }
+}
+
+/// Returns true if the graph is a wreath in the paper's sense
+/// (Definition 4.1): its edge set is the union of a spanning ring and a
+/// spanning tree whose depth is at most `max_tree_depth` and whose arity is
+/// at most `arity` when rooted at `root`.
+///
+/// We verify this constructively: the provided `ring_edges` and
+/// `tree_edges` decompositions must each be subsets of the graph and
+/// satisfy the respective structural predicates, and their union must be
+/// the whole edge set.
+pub fn is_wreath_decomposition(
+    graph: &Graph,
+    ring_edges: &Graph,
+    tree_edges: &Graph,
+    root: NodeId,
+    arity: usize,
+    max_tree_depth: usize,
+) -> bool {
+    if graph.node_count() != ring_edges.node_count()
+        || graph.node_count() != tree_edges.node_count()
+    {
+        return false;
+    }
+    // Union must equal the graph.
+    if ring_edges.union(tree_edges) != *graph {
+        return false;
+    }
+    is_ring(ring_edges) && is_bounded_arity_tree(tree_edges, root, arity, max_tree_depth)
+}
+
+/// Maximum degree bound check (convenience wrapper used by tests and the
+/// analysis harness).
+pub fn has_max_degree_at_most(graph: &Graph, bound: usize) -> bool {
+    graph.max_degree() <= bound
+}
+
+/// Returns true if the graph is connected and its diameter is at most
+/// `bound`.
+pub fn has_diameter_at_most(graph: &Graph, bound: usize) -> bool {
+    matches!(diameter(graph), Some(d) if d <= bound)
+}
+
+/// Integer base-2 logarithm, rounded up, of `n` (with `ceil_log2(0) = 0`
+/// and `ceil_log2(1) = 0`). Used pervasively to express the paper's
+/// `⌈log n⌉` bounds in tests and analysis.
+pub fn ceil_log2(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// Integer base-2 logarithm, rounded down, of `n` (`floor_log2(0) = 0`).
+pub fn floor_log2(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        (usize::BITS - 1 - n.leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn recognises_stars() {
+        assert!(is_star(&generators::star(10)));
+        assert_eq!(star_center(&generators::star(10)), Some(NodeId(0)));
+        assert!(!is_star(&generators::line(10)));
+        assert!(!is_star(&generators::ring(10)));
+        assert!(is_star(&generators::line(2)));
+        assert!(is_star(&Graph::new(1)));
+        assert!(star_center(&Graph::new(0)).is_none());
+        // A star plus an extra edge is no longer a star.
+        let mut g = generators::star(5);
+        g.add_edge(NodeId(1), NodeId(2)).unwrap();
+        assert!(!is_star(&g));
+    }
+
+    #[test]
+    fn recognises_lines_and_rings() {
+        assert!(is_line(&generators::line(7)));
+        assert!(!is_line(&generators::ring(7)));
+        assert!(!is_line(&generators::star(7)));
+        assert!(is_ring(&generators::ring(7)));
+        assert!(!is_ring(&generators::line(7)));
+        assert!(!is_ring(&generators::ring(2)));
+        assert!(is_line(&Graph::new(1)));
+    }
+
+    #[test]
+    fn recognises_trees_and_depth_bounds() {
+        let cbt = generators::complete_binary_tree(31);
+        assert!(is_tree(&cbt));
+        assert!(is_depth_d_tree(&cbt, NodeId(0), 4));
+        assert!(!is_depth_d_tree(&cbt, NodeId(0), 3));
+        assert!(is_bounded_binary_tree(&cbt, NodeId(0), 4));
+        assert!(!is_bounded_binary_tree(&generators::star(8), NodeId(0), 4));
+        assert!(is_depth_d_tree(&generators::star(8), NodeId(0), 1));
+    }
+
+    #[test]
+    fn bounded_arity_checks() {
+        let t = generators::complete_kary_tree(40, 4);
+        assert!(is_bounded_arity_tree(&t, NodeId(0), 4, 4));
+        assert!(!is_bounded_arity_tree(&t, NodeId(0), 3, 10));
+    }
+
+    #[test]
+    fn wreath_decomposition_check() {
+        let n = 16;
+        let ring = generators::ring(n);
+        let tree = generators::complete_binary_tree(n);
+        let w = ring.union(&tree);
+        assert!(is_wreath_decomposition(&w, &ring, &tree, NodeId(0), 2, 5));
+        // Wrong decomposition: swap ring and tree roles.
+        assert!(!is_wreath_decomposition(&w, &tree, &ring, NodeId(0), 2, 5));
+    }
+
+    #[test]
+    fn degree_and_diameter_bounds() {
+        let g = generators::ring(12);
+        assert!(has_max_degree_at_most(&g, 2));
+        assert!(!has_max_degree_at_most(&g, 1));
+        assert!(has_diameter_at_most(&g, 6));
+        assert!(!has_diameter_at_most(&g, 5));
+    }
+
+    #[test]
+    fn log_helpers() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(floor_log2(8), 3);
+        assert_eq!(floor_log2(9), 3);
+    }
+}

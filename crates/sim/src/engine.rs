@@ -1,0 +1,351 @@
+//! Driver for strictly local node programs.
+//!
+//! A [`NodeProgram`] is a per-node state machine that only ever sees its
+//! own state, its current neighbourhood (`N_1`), its potential
+//! neighbourhood (`N_2`) and the messages delivered to it — exactly the
+//! information the model of Section 2.1 grants a node. The [`run_programs`]
+//! driver executes one program instance per node in lock step and applies
+//! their edge decisions through the validated [`Network`] API.
+
+use crate::{ExecutionReport, Network, RoundStats, SimError};
+use adn_graph::{NodeId, Uid, UidMap};
+
+/// A node's read-only view of the world at the beginning of a round.
+#[derive(Debug, Clone)]
+pub struct NodeView {
+    /// This node's index.
+    pub id: NodeId,
+    /// This node's UID.
+    pub uid: Uid,
+    /// The current round (1-based).
+    pub round: usize,
+    /// Number of nodes in the network. The basic model does not assume
+    /// knowledge of `n`, but some algorithms in the paper do
+    /// (GraphToThinWreath explicitly, flooding with termination detection
+    /// implicitly); programs that must not use it simply ignore it.
+    pub n: usize,
+    /// Current neighbours (`N_1`), ascending.
+    pub neighbors: Vec<NodeId>,
+    /// Potential neighbours (`N_2`, nodes at distance exactly 2), ascending.
+    pub potential_neighbors: Vec<NodeId>,
+}
+
+/// Edge decisions produced by a node in a round.
+#[derive(Debug, Clone, Default)]
+pub struct NodeDecision {
+    /// Potential neighbours to activate an edge with.
+    pub activate: Vec<NodeId>,
+    /// Current neighbours to deactivate the edge with.
+    pub deactivate: Vec<NodeId>,
+}
+
+impl NodeDecision {
+    /// A decision that performs no edge operations.
+    pub fn none() -> Self {
+        NodeDecision::default()
+    }
+}
+
+/// A strictly local, synchronous node program.
+///
+/// The driver calls [`NodeProgram::send`] for every node (based on the
+/// snapshot at the beginning of the round), delivers the messages, then
+/// calls [`NodeProgram::step`] for every node with its inbox; the returned
+/// decisions are validated and applied, the round is committed, and the
+/// execution stops once every node reports [`NodeProgram::has_terminated`].
+pub trait NodeProgram {
+    /// The message type exchanged between neighbours.
+    type Message: Clone + std::fmt::Debug;
+
+    /// Compose the messages to send this round, addressed to current
+    /// neighbours. Messages addressed to non-neighbours are a programming
+    /// error and abort the execution.
+    fn send(&mut self, view: &NodeView) -> Vec<(NodeId, Self::Message)>;
+
+    /// Process the inbox (pairs of sender and message) and return the edge
+    /// operations to perform this round.
+    fn step(&mut self, view: &NodeView, inbox: &[(NodeId, Self::Message)]) -> NodeDecision;
+
+    /// Whether this node has terminated. Terminated nodes are still polled
+    /// (their `send`/`step` are expected to be no-ops) so that the driver's
+    /// lock-step structure is preserved.
+    fn has_terminated(&self) -> bool;
+}
+
+/// Configuration for [`run_programs`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Abort with [`SimError::RoundLimitExceeded`] if the programs have not
+    /// all terminated after this many rounds.
+    pub max_rounds: usize,
+    /// Record a per-round [`RoundStats`] trace in the report.
+    pub record_trace: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_rounds: 100_000,
+            record_trace: false,
+        }
+    }
+}
+
+fn build_view(network: &Network, uids: &UidMap, id: NodeId) -> NodeView {
+    let graph = network.graph();
+    NodeView {
+        id,
+        uid: uids.uid(id),
+        round: network.round(),
+        n: network.node_count(),
+        neighbors: graph.neighbors(id).collect(),
+        potential_neighbors: graph.potential_neighbors(id).into_iter().collect(),
+    }
+}
+
+/// Runs one [`NodeProgram`] per node until all of them terminate.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] raised by invalid edge operations, messages
+/// addressed to non-neighbours, or exceeding `config.max_rounds`.
+///
+/// # Panics
+///
+/// Panics if `programs.len()` or `uids.len()` does not match the network
+/// size.
+pub fn run_programs<P: NodeProgram>(
+    network: &mut Network,
+    programs: &mut [P],
+    uids: &UidMap,
+    config: &EngineConfig,
+) -> Result<ExecutionReport, SimError> {
+    let n = network.node_count();
+    assert_eq!(programs.len(), n, "one program per node is required");
+    assert_eq!(uids.len(), n, "one UID per node is required");
+
+    let mut trace = Vec::new();
+    let mut rounds_executed = 0usize;
+
+    while !programs.iter().all(|p| p.has_terminated()) {
+        if rounds_executed >= config.max_rounds {
+            return Err(SimError::RoundLimitExceeded {
+                limit: config.max_rounds,
+            });
+        }
+        rounds_executed += 1;
+
+        // Snapshot views for this round.
+        let views: Vec<NodeView> = (0..n).map(|i| build_view(network, uids, NodeId(i))).collect();
+
+        // Send phase.
+        let mut inboxes: Vec<Vec<(NodeId, P::Message)>> = vec![Vec::new(); n];
+        for i in 0..n {
+            let outbox = programs[i].send(&views[i]);
+            for (to, msg) in outbox {
+                if !network.graph().has_edge(NodeId(i), to) {
+                    return Err(SimError::NotPotentialNeighbors {
+                        u: NodeId(i),
+                        v: to,
+                        round: network.round(),
+                    });
+                }
+                inboxes[to.index()].push((NodeId(i), msg));
+            }
+        }
+
+        // Step phase: gather decisions, then stage and commit.
+        let mut deactivations_this_round = 0usize;
+        for i in 0..n {
+            let decision = programs[i].step(&views[i], &inboxes[i]);
+            for v in decision.activate {
+                network.stage_activation(NodeId(i), v)?;
+            }
+            for v in decision.deactivate {
+                if network.stage_deactivation(NodeId(i), v)? {
+                    deactivations_this_round += 1;
+                }
+            }
+        }
+        let summary = network.commit_round();
+        let _ = deactivations_this_round;
+
+        if config.record_trace {
+            trace.push(RoundStats {
+                round: summary.round,
+                activations: summary.activations,
+                deactivations: summary.deactivations,
+                activated_edges: summary.activated_edges_now,
+                max_degree: network.graph().max_degree(),
+                groups_alive: 0,
+            });
+        }
+    }
+
+    let report = ExecutionReport::new(network.metrics().clone(), network.graph().clone(), 0)
+        .with_trace(trace);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_graph::{generators, UidAssignment};
+
+    /// A toy program: every node activates an edge to its smallest
+    /// potential neighbour once, then terminates.
+    struct OneShot {
+        done: bool,
+    }
+
+    impl NodeProgram for OneShot {
+        type Message = ();
+
+        fn send(&mut self, _view: &NodeView) -> Vec<(NodeId, ())> {
+            Vec::new()
+        }
+
+        fn step(&mut self, view: &NodeView, _inbox: &[(NodeId, ())]) -> NodeDecision {
+            if self.done {
+                return NodeDecision::none();
+            }
+            self.done = true;
+            NodeDecision {
+                activate: view.potential_neighbors.first().copied().into_iter().collect(),
+                deactivate: Vec::new(),
+            }
+        }
+
+        fn has_terminated(&self) -> bool {
+            self.done
+        }
+    }
+
+    /// Gossip program: floods the maximum UID seen; terminates after a
+    /// fixed number of rounds.
+    struct MaxGossip {
+        best: u64,
+        rounds_left: usize,
+    }
+
+    impl NodeProgram for MaxGossip {
+        type Message = u64;
+
+        fn send(&mut self, view: &NodeView) -> Vec<(NodeId, u64)> {
+            view.neighbors.iter().map(|&v| (v, self.best)).collect()
+        }
+
+        fn step(&mut self, _view: &NodeView, inbox: &[(NodeId, u64)]) -> NodeDecision {
+            for (_, m) in inbox {
+                self.best = self.best.max(*m);
+            }
+            self.rounds_left = self.rounds_left.saturating_sub(1);
+            NodeDecision::none()
+        }
+
+        fn has_terminated(&self) -> bool {
+            self.rounds_left == 0
+        }
+    }
+
+    #[test]
+    fn one_shot_program_activates_and_stops() {
+        let g = generators::line(5);
+        let uids = UidMap::new(5, UidAssignment::Sequential);
+        let mut net = Network::new(g);
+        let mut programs: Vec<OneShot> = (0..5).map(|_| OneShot { done: false }).collect();
+        let report =
+            run_programs(&mut net, &mut programs, &uids, &EngineConfig::default()).unwrap();
+        assert_eq!(report.rounds, 1);
+        assert!(report.metrics.total_activations >= 2);
+        assert!(net.is_connected());
+    }
+
+    #[test]
+    fn gossip_reaches_everyone_on_a_line() {
+        let n = 9;
+        let g = generators::line(n);
+        let uids = UidMap::new(n, UidAssignment::Sequential);
+        let mut net = Network::new(g);
+        let mut programs: Vec<MaxGossip> = (0..n)
+            .map(|i| MaxGossip {
+                best: uids.uid(NodeId(i)).value(),
+                rounds_left: n,
+            })
+            .collect();
+        let config = EngineConfig {
+            record_trace: true,
+            ..Default::default()
+        };
+        let report = run_programs(&mut net, &mut programs, &uids, &config).unwrap();
+        assert_eq!(report.rounds, n);
+        assert_eq!(report.trace.len(), n);
+        for p in &programs {
+            assert_eq!(p.best, n as u64, "every node learns the max UID");
+        }
+        // Pure gossip performs no edge operations.
+        assert_eq!(report.metrics.total_activations, 0);
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        struct Never;
+        impl NodeProgram for Never {
+            type Message = ();
+            fn send(&mut self, _v: &NodeView) -> Vec<(NodeId, ())> {
+                Vec::new()
+            }
+            fn step(&mut self, _v: &NodeView, _i: &[(NodeId, ())]) -> NodeDecision {
+                NodeDecision::none()
+            }
+            fn has_terminated(&self) -> bool {
+                false
+            }
+        }
+        let g = generators::line(3);
+        let uids = UidMap::new(3, UidAssignment::Sequential);
+        let mut net = Network::new(g);
+        let mut programs = vec![Never, Never, Never];
+        let config = EngineConfig {
+            max_rounds: 5,
+            record_trace: false,
+        };
+        let err = run_programs(&mut net, &mut programs, &uids, &config).unwrap_err();
+        assert!(matches!(err, SimError::RoundLimitExceeded { limit: 5 }));
+    }
+
+    #[test]
+    fn messages_to_non_neighbors_are_rejected() {
+        struct BadSender {
+            done: bool,
+        }
+        impl NodeProgram for BadSender {
+            type Message = ();
+            fn send(&mut self, view: &NodeView) -> Vec<(NodeId, ())> {
+                if view.id == NodeId(0) {
+                    vec![(NodeId(2), ())] // not a neighbour on a line of 3
+                } else {
+                    Vec::new()
+                }
+            }
+            fn step(&mut self, _v: &NodeView, _i: &[(NodeId, ())]) -> NodeDecision {
+                self.done = true;
+                NodeDecision::none()
+            }
+            fn has_terminated(&self) -> bool {
+                self.done
+            }
+        }
+        let g = generators::line(3);
+        let uids = UidMap::new(3, UidAssignment::Sequential);
+        let mut net = Network::new(g);
+        let mut programs = vec![
+            BadSender { done: false },
+            BadSender { done: false },
+            BadSender { done: false },
+        ];
+        let err =
+            run_programs(&mut net, &mut programs, &uids, &EngineConfig::default()).unwrap_err();
+        assert!(matches!(err, SimError::NotPotentialNeighbors { .. }));
+    }
+}

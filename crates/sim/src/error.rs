@@ -1,0 +1,89 @@
+//! Error types for the simulator.
+
+use adn_graph::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the simulator when an algorithm violates the model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A node index was outside the vertex set.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes in the network.
+        n: usize,
+    },
+    /// A self-loop activation or deactivation was requested.
+    SelfLoop {
+        /// The node involved.
+        node: NodeId,
+    },
+    /// An activation of `{u, v}` was requested although `u` and `v` are
+    /// neither adjacent nor at distance 2 at the beginning of the round —
+    /// i.e. the distance-2 (potential neighbour) rule of Section 2.1 is
+    /// violated.
+    NotPotentialNeighbors {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+        /// The round in which the activation was attempted.
+        round: usize,
+    },
+    /// The engine exceeded the configured maximum number of rounds without
+    /// all nodes terminating.
+    RoundLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for a network on {n} nodes")
+            }
+            SimError::SelfLoop { node } => write!(f, "self-loop requested on {node}"),
+            SimError::NotPotentialNeighbors { u, v, round } => write!(
+                f,
+                "activation of ({u}, {v}) in round {round} violates the distance-2 rule"
+            ),
+            SimError::RoundLimitExceeded { limit } => {
+                write!(f, "execution exceeded the round limit of {limit}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = SimError::NotPotentialNeighbors {
+            u: NodeId(1),
+            v: NodeId(5),
+            round: 3,
+        };
+        assert!(e.to_string().contains("distance-2"));
+        assert!(e.to_string().contains("round 3"));
+        assert!(SimError::RoundLimitExceeded { limit: 10 }
+            .to_string()
+            .contains("10"));
+        assert!(SimError::SelfLoop { node: NodeId(2) }.to_string().contains("v2"));
+        assert!(SimError::NodeOutOfRange { node: NodeId(9), n: 4 }
+            .to_string()
+            .contains("v9"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

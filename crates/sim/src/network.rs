@@ -1,0 +1,411 @@
+//! The validated, metered temporal graph.
+
+use crate::{EdgeMetrics, SimError};
+use adn_graph::{Edge, Graph, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Summary of a committed round, returned by [`Network::commit_round`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundSummary {
+    /// The round that was just committed (1-based, matching the paper's
+    /// `E(i)` indexing).
+    pub round: usize,
+    /// Number of edges activated in this round (`|E_ac(i)|`).
+    pub activations: usize,
+    /// Number of edges deactivated in this round (`|E_dac(i)|`).
+    pub deactivations: usize,
+    /// Number of active non-initial edges after the round.
+    pub activated_edges_now: usize,
+}
+
+/// The actively dynamic network: the current snapshot `D(i)`, the initial
+/// network `D(1)`, the staged operations of the round in progress, and the
+/// accumulated [`EdgeMetrics`].
+///
+/// A round proceeds by staging any number of activations and deactivations
+/// (validated against the snapshot at the *beginning* of the round, as the
+/// model prescribes) and then calling [`Network::commit_round`], which
+/// applies `E(i+1) = (E(i) ∪ E_ac(i)) \ E_dac(i)` and advances the round
+/// counter. Rounds that involve only message passing (no edge operations)
+/// can be charged with [`Network::advance_idle_rounds`].
+#[derive(Debug, Clone)]
+pub struct Network {
+    initial: Graph,
+    current: Graph,
+    round: usize,
+    metrics: EdgeMetrics,
+    staged_activations: BTreeSet<Edge>,
+    staged_deactivations: BTreeSet<Edge>,
+    staged_by_node: BTreeMap<NodeId, usize>,
+}
+
+impl Network {
+    /// Creates a network whose initial snapshot `D(1)` is `initial`.
+    pub fn new(initial: Graph) -> Self {
+        let current = initial.clone();
+        let mut metrics = EdgeMetrics::new();
+        metrics.max_total_degree = current.max_degree();
+        metrics.max_active_edges_total = current.edge_count();
+        Network {
+            initial,
+            current,
+            round: 1,
+            metrics,
+            staged_activations: BTreeSet::new(),
+            staged_deactivations: BTreeSet::new(),
+            staged_by_node: BTreeMap::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.current.node_count()
+    }
+
+    /// The current round index `i` (1-based; the initial network is the
+    /// snapshot at the beginning of round 1).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The current snapshot `D(i)`.
+    pub fn graph(&self) -> &Graph {
+        &self.current
+    }
+
+    /// The initial network `D(1) = G_s`.
+    pub fn initial_graph(&self) -> &Graph {
+        &self.initial
+    }
+
+    /// Returns true if `{u, v}` was an edge of the initial network.
+    pub fn is_initial_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.initial.has_edge(u, v)
+    }
+
+    /// The accumulated edge-complexity metrics.
+    pub fn metrics(&self) -> &EdgeMetrics {
+        &self.metrics
+    }
+
+    /// Number of currently active edges that are not initial edges.
+    pub fn activated_edge_count(&self) -> usize {
+        self.current
+            .edges()
+            .filter(|e| !self.initial.has_edge(e.a, e.b))
+            .count()
+    }
+
+    fn check_node(&self, u: NodeId) -> Result<(), SimError> {
+        if u.index() >= self.node_count() {
+            Err(SimError::NodeOutOfRange {
+                node: u,
+                n: self.node_count(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Stages the activation of edge `{u, v}` by node `u` for the current
+    /// round.
+    ///
+    /// Returns `Ok(true)` if the activation was staged, `Ok(false)` if the
+    /// edge is already active (the model treats this as a no-op).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::SelfLoop`] if `u == v`.
+    /// * [`SimError::NodeOutOfRange`] if an endpoint is out of range.
+    /// * [`SimError::NotPotentialNeighbors`] if `u` and `v` do not share a
+    ///   common neighbour in the snapshot at the beginning of this round
+    ///   (the distance-2 rule of Section 2.1).
+    pub fn stage_activation(&mut self, u: NodeId, v: NodeId) -> Result<bool, SimError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(SimError::SelfLoop { node: u });
+        }
+        if self.current.has_edge(u, v) {
+            return Ok(false);
+        }
+        if !self.current.at_distance_two(u, v) {
+            return Err(SimError::NotPotentialNeighbors {
+                u,
+                v,
+                round: self.round,
+            });
+        }
+        let newly = self.staged_activations.insert(Edge::new(u, v));
+        if newly {
+            *self.staged_by_node.entry(u).or_insert(0) += 1;
+        }
+        Ok(newly)
+    }
+
+    /// Stages the deactivation of edge `{u, v}` for the current round.
+    ///
+    /// Returns `Ok(true)` if the deactivation was staged, `Ok(false)` if
+    /// the edge is not currently active (a no-op per the model).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::SelfLoop`] if `u == v`.
+    /// * [`SimError::NodeOutOfRange`] if an endpoint is out of range.
+    pub fn stage_deactivation(&mut self, u: NodeId, v: NodeId) -> Result<bool, SimError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(SimError::SelfLoop { node: u });
+        }
+        if !self.current.has_edge(u, v) {
+            return Ok(false);
+        }
+        Ok(self.staged_deactivations.insert(Edge::new(u, v)))
+    }
+
+    /// Number of operations currently staged (activations + deactivations).
+    pub fn staged_operations(&self) -> usize {
+        self.staged_activations.len() + self.staged_deactivations.len()
+    }
+
+    /// Commits the round in progress: applies
+    /// `E(i+1) = (E(i) ∪ E_ac(i)) \ E_dac(i)`, updates the metrics, and
+    /// advances the round counter.
+    ///
+    /// Per the paper's conflict rule, an edge staged for both activation
+    /// and deactivation in the same round is left untouched ("their actions
+    /// have no effect"); with the staging preconditions above this can only
+    /// arise from racy higher-level logic and is resolved conservatively.
+    pub fn commit_round(&mut self) -> RoundSummary {
+        let conflicted: Vec<Edge> = self
+            .staged_activations
+            .intersection(&self.staged_deactivations)
+            .copied()
+            .collect();
+        for e in conflicted {
+            self.staged_activations.remove(&e);
+            self.staged_deactivations.remove(&e);
+        }
+
+        let activations = self.staged_activations.len();
+        let deactivations = self.staged_deactivations.len();
+
+        for e in std::mem::take(&mut self.staged_activations) {
+            let _ = self.current.add_edge(e.a, e.b);
+        }
+        for e in std::mem::take(&mut self.staged_deactivations) {
+            let _ = self.current.remove_edge(e.a, e.b);
+        }
+
+        // Metrics bookkeeping.
+        self.metrics.rounds += 1;
+        self.metrics.total_activations += activations;
+        self.metrics.total_deactivations += deactivations;
+        self.metrics.activations_per_round.push(activations);
+        let max_per_node = self.staged_by_node.values().copied().max().unwrap_or(0);
+        self.metrics.max_node_activations_in_round =
+            self.metrics.max_node_activations_in_round.max(max_per_node);
+        self.staged_by_node.clear();
+
+        let activated_now = self.activated_edge_count();
+        self.metrics.max_activated_edges = self.metrics.max_activated_edges.max(activated_now);
+        self.metrics.max_active_edges_total = self
+            .metrics
+            .max_active_edges_total
+            .max(self.current.edge_count());
+        let activated_graph = self.current.difference(&self.initial);
+        self.metrics.max_activated_degree = self
+            .metrics
+            .max_activated_degree
+            .max(activated_graph.max_degree());
+        self.metrics.max_total_degree =
+            self.metrics.max_total_degree.max(self.current.max_degree());
+
+        let summary = RoundSummary {
+            round: self.round,
+            activations,
+            deactivations,
+            activated_edges_now: activated_now,
+        };
+        self.round += 1;
+        summary
+    }
+
+    /// Charges `k` rounds in which only message passing happens (no edge
+    /// operations). Used by the committee-level algorithms to account for
+    /// intra-committee communication, whose duration the paper bounds by
+    /// the committee diameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if edge operations are currently staged; idle rounds must not
+    /// swallow pending operations.
+    pub fn advance_idle_rounds(&mut self, k: usize) {
+        assert_eq!(
+            self.staged_operations(),
+            0,
+            "cannot charge idle rounds while edge operations are staged"
+        );
+        self.round += k;
+        self.metrics.rounds += k;
+        for _ in 0..k {
+            self.metrics.activations_per_round.push(0);
+        }
+    }
+
+    /// Convenience: stages and commits a single activation in its own
+    /// round. Mostly used by tests and the centralized strategies.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::stage_activation`].
+    pub fn activate_in_own_round(&mut self, u: NodeId, v: NodeId) -> Result<RoundSummary, SimError> {
+        self.stage_activation(u, v)?;
+        Ok(self.commit_round())
+    }
+
+    /// Returns true if the current snapshot is connected.
+    pub fn is_connected(&self) -> bool {
+        adn_graph::traversal::is_connected(&self.current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_graph::generators;
+
+    fn nid(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn activation_requires_distance_two() {
+        let mut net = Network::new(generators::line(4));
+        // 0 and 2 share neighbour 1: allowed.
+        assert!(net.stage_activation(nid(0), nid(2)).unwrap());
+        // 0 and 3 are at distance 3: rejected.
+        assert!(matches!(
+            net.stage_activation(nid(0), nid(3)),
+            Err(SimError::NotPotentialNeighbors { .. })
+        ));
+        // Re-staging the same activation is idempotent.
+        assert!(!net.stage_activation(nid(0), nid(2)).unwrap());
+        let summary = net.commit_round();
+        assert_eq!(summary.activations, 1);
+        assert!(net.graph().has_edge(nid(0), nid(2)));
+        // Next round 0-3 are now at distance 2 (via 2).
+        assert!(net.stage_activation(nid(0), nid(3)).unwrap());
+        net.commit_round();
+        assert!(net.graph().has_edge(nid(0), nid(3)));
+        assert_eq!(net.metrics().total_activations, 2);
+        assert_eq!(net.round(), 3);
+    }
+
+    #[test]
+    fn activating_active_edge_is_noop() {
+        let mut net = Network::new(generators::line(3));
+        assert!(!net.stage_activation(nid(0), nid(1)).unwrap());
+        let s = net.commit_round();
+        assert_eq!(s.activations, 0);
+        assert_eq!(net.metrics().total_activations, 0);
+    }
+
+    #[test]
+    fn deactivation_requires_active_edge() {
+        let mut net = Network::new(generators::line(3));
+        assert!(net.stage_deactivation(nid(0), nid(1)).unwrap());
+        assert!(!net.stage_deactivation(nid(0), nid(2)).unwrap(), "inactive edge is a no-op");
+        let s = net.commit_round();
+        assert_eq!(s.deactivations, 1);
+        assert!(!net.graph().has_edge(nid(0), nid(1)));
+        assert_eq!(net.metrics().total_deactivations, 1);
+    }
+
+    #[test]
+    fn self_loops_and_out_of_range_are_rejected() {
+        let mut net = Network::new(generators::line(3));
+        assert!(matches!(
+            net.stage_activation(nid(1), nid(1)),
+            Err(SimError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            net.stage_activation(nid(0), nid(9)),
+            Err(SimError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            net.stage_deactivation(nid(9), nid(0)),
+            Err(SimError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn conflicting_activation_and_deactivation_cancel() {
+        // Build a triangle-free situation where an edge can end up in both
+        // sets: activate (0,2) then in the *same* round deactivate it is
+        // impossible through the public API (deactivation checks E(i)), so
+        // we simulate the conflict rule by staging deactivation of an
+        // existing edge and an activation of the same edge: also impossible
+        // (activation checks E(i)). The conflict path is therefore only
+        // reachable when higher-level logic races; here we just verify that
+        // a normal activate-then-commit followed by deactivate-then-commit
+        // behaves sequentially.
+        let mut net = Network::new(generators::line(3));
+        net.stage_activation(nid(0), nid(2)).unwrap();
+        net.commit_round();
+        net.stage_deactivation(nid(0), nid(2)).unwrap();
+        net.commit_round();
+        assert!(!net.graph().has_edge(nid(0), nid(2)));
+    }
+
+    #[test]
+    fn metrics_track_activated_edges_and_degree() {
+        // Star with centre 0 on 5 nodes: leaves are pairwise at distance 2.
+        let mut net = Network::new(generators::star(5));
+        net.stage_activation(nid(1), nid(2)).unwrap();
+        net.stage_activation(nid(1), nid(3)).unwrap();
+        net.stage_activation(nid(1), nid(4)).unwrap();
+        let s = net.commit_round();
+        assert_eq!(s.activations, 3);
+        assert_eq!(net.metrics().max_activated_edges, 3);
+        // Node 1 now has 3 activated edges.
+        assert_eq!(net.metrics().max_activated_degree, 3);
+        // Total degree of node 1 is 4 (3 activated + 1 initial).
+        assert_eq!(net.metrics().max_total_degree, 4);
+        assert_eq!(net.metrics().max_node_activations_in_round, 3);
+        // Deactivate one; maxima must not decrease.
+        net.stage_deactivation(nid(1), nid(2)).unwrap();
+        net.commit_round();
+        assert_eq!(net.metrics().max_activated_edges, 3);
+        assert_eq!(net.activated_edge_count(), 2);
+    }
+
+    #[test]
+    fn idle_rounds_advance_time_only() {
+        let mut net = Network::new(generators::line(4));
+        net.advance_idle_rounds(5);
+        assert_eq!(net.round(), 6);
+        assert_eq!(net.metrics().rounds, 5);
+        assert_eq!(net.metrics().total_activations, 0);
+        assert_eq!(net.metrics().activations_per_round.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle rounds")]
+    fn idle_rounds_refuse_staged_operations() {
+        let mut net = Network::new(generators::line(4));
+        net.stage_activation(nid(0), nid(2)).unwrap();
+        net.advance_idle_rounds(1);
+    }
+
+    #[test]
+    fn activate_in_own_round_helper() {
+        let mut net = Network::new(generators::line(3));
+        let s = net.activate_in_own_round(nid(0), nid(2)).unwrap();
+        assert_eq!(s.activations, 1);
+        assert!(net.is_connected());
+        assert!(net.is_initial_edge(nid(0), nid(1)));
+        assert!(!net.is_initial_edge(nid(0), nid(2)));
+    }
+}

@@ -1,0 +1,46 @@
+//! Overlay-network construction scenario (Related Work, Section 1.4):
+//! a peer-to-peer system starts from a sparse bounded-degree topology and
+//! wants a low-diameter, bounded-degree overlay. GraphToWreath builds a
+//! spanning complete binary tree (diameter O(log n)) while never exceeding
+//! a constant activated degree — the property overlay networks care about.
+//!
+//! Run with: `cargo run --release --example overlay_construction`
+
+use actively_dynamic_networks::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    let n = 512;
+    // Bounded-degree peer topology: a ring with a few random chords.
+    let graph = GraphFamily::BoundedDegreeConnected.generate(n, 7);
+    let uids = UidMap::new(graph.node_count(), UidAssignment::RandomPermutation { seed: 7 });
+
+    println!(
+        "initial overlay : n = {}, max degree = {}, diameter = {:?}",
+        graph.node_count(),
+        graph.max_degree(),
+        traversal::diameter(&graph)
+    );
+
+    for (name, outcome) in [
+        ("GraphToWreath     ", run_graph_to_wreath(&graph, &uids)?),
+        ("GraphToThinWreath ", run_graph_to_thin_wreath(&graph, &uids)?),
+    ] {
+        let tree = RootedTree::from_tree_graph(&outcome.final_graph, outcome.leader)
+            .expect("final overlay is a spanning tree");
+        println!(
+            "{name}: rounds = {:4}, activations = {:6}, max degree during run = {:2}, final depth = {:2}",
+            outcome.rounds,
+            outcome.metrics.total_activations,
+            outcome.metrics.max_total_degree,
+            tree.depth(),
+        );
+    }
+
+    println!("(GraphToStar would be faster but needs a linear-degree hub — unusable as a P2P overlay.)");
+    let star = run_graph_to_star(&graph, &uids)?;
+    println!(
+        "GraphToStar       : rounds = {:4}, activations = {:6}, max degree during run = {:2} (!)",
+        star.rounds, star.metrics.total_activations, star.metrics.max_total_degree
+    );
+    Ok(())
+}

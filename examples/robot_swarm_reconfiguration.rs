@@ -1,0 +1,52 @@
+//! Reconfigurable-robotics scenario (Section 1.4, "Programmable Matter"):
+//! a swarm assembled as a 2-D grid must reorganise its communication
+//! structure into a shallow command tree rooted at the highest-priority
+//! robot, while every connection change is a physical link that costs
+//! energy — exactly the paper's edge-complexity measures.
+//!
+//! Run with: `cargo run --release --example robot_swarm_reconfiguration`
+
+use actively_dynamic_networks::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    // A 16 x 16 grid of robots.
+    let graph = generators::grid(16, 16);
+    let n = graph.node_count();
+    let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed: 3 });
+    println!(
+        "swarm: {n} robots in a 16x16 grid, diameter {:?}",
+        traversal::diameter(&graph)
+    );
+
+    // Compare the three reconfiguration strategies and the clique
+    // straw-man on the energy measures.
+    let outcomes = vec![
+        ("GraphToStar", run_graph_to_star(&graph, &uids)?),
+        ("GraphToWreath", run_graph_to_wreath(&graph, &uids)?),
+        ("GraphToThinWreath", run_graph_to_thin_wreath(&graph, &uids)?),
+        ("CliqueFormation", run_clique_formation(&graph, &uids)?),
+    ];
+    println!(
+        "{:<18} {:>7} {:>12} {:>14} {:>10} {:>10}",
+        "strategy", "rounds", "activations", "max act.edges", "max degree", "final diam"
+    );
+    for (name, o) in &outcomes {
+        println!(
+            "{:<18} {:>7} {:>12} {:>14} {:>10} {:>10}",
+            name,
+            o.rounds,
+            o.metrics.total_activations,
+            o.metrics.max_activated_edges,
+            o.metrics.max_total_degree,
+            o.final_diameter().map_or(-1i64, |d| d as i64),
+        );
+    }
+
+    // The command tree: broadcast a "go" order from the elected leader.
+    let (name, best) = &outcomes[1];
+    let broadcast =
+        adn_core::tasks::convergecast_broadcast_rounds(&best.final_graph, best.leader)
+            .expect("command tree is connected");
+    println!("\nusing {name}: a command broadcast + acknowledgement takes {broadcast} rounds on the final tree");
+    Ok(())
+}

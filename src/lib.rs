@@ -1,0 +1,72 @@
+//! # actively-dynamic-networks
+//!
+//! Facade crate for the reproduction of *"Distributed Computation and
+//! Reconfiguration in Actively Dynamic Networks"* (Michail, Skretas,
+//! Spirakis — PODC 2020). It re-exports the workspace crates:
+//!
+//! * [`graph`] (adn-graph) — graph substrate: generators, metrics, rooted
+//!   trees, UID assignments.
+//! * [`sim`] (adn-sim) — the synchronous actively-dynamic-network
+//!   simulator with the distance-2 activation rule and edge-complexity
+//!   metering.
+//! * [`core`] (adn-core) — the paper's algorithms: GraphToStar,
+//!   GraphToWreath, GraphToThinWreath, the subroutines, baselines,
+//!   centralized strategies, lower-bound machinery and task layer.
+//! * [`analysis`] (adn-analysis) — the experiment harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use actively_dynamic_networks::prelude::*;
+//!
+//! // A spanning line on 64 nodes with random UIDs.
+//! let graph = generators::line(64);
+//! let uids = UidMap::new(64, UidAssignment::RandomPermutation { seed: 7 });
+//!
+//! // Reconfigure it into a spanning star and elect a leader in O(log n)
+//! // rounds with O(n log n) edge activations.
+//! let outcome = run_graph_to_star(&graph, &uids).unwrap();
+//! assert_eq!(outcome.final_diameter(), Some(2));
+//! assert_eq!(Some(outcome.leader), uids.max_uid_node());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use adn_analysis as analysis;
+pub use adn_core as core;
+pub use adn_graph as graph;
+pub use adn_sim as sim;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use adn_core::baselines::clique::run_clique_formation;
+    pub use adn_core::baselines::flooding::run_flooding;
+    pub use adn_core::centralized::{run_centralized_general, run_cut_in_half_on_line};
+    pub use adn_core::graph_to_star::run_graph_to_star;
+    pub use adn_core::graph_to_thin_wreath::run_graph_to_thin_wreath;
+    pub use adn_core::graph_to_wreath::run_graph_to_wreath;
+    pub use adn_core::tasks::{
+        disseminate_after_transformation, disseminate_by_flooding_only, verify_leader_election,
+    };
+    pub use adn_core::{CoreError, TransformationOutcome};
+    pub use adn_graph::{
+        generators, properties, traversal, Graph, GraphFamily, NodeId, RootedTree, Uid,
+        UidAssignment, UidMap,
+    };
+    pub use adn_sim::{EdgeMetrics, Network};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let graph = generators::ring(16);
+        let uids = UidMap::new(16, UidAssignment::Sequential);
+        let outcome = run_graph_to_wreath(&graph, &uids).unwrap();
+        assert!(verify_leader_election(&outcome, &uids));
+        assert!(properties::is_tree(&outcome.final_graph));
+    }
+}

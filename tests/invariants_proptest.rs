@@ -1,0 +1,75 @@
+//! Property-based tests over random connected networks and random UID
+//! assignments: the paper's correctness and complexity invariants must
+//! hold on every instance, not just the hand-picked ones.
+
+use actively_dynamic_networks::prelude::*;
+use adn_graph::properties::ceil_log2;
+use proptest::prelude::*;
+
+/// Strategy: a random connected graph on 4..=48 nodes plus a UID seed.
+fn instance() -> impl Strategy<Value = (Graph, u64)> {
+    (4usize..=48, 0u64..1000, 0usize..3).prop_map(|(n, seed, kind)| {
+        let graph = match kind {
+            0 => generators::random_tree(n, seed),
+            1 => generators::random_connected(n, 0.1, seed),
+            _ => generators::random_bounded_degree_connected(n, 4, n / 3, seed),
+        };
+        (graph, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn graph_to_star_invariants((graph, seed) in instance()) {
+        let n = graph.node_count();
+        let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed });
+        let outcome = run_graph_to_star(&graph, &uids).unwrap();
+        // Depth-1 tree centred at the max-UID leader.
+        prop_assert!(properties::is_star(&outcome.final_graph));
+        prop_assert_eq!(properties::star_center(&outcome.final_graph), Some(outcome.leader));
+        prop_assert_eq!(Some(outcome.leader), uids.max_uid_node());
+        // Edge-complexity bounds of Theorem 3.8 (generous constants).
+        prop_assert!(outcome.rounds <= 12 * ceil_log2(n.max(2)) + 14);
+        prop_assert!(outcome.metrics.total_activations <= 6 * n * ceil_log2(n.max(2)).max(1));
+        prop_assert!(outcome.metrics.max_activated_edges <= 2 * n);
+        prop_assert!(outcome.metrics.max_node_activations_in_round <= 1);
+    }
+
+    #[test]
+    fn graph_to_wreath_invariants((graph, seed) in instance()) {
+        let n = graph.node_count();
+        let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed });
+        let outcome = run_graph_to_wreath(&graph, &uids).unwrap();
+        // Depth-log n tree rooted at the max-UID leader, arity <= 2.
+        prop_assert!(properties::is_tree(&outcome.final_graph));
+        prop_assert_eq!(Some(outcome.leader), uids.max_uid_node());
+        let tree = RootedTree::from_tree_graph(&outcome.final_graph, outcome.leader).unwrap();
+        prop_assert!(tree.depth() <= 2 * ceil_log2(n.max(2)) + 2);
+        for u in graph.nodes() {
+            prop_assert!(tree.child_count(u) <= 2);
+        }
+        // Constant activated degree regardless of the input degree.
+        prop_assert!(outcome.metrics.max_activated_degree <= 10);
+    }
+
+    #[test]
+    fn simulator_never_creates_multi_edges_or_breaks_vertex_set((graph, seed) in instance()) {
+        let n = graph.node_count();
+        let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed });
+        let outcome = run_graph_to_star(&graph, &uids).unwrap();
+        prop_assert!(outcome.final_graph.check_invariants());
+        prop_assert_eq!(outcome.final_graph.node_count(), n);
+    }
+
+    #[test]
+    fn centralized_strategy_is_linear_in_activations((graph, seed) in instance()) {
+        let n = graph.node_count();
+        let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed });
+        let outcome = run_centralized_general(&graph, &uids, true).unwrap();
+        prop_assert!(outcome.metrics.total_activations <= 2 * n);
+        prop_assert!(properties::is_tree(&outcome.final_graph));
+        prop_assert!(outcome.rounds <= ceil_log2(2 * n) + 3);
+    }
+}
