@@ -8,9 +8,10 @@
 
 use crate::fit::best_fit;
 use crate::record::{markdown_table, Algorithm, RunRecord};
-use adn_core::baselines::flooding::run_flooding;
-use adn_core::centralized::{run_centralized_general, run_cut_in_half_on_line};
-use adn_core::graph_to_star::run_graph_to_star;
+use adn_core::algorithm::{
+    CentralizedCutInHalf, CentralizedGeneral, Flooding, GraphToStar, ReconfigurationAlgorithm,
+    RunConfig,
+};
 use adn_core::lower_bounds;
 use adn_core::subroutines::{
     run_async_line_to_tree, run_line_to_tree, run_tree_to_star, AsyncLineConfig, LineToTreeConfig,
@@ -19,6 +20,10 @@ use adn_core::tasks::{disseminate_after_transformation, disseminate_by_flooding_
 use adn_graph::properties::ceil_log2;
 use adn_graph::{generators, GraphFamily, NodeId, RootedTree, UidAssignment, UidMap};
 use adn_sim::Network;
+
+fn defaults() -> RunConfig {
+    RunConfig::default()
+}
 
 fn uid_map(n: usize, seed: u64) -> UidMap {
     UidMap::new(n, UidAssignment::RandomPermutation { seed })
@@ -75,8 +80,12 @@ pub fn t1_contribution_table(sizes: &[usize], clique_cap: usize) -> String {
 pub fn t4_clique_baseline(sizes: &[usize]) -> String {
     let mut records = Vec::new();
     for &n in sizes {
-        records.push(RunRecord::measure(Algorithm::CliqueFormation, GraphFamily::Ring, n, 2).expect("run"));
-        records.push(RunRecord::measure(Algorithm::GraphToStar, GraphFamily::Ring, n, 2).expect("run"));
+        records.push(
+            RunRecord::measure(Algorithm::CliqueFormation, GraphFamily::Ring, n, 2).expect("run"),
+        );
+        records.push(
+            RunRecord::measure(Algorithm::GraphToStar, GraphFamily::Ring, n, 2).expect("run"),
+        );
     }
     let mut out = String::from("### T4 — clique formation vs GraphToStar (ring)\n\n");
     out.push_str(&markdown_table(&records));
@@ -146,7 +155,9 @@ pub fn f3_async_equivalence(sizes: &[usize]) -> String {
             ),
             (
                 "reverse staggered",
-                (0..n).map(|i| 1 + (n - 1 - i) % (ceil_log2(n).max(1) + 2)).collect(),
+                (0..n)
+                    .map(|i| 1 + (n - 1 - i) % (ceil_log2(n).max(1) + 2))
+                    .collect(),
             ),
         ] {
             let mut net = Network::new(generators::line(n));
@@ -171,7 +182,7 @@ pub fn f3_async_equivalence(sizes: &[usize]) -> String {
 pub fn f4_committee_decay(n: usize, seed: u64) -> String {
     let g = GraphFamily::SparseRandom.generate(n, seed);
     let uids = uid_map(g.node_count(), seed);
-    let outcome = run_graph_to_star(&g, &uids).expect("run");
+    let outcome = GraphToStar.run(&g, &uids, &defaults()).expect("run");
     let mut out = format!(
         "### F4 — committees alive per phase (GraphToStar, sparse random graph, n = {})\n\n| phase | committees alive |\n|---|---|\n",
         g.node_count()
@@ -179,7 +190,10 @@ pub fn f4_committee_decay(n: usize, seed: u64) -> String {
     for (i, c) in outcome.committees_per_phase.iter().enumerate() {
         out.push_str(&format!("| {} | {} |\n", i + 1, c));
     }
-    out.push_str(&format!("\nTotal phases: {}, rounds: {}\n", outcome.phases, outcome.rounds));
+    out.push_str(&format!(
+        "\nTotal phases: {}, rounds: {}\n",
+        outcome.phases, outcome.rounds
+    ));
     out
 }
 
@@ -191,8 +205,8 @@ pub fn f5_time_lower_bound(sizes: &[usize]) -> String {
     for &n in sizes {
         let g = generators::line(n);
         let uids = uid_map(n, 3);
-        let star = run_graph_to_star(&g, &uids).expect("run");
-        let central = run_centralized_general(&g, &uids, true).expect("run");
+        let star = GraphToStar.run(&g, &uids, &defaults()).expect("run");
+        let central = CentralizedGeneral.run(&g, &uids, &defaults()).expect("run");
         out.push_str(&format!(
             "| {n} | {} | {} | {} | {} |\n",
             ceil_log2(n),
@@ -207,15 +221,18 @@ pub fn f5_time_lower_bound(sizes: &[usize]) -> String {
 /// T6 — centralized upper bound (Theorem 6.3) against the centralized
 /// lower bounds (Lemmas 6.2 / D.3–D.4).
 pub fn t6_centralized(sizes: &[usize]) -> String {
-    let mut out = String::from("### T6 — centralized setting: Θ(n) total activations (Theorem 6.3)\n\n");
+    let mut out =
+        String::from("### T6 — centralized setting: Θ(n) total activations (Theorem 6.3)\n\n");
     out.push_str("| n | lower bound n-1-2log n | CutInHalf (line) activations | Euler+CutInHalf activations | per-round lower bound | max activations/round |\n|---|---|---|---|---|---|\n");
     for &n in sizes {
         let line_graph = generators::line(n);
-        let order: Vec<NodeId> = (0..n).map(NodeId).collect();
-        let cut = run_cut_in_half_on_line(&line_graph, &order).expect("run");
+        let line_uids = UidMap::new(n, UidAssignment::Sequential);
+        let cut = CentralizedCutInHalf
+            .run(&line_graph, &line_uids, &defaults())
+            .expect("run");
         let g = GraphFamily::SparseRandom.generate(n, 5);
         let uids = uid_map(g.node_count(), 5);
-        let euler = run_centralized_general(&g, &uids, true).expect("run");
+        let euler = CentralizedGeneral.run(&g, &uids, &defaults()).expect("run");
         out.push_str(&format!(
             "| {n} | {} | {} | {} | {} | {} |\n",
             lower_bounds::centralized_total_activation_lower_bound(n),
@@ -240,8 +257,10 @@ pub fn f7_distributed_lower_bound(sizes: &[usize]) -> String {
     for &n in sizes {
         let ring = generators::ring(n);
         let uids = UidMap::new(n, UidAssignment::IncreasingRing);
-        let star = run_graph_to_star(&ring, &uids).expect("run");
-        let central = run_centralized_general(&ring, &uids, true).expect("run");
+        let star = GraphToStar.run(&ring, &uids, &defaults()).expect("run");
+        let central = CentralizedGeneral
+            .run(&ring, &uids, &defaults())
+            .expect("run");
         star_points.push((n, star.metrics.total_activations as f64));
         out.push_str(&format!(
             "| {n} | {} | {} | {} | {} | {} |\n",
@@ -253,20 +272,24 @@ pub fn f7_distributed_lower_bound(sizes: &[usize]) -> String {
         ));
     }
     out.push('\n');
-    out.push_str(&fit_line("GraphToStar activations on increasing rings", &star_points));
+    out.push_str(&fit_line(
+        "GraphToStar activations on increasing rings",
+        &star_points,
+    ));
     out
 }
 
 /// T8 — the composition claim of Section 1.3: reconfigure-then-disseminate
 /// versus flooding on the original network.
 pub fn t8_tasks(sizes: &[usize]) -> String {
-    let mut out = String::from("### T8 — token dissemination: flooding vs transform-then-disseminate\n\n");
+    let mut out =
+        String::from("### T8 — token dissemination: flooding vs transform-then-disseminate\n\n");
     out.push_str("| n | flooding rounds (G_s) | GraphToStar rounds | dissemination rounds (G_f) | total | speed-up |\n|---|---|---|---|---|---|\n");
     for &n in sizes {
         let g = generators::line(n);
         let uids = uid_map(n, 7);
         let (flood_rounds, _) = disseminate_by_flooding_only(&g, &uids).expect("run");
-        let outcome = run_graph_to_star(&g, &uids).expect("run");
+        let outcome = GraphToStar.run(&g, &uids, &defaults()).expect("run");
         let report = disseminate_after_transformation(&outcome, &uids).expect("run");
         let total = report.transformation_rounds + report.dissemination_rounds;
         out.push_str(&format!(
@@ -299,7 +322,7 @@ pub fn f9_tradeoff(n: usize) -> String {
 pub fn flooding_rounds_on_line(n: usize) -> usize {
     let g = generators::line(n);
     let uids = uid_map(n, 1);
-    run_flooding(&g, &uids).expect("run").rounds
+    Flooding.run(&g, &uids, &defaults()).expect("run").rounds
 }
 
 /// Runs every experiment with the default (fast) parameter sets and

@@ -1,11 +1,10 @@
 //! Least-squares fitting of measured quantities against the complexity
 //! shapes the paper's theorems predict.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Candidate asymptotic shapes `f(n)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Shape {
     /// Constant.
     One,
@@ -67,7 +66,7 @@ impl fmt::Display for Shape {
 }
 
 /// Outcome of fitting `y ≈ c · f(n)`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FitResult {
     /// The shape that minimises the relative residual.
     pub shape: Shape,

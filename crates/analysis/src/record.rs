@@ -1,17 +1,12 @@
 //! Run records: one row per (algorithm, workload, n, seed) execution.
 
-use adn_core::baselines::clique::run_clique_formation;
-use adn_core::centralized::run_centralized_general;
-use adn_core::graph_to_star::run_graph_to_star;
-use adn_core::graph_to_thin_wreath::run_graph_to_thin_wreath;
-use adn_core::graph_to_wreath::run_graph_to_wreath;
+use adn_core::algorithm::{self, ReconfigurationAlgorithm, RunConfig};
 use adn_core::{CoreError, TransformationOutcome};
 use adn_graph::{Graph, GraphFamily, UidAssignment, UidMap};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The algorithms compared by the experiment tables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algorithm {
     /// GraphToStar (Section 3).
     GraphToStar,
@@ -53,23 +48,30 @@ impl Algorithm {
         }
     }
 
-    /// Runs the algorithm on the given instance.
+    /// The registry id of the underlying [`ReconfigurationAlgorithm`].
+    pub fn id(&self) -> &'static str {
+        match self {
+            Algorithm::GraphToStar => "graph_to_star",
+            Algorithm::GraphToWreath => "graph_to_wreath",
+            Algorithm::GraphToThinWreath => "graph_to_thin_wreath",
+            Algorithm::CliqueFormation => "clique_formation",
+            Algorithm::CentralizedEuler => "centralized_general",
+        }
+    }
+
+    /// The registered algorithm implementing this table entry.
+    pub fn algorithm(&self) -> &'static dyn ReconfigurationAlgorithm {
+        algorithm::find(self.id()).expect("table algorithms are registered")
+    }
+
+    /// Runs the algorithm on the given instance with the default
+    /// [`RunConfig`] (for `CentralizedEuler`, that means prune-to-tree).
     ///
     /// # Errors
     ///
     /// Propagates the underlying algorithm errors.
-    pub fn run(
-        &self,
-        graph: &Graph,
-        uids: &UidMap,
-    ) -> Result<TransformationOutcome, CoreError> {
-        match self {
-            Algorithm::GraphToStar => run_graph_to_star(graph, uids),
-            Algorithm::GraphToWreath => run_graph_to_wreath(graph, uids),
-            Algorithm::GraphToThinWreath => run_graph_to_thin_wreath(graph, uids),
-            Algorithm::CliqueFormation => run_clique_formation(graph, uids),
-            Algorithm::CentralizedEuler => run_centralized_general(graph, uids, true),
-        }
+    pub fn run(&self, graph: &Graph, uids: &UidMap) -> Result<TransformationOutcome, CoreError> {
+        self.algorithm().run(graph, uids, &RunConfig::default())
     }
 }
 
@@ -80,7 +82,7 @@ impl fmt::Display for Algorithm {
 }
 
 /// One row of measurements.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunRecord {
     /// Algorithm executed.
     pub algorithm: Algorithm,
@@ -233,9 +235,13 @@ mod tests {
 
     #[test]
     fn sweep_covers_all_combinations() {
-        let records =
-            RunRecord::sweep(Algorithm::CentralizedEuler, GraphFamily::Line, &[8, 16], &[1, 2])
-                .unwrap();
+        let records = RunRecord::sweep(
+            Algorithm::CentralizedEuler,
+            GraphFamily::Line,
+            &[8, 16],
+            &[1, 2],
+        )
+        .unwrap();
         assert_eq!(records.len(), 4);
     }
 

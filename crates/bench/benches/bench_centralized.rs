@@ -1,34 +1,25 @@
-//! Wall-clock benchmarks for the centralized strategies (experiments T6/F6).
+//! Wall-clock benchmark for centralized_general (Theorem 6.3), driven through the
+//! algorithm registry.
 
-use adn_core::centralized::{run_centralized_general, run_cut_in_half_on_line};
-use adn_graph::{generators, GraphFamily, NodeId, UidAssignment, UidMap};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use adn_bench::harness::Bench;
+use adn_core::algorithm::{find, RunConfig};
+use adn_graph::{GraphFamily, UidAssignment, UidMap};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("centralized");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
-    for n in [256usize, 1024] {
-        let line = generators::line(n);
-        let order: Vec<NodeId> = (0..n).map(NodeId).collect();
-        group.bench_with_input(
-            BenchmarkId::new("cut_in_half/line", n),
-            &(line, order),
-            |b, (g, order)| b.iter(|| run_cut_in_half_on_line(g, order).unwrap()),
-        );
-        let graph = GraphFamily::SparseRandom.generate(n, 1);
-        let uids = UidMap::new(graph.node_count(), UidAssignment::RandomPermutation { seed: 1 });
-        group.bench_with_input(
-            BenchmarkId::new("euler_cut_in_half/sparse_random", n),
-            &(graph, uids),
-            |b, (g, uids)| b.iter(|| run_centralized_general(g, uids, true).unwrap()),
-        );
+fn main() {
+    let algorithm = find("centralized_general").expect("registered algorithm");
+    let mut bench = Bench::new("centralized_general", 10);
+    for family in [GraphFamily::Line, GraphFamily::SparseRandom] {
+        for n in [256usize, 1024] {
+            let graph = family.generate(n, 1);
+            let uids = UidMap::new(
+                graph.node_count(),
+                UidAssignment::RandomPermutation { seed: 1 },
+            );
+            bench.measure(&format!("{}/{n}", family.name()), || {
+                algorithm
+                    .run(&graph, &uids, &RunConfig::default())
+                    .expect("benchmark run succeeds");
+            });
+        }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,27 +1,25 @@
-//! Wall-clock benchmark for the clique-formation baseline (experiment T4).
+//! Wall-clock benchmark for clique_formation (the Section 1.2 straw-man), driven through the
+//! algorithm registry.
 
-use adn_core::baselines::clique::run_clique_formation;
+use adn_bench::harness::Bench;
+use adn_core::algorithm::{find, RunConfig};
 use adn_graph::{GraphFamily, UidAssignment, UidMap};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("clique_formation");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
-    for n in [32usize, 64, 128] {
-        let graph = GraphFamily::Ring.generate(n, 1);
-        let uids = UidMap::new(graph.node_count(), UidAssignment::Sequential);
-        group.bench_with_input(
-            BenchmarkId::new("ring", n),
-            &(graph, uids),
-            |b, (graph, uids)| b.iter(|| run_clique_formation(graph, uids).unwrap()),
-        );
+fn main() {
+    let algorithm = find("clique_formation").expect("registered algorithm");
+    let mut bench = Bench::new("clique_formation", 10);
+    for family in [GraphFamily::Line, GraphFamily::Ring] {
+        for n in [32usize, 128] {
+            let graph = family.generate(n, 1);
+            let uids = UidMap::new(
+                graph.node_count(),
+                UidAssignment::RandomPermutation { seed: 1 },
+            );
+            bench.measure(&format!("{}/{n}", family.name()), || {
+                algorithm
+                    .run(&graph, &uids, &RunConfig::default())
+                    .expect("benchmark run succeeds");
+            });
+        }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

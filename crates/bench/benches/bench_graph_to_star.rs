@@ -1,29 +1,25 @@
-//! Wall-clock benchmark for GraphToStar (experiment T1, Section 3).
+//! Wall-clock benchmark for graph_to_star (experiment T1, Section 3), driven through the
+//! algorithm registry.
 
-use adn_core::graph_to_star::run_graph_to_star;
+use adn_bench::harness::Bench;
+use adn_core::algorithm::{find, RunConfig};
 use adn_graph::{GraphFamily, UidAssignment, UidMap};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("graph_to_star");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+fn main() {
+    let algorithm = find("graph_to_star").expect("registered algorithm");
+    let mut bench = Bench::new("graph_to_star", 10);
     for family in [GraphFamily::Line, GraphFamily::SparseRandom] {
         for n in [64usize, 256] {
             let graph = family.generate(n, 1);
-            let uids = UidMap::new(graph.node_count(), UidAssignment::RandomPermutation { seed: 1 });
-            group.bench_with_input(
-                BenchmarkId::new(family.name(), n),
-                &(graph, uids),
-                |b, (graph, uids)| b.iter(|| run_graph_to_star(graph, uids).unwrap()),
+            let uids = UidMap::new(
+                graph.node_count(),
+                UidAssignment::RandomPermutation { seed: 1 },
             );
+            bench.measure(&format!("{}/{n}", family.name()), || {
+                algorithm
+                    .run(&graph, &uids, &RunConfig::default())
+                    .expect("benchmark run succeeds");
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,44 +1,23 @@
 //! Wall-clock benchmarks for the basic subroutines (experiments F1–F3).
 
+use adn_bench::harness::Bench;
 use adn_core::subroutines::{run_line_to_tree, run_tree_to_star, LineToTreeConfig};
 use adn_graph::{generators, NodeId, RootedTree};
 use adn_sim::Network;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("subroutines");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+fn main() {
+    let mut bench = Bench::new("subroutines", 10);
     for n in [256usize, 1024] {
         let line_graph = generators::line(n);
         let tree = RootedTree::from_tree_graph(&line_graph, NodeId(0)).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("tree_to_star/line", n),
-            &(line_graph.clone(), tree),
-            |b, (g, tree)| {
-                b.iter(|| {
-                    let mut net = Network::new(g.clone());
-                    run_tree_to_star(&mut net, tree).unwrap()
-                })
-            },
-        );
+        bench.measure(&format!("tree_to_star/line/{n}"), || {
+            let mut net = Network::new(line_graph.clone());
+            run_tree_to_star(&mut net, &tree).unwrap();
+        });
         let order: Vec<NodeId> = (0..n).map(NodeId).collect();
-        group.bench_with_input(
-            BenchmarkId::new("line_to_cbt", n),
-            &(line_graph, order),
-            |b, (g, order)| {
-                b.iter(|| {
-                    let mut net = Network::new(g.clone());
-                    run_line_to_tree(&mut net, order, &LineToTreeConfig::binary()).unwrap()
-                })
-            },
-        );
+        bench.measure(&format!("line_to_cbt/{n}"), || {
+            let mut net = Network::new(line_graph.clone());
+            run_line_to_tree(&mut net, &order, &LineToTreeConfig::binary()).unwrap();
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

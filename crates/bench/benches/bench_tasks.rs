@@ -1,39 +1,23 @@
 //! Wall-clock benchmarks for the task layer (experiment T8): flooding on
 //! the initial network vs transform-then-disseminate.
 
-use adn_core::graph_to_star::run_graph_to_star;
+use adn_bench::harness::Bench;
+use adn_core::algorithm::{find, RunConfig};
 use adn_core::tasks::{disseminate_after_transformation, disseminate_by_flooding_only};
 use adn_graph::{generators, UidAssignment, UidMap};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tasks");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+fn main() {
+    let star = find("graph_to_star").expect("registered algorithm");
+    let mut bench = Bench::new("tasks", 10);
     for n in [64usize, 256] {
         let graph = generators::line(n);
         let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed: 1 });
-        group.bench_with_input(
-            BenchmarkId::new("flooding_only/line", n),
-            &(graph.clone(), uids.clone()),
-            |b, (g, uids)| b.iter(|| disseminate_by_flooding_only(g, uids).unwrap()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("transform_then_disseminate/line", n),
-            &(graph, uids),
-            |b, (g, uids)| {
-                b.iter(|| {
-                    let outcome = run_graph_to_star(g, uids).unwrap();
-                    disseminate_after_transformation(&outcome, uids).unwrap()
-                })
-            },
-        );
+        bench.measure(&format!("flooding_only/line/{n}"), || {
+            disseminate_by_flooding_only(&graph, &uids).unwrap();
+        });
+        bench.measure(&format!("transform_then_disseminate/line/{n}"), || {
+            let outcome = star.run(&graph, &uids, &RunConfig::default()).unwrap();
+            disseminate_after_transformation(&outcome, &uids).unwrap();
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

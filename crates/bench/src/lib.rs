@@ -1,6 +1,7 @@
 //! # adn-bench
 //!
-//! Criterion wall-clock benchmarks (one per algorithm family) and the
+//! Wall-clock benchmarks (one per algorithm family, driven by the
+//! algorithm registry through the dependency-free [`harness`]) and the
 //! `report` binary that regenerates every model-level table and figure of
 //! the reproduction (rounds, activations, degrees — the quantities the
 //! paper's theorems are about, which are independent of wall-clock time).
@@ -10,6 +11,8 @@
 //!   report (all tables/figures, as captured in EXPERIMENTS.md).
 //! * `cargo run -p adn-bench --release --bin report -- t1` — a single
 //!   experiment (ids: t1, t4, f1, f3, f4, f5, t6, f7, t8, f9).
+
+pub mod harness;
 
 /// Returns the experiment fragment for the given id, or the full report
 /// when `id` is `None` / unrecognised.

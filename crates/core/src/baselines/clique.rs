@@ -9,6 +9,7 @@
 //! active edges and degree `Θ(n)` — which is exactly what the experiments
 //! driven by this module demonstrate.
 
+use crate::algorithm::RunConfig;
 use crate::{CoreError, TransformationOutcome};
 use adn_graph::{Graph, NodeId, UidMap};
 use adn_sim::engine::{run_programs, EngineConfig, NodeDecision, NodeProgram, NodeView};
@@ -53,35 +54,49 @@ impl NodeProgram for CliqueNode {
 ///
 /// Returns an error if the initial graph is disconnected (the clique can
 /// then never span the network) or on simulator round-limit violations.
+#[deprecated(
+    since = "0.2.0",
+    note = "use adn_core::algorithm::CliqueFormation (ReconfigurationAlgorithm) or the Experiment builder"
+)]
 pub fn run_clique_formation(
     initial: &Graph,
     uids: &UidMap,
 ) -> Result<TransformationOutcome, CoreError> {
-    if !adn_graph::traversal::is_connected(initial) {
+    let mut network = Network::new(initial.clone());
+    execute(&mut network, uids, &RunConfig::traced())
+}
+
+/// Executes clique formation on `network` (trait entry point; see
+/// [`crate::algorithm::CliqueFormation`]).
+pub(crate) fn execute(
+    network: &mut Network,
+    uids: &UidMap,
+    config: &RunConfig,
+) -> Result<TransformationOutcome, CoreError> {
+    if !adn_graph::traversal::is_connected(network.graph()) {
         return Err(CoreError::InvalidInput {
             reason: "clique formation requires a connected initial network".into(),
         });
     }
-    let n = initial.node_count();
-    let mut network = Network::new(initial.clone());
+    let n = network.node_count();
+    if uids.len() != n {
+        return Err(CoreError::InvalidInput {
+            reason: "one UID per node is required".into(),
+        });
+    }
+    network.set_trace_enabled(config.trace.is_per_round());
     let mut programs: Vec<CliqueNode> = (0..n).map(|_| CliqueNode { done: false }).collect();
-    let config = EngineConfig {
-        max_rounds: 4 * adn_graph::properties::ceil_log2(n.max(2)) + 16,
-        record_trace: true,
+    let engine = EngineConfig {
+        max_rounds: config
+            .engine_round_cap(network, 4 * adn_graph::properties::ceil_log2(n.max(2)) + 16),
+        record_trace: config.trace.is_per_round(),
     };
-    let report = run_programs(&mut network, &mut programs, uids, &config)?;
+    run_programs(network, &mut programs, uids, &engine)?;
+    config.check_round_budget(network)?;
     let leader = uids.max_uid_node().ok_or_else(|| CoreError::InvalidInput {
         reason: "empty network".into(),
     })?;
-    Ok(TransformationOutcome {
-        leader,
-        final_graph: report.final_graph,
-        phases: 0,
-        rounds: report.rounds,
-        metrics: report.metrics,
-        committees_per_phase: Vec::new(),
-        trace: report.trace,
-    })
+    Ok(TransformationOutcome::from_network(leader, network))
 }
 
 /// Runs clique formation and then, in one additional round, prunes the
@@ -103,7 +118,8 @@ pub fn run_clique_then_prune(
             reason: "target must have the same vertex set as the initial network".into(),
         });
     }
-    let mut outcome = run_clique_formation(initial, uids)?;
+    let mut network = Network::new(initial.clone());
+    let mut outcome = execute(&mut network, uids, &RunConfig::traced())?;
     // One more round: drop every edge not in the target.
     let mut network = Network::new(outcome.final_graph.clone());
     for e in outcome.final_graph.edges() {
@@ -127,12 +143,17 @@ mod tests {
     use adn_graph::properties::ceil_log2;
     use adn_graph::{generators, UidAssignment};
 
+    fn run_clique(initial: &Graph, uids: &UidMap) -> Result<TransformationOutcome, CoreError> {
+        let mut network = Network::new(initial.clone());
+        execute(&mut network, uids, &RunConfig::traced())
+    }
+
     #[test]
     fn forms_a_clique_in_log_rounds() {
         for &n in &[4usize, 8, 16, 32, 50] {
             let g = generators::line(n);
             let uids = UidMap::new(n, UidAssignment::Sequential);
-            let outcome = run_clique_formation(&g, &uids).unwrap();
+            let outcome = run_clique(&g, &uids).unwrap();
             // Final graph is the complete graph.
             assert_eq!(outcome.final_graph.edge_count(), n * (n - 1) / 2, "n={n}");
             // Rounds are logarithmic: the neighbourhood at least doubles.
@@ -157,7 +178,7 @@ mod tests {
         ] {
             let n = family.node_count();
             let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed: 1 });
-            let outcome = run_clique_formation(&family, &uids).unwrap();
+            let outcome = run_clique(&family, &uids).unwrap();
             assert_eq!(outcome.final_graph.edge_count(), n * (n - 1) / 2);
             assert_eq!(Some(outcome.leader), uids.max_uid_node());
         }
@@ -181,7 +202,7 @@ mod tests {
         g.remove_edge(NodeId(2), NodeId(3)).unwrap();
         let uids = UidMap::new(6, UidAssignment::Sequential);
         assert!(matches!(
-            run_clique_formation(&g, &uids),
+            run_clique(&g, &uids),
             Err(CoreError::InvalidInput { .. })
         ));
         let ok = generators::line(6);
@@ -195,7 +216,7 @@ mod tests {
     fn single_node_terminates_immediately() {
         let g = Graph::new(1);
         let uids = UidMap::new(1, UidAssignment::Sequential);
-        let outcome = run_clique_formation(&g, &uids).unwrap();
+        let outcome = run_clique(&g, &uids).unwrap();
         assert_eq!(outcome.rounds, 1);
         assert_eq!(outcome.metrics.total_activations, 0);
     }

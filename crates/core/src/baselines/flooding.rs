@@ -8,32 +8,27 @@
 //! This is the "strategies that do not modify the input network" baseline
 //! of Section 1.2, used by experiment T8.
 
-use crate::CoreError;
+use crate::algorithm::RunConfig;
+use crate::{CoreError, TransformationOutcome};
 use adn_graph::{Graph, NodeId, Uid, UidMap};
 use adn_sim::engine::{run_programs, EngineConfig, NodeDecision, NodeProgram, NodeView};
-use adn_sim::{EdgeMetrics, Network};
+use adn_sim::Network;
 use std::collections::BTreeSet;
 
-/// Result of a flooding run.
-#[derive(Debug, Clone)]
-pub struct FloodingOutcome {
-    /// Rounds until every node knew every token (and knew that it could
-    /// stop, see below).
-    pub rounds: usize,
-    /// Edge metrics of the run (always zero activations).
-    pub metrics: EdgeMetrics,
-    /// Tokens known by each node at the end (should be all `n`).
-    pub tokens_per_node: Vec<usize>,
-    /// The leader elected as a by-product (maximum UID seen — with full
-    /// dissemination this is the global maximum).
-    pub leader: NodeId,
-}
+/// The old name of the flooding result. Flooding now reports through the
+/// shared outcome type; token counts live in
+/// [`TransformationOutcome::tokens_per_node`].
+#[deprecated(
+    since = "0.2.0",
+    note = "folded into TransformationOutcome (see the tokens_per_node field)"
+)]
+pub type FloodingOutcome = TransformationOutcome;
 
 struct FloodNode {
     known: BTreeSet<Uid>,
-    /// Rounds in a row in which nothing new arrived; a node terminates
-    /// when it has seen `n` tokens (it knows `n` here, as in the paper's
-    /// ThinWreath assumption) — `n` is read from the view.
+    /// A node terminates when it has seen `n` tokens (it knows `n` here,
+    /// as in the paper's ThinWreath assumption) — `n` is read from the
+    /// view.
     done: bool,
 }
 
@@ -42,7 +37,10 @@ impl NodeProgram for FloodNode {
 
     fn send(&mut self, view: &NodeView) -> Vec<(NodeId, Self::Message)> {
         let payload: Vec<Uid> = self.known.iter().copied().collect();
-        view.neighbors.iter().map(|&v| (v, payload.clone())).collect()
+        view.neighbors
+            .iter()
+            .map(|&v| (v, payload.clone()))
+            .collect()
     }
 
     fn step(&mut self, view: &NodeView, inbox: &[(NodeId, Self::Message)]) -> NodeDecision {
@@ -61,40 +59,65 @@ impl NodeProgram for FloodNode {
 }
 
 /// Floods all tokens over the static graph until every node holds every
-/// token.
+/// token. The returned outcome's `tokens_per_node` field records how many
+/// tokens each node ended with (all `n` on success) and `leader` is the
+/// maximum-UID node elected as a by-product of full dissemination.
 ///
 /// # Errors
 ///
 /// Returns [`CoreError::InvalidInput`] for disconnected graphs (flooding
 /// would never complete) and propagates simulator errors.
-pub fn run_flooding(graph: &Graph, uids: &UidMap) -> Result<FloodingOutcome, CoreError> {
-    if !adn_graph::traversal::is_connected(graph) {
+#[deprecated(
+    since = "0.2.0",
+    note = "use adn_core::algorithm::Flooding (ReconfigurationAlgorithm) or the Experiment builder"
+)]
+pub fn run_flooding(graph: &Graph, uids: &UidMap) -> Result<TransformationOutcome, CoreError> {
+    flood(graph, uids)
+}
+
+/// Non-deprecated internal entry used by the task layer.
+pub(crate) fn flood(graph: &Graph, uids: &UidMap) -> Result<TransformationOutcome, CoreError> {
+    let mut network = Network::new(graph.clone());
+    execute(&mut network, uids, &RunConfig::default())
+}
+
+/// Executes flooding on `network` (trait entry point; see
+/// [`crate::algorithm::Flooding`]).
+pub(crate) fn execute(
+    network: &mut Network,
+    uids: &UidMap,
+    config: &RunConfig,
+) -> Result<TransformationOutcome, CoreError> {
+    if !adn_graph::traversal::is_connected(network.graph()) {
         return Err(CoreError::InvalidInput {
             reason: "flooding requires a connected network".into(),
         });
     }
-    let n = graph.node_count();
-    let mut network = Network::new(graph.clone());
+    let n = network.node_count();
+    if uids.len() != n {
+        return Err(CoreError::InvalidInput {
+            reason: "one UID per node is required".into(),
+        });
+    }
+    network.set_trace_enabled(config.trace.is_per_round());
     let mut programs: Vec<FloodNode> = (0..n)
         .map(|i| FloodNode {
             known: [uids.uid(NodeId(i))].into_iter().collect(),
             done: n == 1,
         })
         .collect();
-    let config = EngineConfig {
-        max_rounds: 2 * n + 4,
-        record_trace: false,
+    let engine = EngineConfig {
+        max_rounds: config.engine_round_cap(network, 2 * n + 4),
+        record_trace: config.trace.is_per_round(),
     };
-    let report = run_programs(&mut network, &mut programs, uids, &config)?;
+    run_programs(network, &mut programs, uids, &engine)?;
+    config.check_round_budget(network)?;
     let leader = uids.max_uid_node().ok_or_else(|| CoreError::InvalidInput {
         reason: "empty network".into(),
     })?;
-    Ok(FloodingOutcome {
-        rounds: report.rounds,
-        metrics: report.metrics,
-        tokens_per_node: programs.iter().map(|p| p.known.len()).collect(),
-        leader,
-    })
+    let mut outcome = TransformationOutcome::from_network(leader, network);
+    outcome.tokens_per_node = programs.iter().map(|p| p.known.len()).collect();
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -107,7 +130,7 @@ mod tests {
         let n = 40;
         let g = generators::line(n);
         let uids = UidMap::new(n, UidAssignment::Sequential);
-        let outcome = run_flooding(&g, &uids).unwrap();
+        let outcome = flood(&g, &uids).unwrap();
         // The two endpoints are at distance n-1, so n-1 rounds are needed
         // (plus potentially one detection round).
         assert!(outcome.rounds >= n - 1);
@@ -115,6 +138,8 @@ mod tests {
         assert!(outcome.tokens_per_node.iter().all(|&t| t == n));
         assert_eq!(outcome.metrics.total_activations, 0);
         assert_eq!(outcome.leader, NodeId(n - 1));
+        // Flooding never reconfigures: the final network is the initial one.
+        assert_eq!(&outcome.final_graph, &g);
     }
 
     #[test]
@@ -122,7 +147,7 @@ mod tests {
         let n = 40;
         let g = generators::star(n);
         let uids = UidMap::new(n, UidAssignment::Sequential);
-        let outcome = run_flooding(&g, &uids).unwrap();
+        let outcome = flood(&g, &uids).unwrap();
         assert!(outcome.rounds <= 3);
         assert!(outcome.tokens_per_node.iter().all(|&t| t == n));
     }
@@ -133,7 +158,7 @@ mod tests {
         g.remove_edge(NodeId(1), NodeId(2)).unwrap();
         let uids = UidMap::new(5, UidAssignment::Sequential);
         assert!(matches!(
-            run_flooding(&g, &uids),
+            flood(&g, &uids),
             Err(CoreError::InvalidInput { .. })
         ));
     }
@@ -142,7 +167,7 @@ mod tests {
     fn single_node_is_instant() {
         let g = Graph::new(1);
         let uids = UidMap::new(1, UidAssignment::Sequential);
-        let outcome = run_flooding(&g, &uids).unwrap();
+        let outcome = flood(&g, &uids).unwrap();
         assert_eq!(outcome.tokens_per_node, vec![1]);
     }
 }

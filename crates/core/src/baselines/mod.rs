@@ -11,5 +11,8 @@
 pub mod clique;
 pub mod flooding;
 
-pub use clique::{run_clique_formation, run_clique_then_prune};
+#[allow(deprecated)]
+pub use clique::run_clique_formation;
+pub use clique::run_clique_then_prune;
+#[allow(deprecated)]
 pub use flooding::{run_flooding, FloodingOutcome};

@@ -17,6 +17,7 @@
 //!    algorithms are compared against in experiment F6/F7 (they must pay
 //!    an extra `Θ(log n)` factor — Theorem 6.4).
 
+use crate::algorithm::{CentralizedConfig, RunConfig};
 use crate::{CoreError, TransformationOutcome};
 use adn_graph::traversal::{bfs_spanning_tree, euler_tour};
 use adn_graph::{Graph, NodeId, UidMap};
@@ -32,6 +33,10 @@ use adn_sim::Network;
 /// # Errors
 ///
 /// [`CoreError::InvalidInput`] if `line` is not a path of the network.
+#[deprecated(
+    since = "0.2.0",
+    note = "use adn_core::algorithm::CentralizedCutInHalf (ReconfigurationAlgorithm) or the Experiment builder"
+)]
 pub fn run_cut_in_half_on_line(
     initial: &Graph,
     line: &[NodeId],
@@ -49,26 +54,85 @@ pub fn run_cut_in_half_on_line(
         }
     }
     let mut network = Network::new(initial.clone());
-    cut_in_half(&mut network, line)?;
-    Ok(TransformationOutcome {
-        leader: line[0],
-        final_graph: network.graph().clone(),
-        phases: 0,
-        rounds: network.metrics().rounds,
-        metrics: network.metrics().clone(),
-        committees_per_phase: Vec::new(),
-        trace: Vec::new(),
-    })
+    cut_in_half(&mut network, line, &RunConfig::default())?;
+    Ok(TransformationOutcome::from_network(line[0], &mut network))
+}
+
+/// Executes `CutInHalf` on `network`, whose current snapshot must be a
+/// spanning line; the line order is recovered by walking from an endpoint
+/// and the first node of the walk becomes the root/leader (trait entry
+/// point; see [`crate::algorithm::CentralizedCutInHalf`]).
+pub(crate) fn execute_cut_in_half(
+    network: &mut Network,
+    uids: &UidMap,
+    config: &RunConfig,
+) -> Result<TransformationOutcome, CoreError> {
+    let graph = network.graph().clone();
+    let n = graph.node_count();
+    if n == 0 {
+        return Err(CoreError::InvalidInput {
+            reason: "the initial network must contain at least one node".into(),
+        });
+    }
+    if uids.len() != n {
+        return Err(CoreError::InvalidInput {
+            reason: "one UID per node is required".into(),
+        });
+    }
+    if !adn_graph::properties::is_line(&graph) {
+        return Err(CoreError::InvalidInput {
+            reason: "CutInHalf requires a spanning line as the initial network".into(),
+        });
+    }
+    let order = line_order(&graph);
+    network.set_trace_enabled(config.trace.is_per_round());
+    cut_in_half(network, &order, config)?;
+    config.check_round_budget(network)?;
+    Ok(TransformationOutcome::from_network(order[0], network))
+}
+
+/// Recovers the path order of a spanning line, starting at the
+/// smallest-index endpoint (for `n == 1`, the single node).
+fn line_order(graph: &Graph) -> Vec<NodeId> {
+    let n = graph.node_count();
+    if n <= 1 {
+        return (0..n).map(NodeId).collect();
+    }
+    let start = graph
+        .nodes()
+        .find(|&u| graph.degree(u) == 1)
+        .expect("a line with n >= 2 has an endpoint");
+    let mut order = Vec::with_capacity(n);
+    let mut prev: Option<NodeId> = None;
+    let mut current = start;
+    loop {
+        order.push(current);
+        let next = graph.neighbors(current).find(|&v| Some(v) != prev);
+        match next {
+            Some(v) => {
+                prev = Some(current);
+                current = v;
+            }
+            None => break,
+        }
+    }
+    debug_assert_eq!(order.len(), n, "walk covered the whole line");
+    order
 }
 
 /// The virtual-line `CutInHalf` core: positions along `order` (which may
 /// repeat nodes, as in an Euler tour) are connected at doubling distances.
 /// Activations between positions that map to the same node or to already
 /// adjacent nodes are skipped (they cost nothing).
-fn cut_in_half(network: &mut Network, order: &[NodeId]) -> Result<(), CoreError> {
+fn cut_in_half(
+    network: &mut Network,
+    order: &[NodeId],
+    config: &RunConfig,
+) -> Result<(), CoreError> {
     let len = order.len();
     let mut step = 1usize;
     while step < len.saturating_sub(1) {
+        config.check_round_budget(network)?;
         let hop = step * 2;
         let mut staged_any = false;
         let mut j = 0usize;
@@ -101,18 +165,45 @@ fn cut_in_half(network: &mut Network, order: &[NodeId]) -> Result<(), CoreError>
 /// # Errors
 ///
 /// [`CoreError::InvalidInput`] for disconnected graphs.
+#[deprecated(
+    since = "0.2.0",
+    note = "use adn_core::algorithm::CentralizedGeneral with RunConfig::with_centralized(CentralizedConfig)"
+)]
 pub fn run_centralized_general(
     initial: &Graph,
     uids: &UidMap,
     prune_to_tree: bool,
 ) -> Result<TransformationOutcome, CoreError> {
+    let target = if prune_to_tree {
+        CentralizedConfig::PruneToTree
+    } else {
+        CentralizedConfig::LowDiameter
+    };
+    let mut network = Network::new(initial.clone());
+    execute_general(&mut network, uids, target, &RunConfig::default())
+}
+
+/// Executes the general centralized strategy on `network` (trait entry
+/// point; see [`crate::algorithm::CentralizedGeneral`]).
+pub(crate) fn execute_general(
+    network: &mut Network,
+    uids: &UidMap,
+    target: CentralizedConfig,
+    config: &RunConfig,
+) -> Result<TransformationOutcome, CoreError> {
+    let initial = network.graph().clone();
     let n = initial.node_count();
     if n == 0 {
         return Err(CoreError::InvalidInput {
             reason: "the initial network must contain at least one node".into(),
         });
     }
-    if !adn_graph::traversal::is_connected(initial) {
+    if uids.len() != n {
+        return Err(CoreError::InvalidInput {
+            reason: "one UID per node is required".into(),
+        });
+    }
+    if !adn_graph::traversal::is_connected(&initial) {
         return Err(CoreError::InvalidInput {
             reason: "the centralized strategy requires a connected network".into(),
         });
@@ -120,17 +211,17 @@ pub fn run_centralized_general(
     let root = uids.max_uid_node().ok_or_else(|| CoreError::InvalidInput {
         reason: "one UID per node is required".into(),
     })?;
-    let tree = bfs_spanning_tree(initial, root).expect("connected graph has a spanning tree");
+    let tree = bfs_spanning_tree(&initial, root).expect("connected graph has a spanning tree");
     let tour = euler_tour(&tree);
 
-    let mut network = Network::new(initial.clone());
-    cut_in_half(&mut network, &tour)?;
+    network.set_trace_enabled(config.trace.is_per_round());
+    cut_in_half(network, &tour, config)?;
 
-    if prune_to_tree && n > 1 {
+    if target == CentralizedConfig::PruneToTree && n > 1 {
+        config.check_round_budget(network)?;
         // One clean-up round: keep only a BFS tree of the current
         // low-diameter graph rooted at `root`.
-        let bfs = bfs_spanning_tree(network.graph(), root)
-            .expect("network stayed connected");
+        let bfs = bfs_spanning_tree(network.graph(), root).expect("network stayed connected");
         let keep = bfs.to_graph();
         let current = network.graph().clone();
         for e in current.edges() {
@@ -141,15 +232,8 @@ pub fn run_centralized_general(
         network.commit_round();
     }
 
-    Ok(TransformationOutcome {
-        leader: root,
-        final_graph: network.graph().clone(),
-        phases: 0,
-        rounds: network.metrics().rounds,
-        metrics: network.metrics().clone(),
-        committees_per_phase: Vec::new(),
-        trace: Vec::new(),
-    })
+    config.check_round_budget(network)?;
+    Ok(TransformationOutcome::from_network(root, network))
 }
 
 #[cfg(test)]
@@ -159,12 +243,26 @@ mod tests {
     use adn_graph::traversal::diameter;
     use adn_graph::{generators, GraphFamily, UidAssignment};
 
+    fn run_general(
+        initial: &Graph,
+        uids: &UidMap,
+        target: CentralizedConfig,
+    ) -> Result<TransformationOutcome, CoreError> {
+        let mut network = Network::new(initial.clone());
+        execute_general(&mut network, uids, target, &RunConfig::default())
+    }
+
+    fn run_cut(initial: &Graph, uids: &UidMap) -> Result<TransformationOutcome, CoreError> {
+        let mut network = Network::new(initial.clone());
+        execute_cut_in_half(&mut network, uids, &RunConfig::default())
+    }
+
     #[test]
     fn cut_in_half_reaches_log_diameter_with_linear_activations() {
         for &n in &[8usize, 16, 64, 128, 256, 500] {
             let g = generators::line(n);
-            let line: Vec<NodeId> = (0..n).map(NodeId).collect();
-            let outcome = run_cut_in_half_on_line(&g, &line).unwrap();
+            let uids = UidMap::new(n, UidAssignment::Sequential);
+            let outcome = run_cut(&g, &uids).unwrap();
             // Θ(n) total activations (in fact < n).
             assert!(
                 outcome.metrics.total_activations <= n,
@@ -181,15 +279,31 @@ mod tests {
 
     #[test]
     fn cut_in_half_rejects_non_lines() {
-        let g = generators::line(5);
+        let g = generators::ring(5);
+        let uids = UidMap::new(5, UidAssignment::Sequential);
         assert!(matches!(
-            run_cut_in_half_on_line(&g, &[NodeId(0), NodeId(2)]),
+            run_cut(&g, &uids),
             Err(CoreError::InvalidInput { .. })
         ));
+        let empty = UidMap::new(0, UidAssignment::Sequential);
         assert!(matches!(
-            run_cut_in_half_on_line(&g, &[]),
+            run_cut(&Graph::new(0), &empty),
             Err(CoreError::InvalidInput { .. })
         ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work() {
+        let g = generators::line(32);
+        let line: Vec<NodeId> = (0..32).map(NodeId).collect();
+        let cut = run_cut_in_half_on_line(&g, &line).unwrap();
+        assert!(cut.metrics.total_activations <= 32);
+        let uids = UidMap::new(32, UidAssignment::Sequential);
+        let pruned = run_centralized_general(&g, &uids, true).unwrap();
+        assert!(adn_graph::properties::is_tree(&pruned.final_graph));
+        let loose = run_centralized_general(&g, &uids, false).unwrap();
+        assert!(loose.final_graph.edge_count() >= pruned.final_graph.edge_count());
     }
 
     #[test]
@@ -198,7 +312,7 @@ mod tests {
             let g = family.generate(60, 3);
             let n = g.node_count();
             let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed: 1 });
-            let outcome = run_centralized_general(&g, &uids, false).unwrap();
+            let outcome = run_general(&g, &uids, CentralizedConfig::LowDiameter).unwrap();
             // Θ(n) activations: the Euler tour has < 2n positions.
             assert!(
                 outcome.metrics.total_activations <= 2 * n,
@@ -217,7 +331,7 @@ mod tests {
     fn pruned_variant_yields_a_low_depth_tree() {
         let g = generators::line(200);
         let uids = UidMap::new(200, UidAssignment::Sequential);
-        let outcome = run_centralized_general(&g, &uids, true).unwrap();
+        let outcome = run_general(&g, &uids, CentralizedConfig::PruneToTree).unwrap();
         assert!(adn_graph::properties::is_tree(&outcome.final_graph));
         let tree =
             adn_graph::RootedTree::from_tree_graph(&outcome.final_graph, outcome.leader).unwrap();
@@ -232,7 +346,7 @@ mod tests {
         g.remove_edge(NodeId(1), NodeId(2)).unwrap();
         let uids = UidMap::new(6, UidAssignment::Sequential);
         assert!(matches!(
-            run_centralized_general(&g, &uids, false),
+            run_general(&g, &uids, CentralizedConfig::LowDiameter),
             Err(CoreError::InvalidInput { .. })
         ));
     }
@@ -241,7 +355,7 @@ mod tests {
     fn single_node_is_trivial() {
         let g = Graph::new(1);
         let uids = UidMap::new(1, UidAssignment::Sequential);
-        let outcome = run_centralized_general(&g, &uids, true).unwrap();
+        let outcome = run_general(&g, &uids, CentralizedConfig::PruneToTree).unwrap();
         assert_eq!(outcome.metrics.total_activations, 0);
     }
 }

@@ -16,9 +16,10 @@
 //! optimal `O(n log n)` total edge activations, and (necessarily) a linear
 //! maximum degree at the star centre.
 
+use crate::algorithm::RunConfig;
 use crate::{CoreError, TransformationOutcome};
 use adn_graph::{Graph, NodeId, Uid, UidMap};
-use adn_sim::{Network, RoundStats};
+use adn_sim::Network;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The mode a committee executes in during a phase (Section 3).
@@ -51,6 +52,9 @@ impl Committee {
     }
 }
 
+/// A pending round-B hop: `(selector leader, target leader, helper edge)`.
+type PendingHop = (NodeId, NodeId, Option<(NodeId, NodeId)>);
+
 /// Result of the selection step of a phase.
 #[derive(Debug, Clone)]
 struct Selection {
@@ -70,10 +74,26 @@ struct Selection {
 ///   networks.
 /// * [`CoreError::DidNotConverge`] / [`CoreError::Sim`] on implementation
 ///   bugs (the algorithm is deterministic and proven to terminate).
+#[deprecated(
+    since = "0.2.0",
+    note = "use adn_core::algorithm::GraphToStar (ReconfigurationAlgorithm) or the Experiment builder"
+)]
 pub fn run_graph_to_star(
     initial: &Graph,
     uids: &UidMap,
 ) -> Result<TransformationOutcome, CoreError> {
+    let mut network = Network::new(initial.clone());
+    execute(&mut network, uids, &RunConfig::traced())
+}
+
+/// Executes GraphToStar on `network` (trait entry point; see
+/// [`crate::algorithm::GraphToStar`]).
+pub(crate) fn execute(
+    network: &mut Network,
+    uids: &UidMap,
+    config: &RunConfig,
+) -> Result<TransformationOutcome, CoreError> {
+    let initial = network.graph().clone();
     let n = initial.node_count();
     if n == 0 {
         return Err(CoreError::InvalidInput {
@@ -85,21 +105,21 @@ pub fn run_graph_to_star(
             reason: "one UID per node is required".into(),
         });
     }
-    if !adn_graph::traversal::is_connected(initial) {
+    if !adn_graph::traversal::is_connected(&initial) {
         return Err(CoreError::InvalidInput {
             reason: "GraphToStar requires a connected initial network".into(),
         });
     }
 
-    let mut network = Network::new(initial.clone());
-    let mut state = State::new(initial);
+    network.set_trace_enabled(config.trace.is_per_round());
+    let mut state = State::new(&initial);
     let mut committees_per_phase = Vec::new();
-    let mut trace: Vec<RoundStats> = Vec::new();
     let mut phases = 0usize;
     let phase_limit = 40 * adn_graph::properties::ceil_log2(n.max(2)) + 80;
 
     while state.committees.len() > 1 {
         phases += 1;
+        config.check_round_budget(network)?;
         if phases > phase_limit {
             return Err(CoreError::DidNotConverge {
                 algorithm: "GraphToStar",
@@ -107,7 +127,8 @@ pub fn run_graph_to_star(
             });
         }
         committees_per_phase.push(state.committees.len());
-        state.run_phase(&mut network, uids, &mut trace)?;
+        network.note_groups_alive(state.committees.len());
+        state.run_phase(network, uids)?;
     }
 
     // Termination phase: keep only the star edges.
@@ -118,14 +139,15 @@ pub fn run_graph_to_star(
         .map(|c| c.leader)
         .expect("exactly one committee remains");
     if n > 1 {
+        config.check_round_budget(network)?;
+        network.note_groups_alive(1);
         let graph = network.graph().clone();
         for e in graph.edges() {
             if e.a != leader && e.b != leader {
                 network.stage_deactivation(e.a, e.b)?;
             }
         }
-        let summary = network.commit_round();
-        trace.push(round_stats(&network, summary, state.committees.len()));
+        network.commit_round();
         // The paper charges 2 rounds for the termination phase (detection +
         // clean-up); charge the detection round explicitly.
         network.advance_idle_rounds(1);
@@ -133,27 +155,12 @@ pub fn run_graph_to_star(
         committees_per_phase.push(1);
     }
 
+    config.check_round_budget(network)?;
     debug_assert_eq!(Some(leader), uids.max_uid_node());
-    Ok(TransformationOutcome {
-        leader,
-        final_graph: network.graph().clone(),
-        phases,
-        rounds: network.metrics().rounds,
-        metrics: network.metrics().clone(),
-        committees_per_phase,
-        trace,
-    })
-}
-
-fn round_stats(network: &Network, summary: adn_sim::RoundSummary, groups: usize) -> RoundStats {
-    RoundStats {
-        round: summary.round,
-        activations: summary.activations,
-        deactivations: summary.deactivations,
-        activated_edges: summary.activated_edges_now,
-        max_degree: network.graph().max_degree(),
-        groups_alive: groups,
-    }
+    let mut outcome = TransformationOutcome::from_network(leader, network);
+    outcome.phases = phases;
+    outcome.committees_per_phase = committees_per_phase;
+    Ok(outcome)
 }
 
 struct State {
@@ -213,18 +220,10 @@ impl State {
         adj
     }
 
-    fn run_phase(
-        &mut self,
-        network: &mut Network,
-        uids: &UidMap,
-        trace: &mut Vec<RoundStats>,
-    ) -> Result<(), CoreError> {
+    fn run_phase(&mut self, network: &mut Network, uids: &UidMap) -> Result<(), CoreError> {
         let adjacency = self.committee_adjacency(network);
-        let start_modes: BTreeMap<NodeId, Mode> = self
-            .committees
-            .iter()
-            .map(|(&l, c)| (l, c.mode))
-            .collect();
+        let start_modes: BTreeMap<NodeId, Mode> =
+            self.committees.iter().map(|(&l, c)| (l, c.mode)).collect();
 
         // ------------------------------------------------------------------
         // 1. Selection decisions (no edge operations yet).
@@ -267,7 +266,7 @@ impl State {
         // target committee (helper edge e1, or directly the leader-leader
         // edge when it is already at distance <= 2). `pending_b` collects
         // the round-B second hops.
-        let mut pending_b: Vec<(NodeId, NodeId, Option<(NodeId, NodeId)>)> = Vec::new();
+        let mut pending_b: Vec<PendingHop> = Vec::new();
         for sel in selections.values() {
             let u = sel.selector;
             let v = sel.target;
@@ -340,9 +339,7 @@ impl State {
             }
         }
 
-        let groups_now = self.committees.len();
         let summary_a = network.commit_round();
-        trace.push(round_stats(network, summary_a, groups_now));
 
         // Round B: second selection hop.
         let mut any_b = false;
@@ -358,8 +355,7 @@ impl State {
         if any_b || !selections.is_empty() {
             // A selection phase always costs 2 rounds (Lemma 3.7), even if
             // the second hop happened to be unnecessary for some selectors.
-            let summary_b = network.commit_round();
-            trace.push(round_stats(network, summary_b, groups_now));
+            network.commit_round();
         } else if summary_a.activations == 0 && summary_a.deactivations == 0 {
             // A phase with no edge operations at all (pure mode
             // transitions) still costs a round of communication.
@@ -468,9 +464,14 @@ mod tests {
         }
     }
 
+    fn run_on(initial: &Graph, uids: &UidMap) -> Result<TransformationOutcome, CoreError> {
+        let mut network = Network::new(initial.clone());
+        execute(&mut network, uids, &RunConfig::traced())
+    }
+
     fn run(initial: &Graph, assignment: UidAssignment) -> (UidMap, TransformationOutcome) {
         let uids = UidMap::new(initial.node_count(), assignment);
-        let outcome = run_graph_to_star(initial, &uids).expect("GraphToStar must succeed");
+        let outcome = run_on(initial, &uids).expect("GraphToStar must succeed");
         (uids, outcome)
     }
 
@@ -583,21 +584,32 @@ mod tests {
     fn rejects_invalid_inputs() {
         let uids = UidMap::new(0, UidAssignment::Sequential);
         assert!(matches!(
-            run_graph_to_star(&Graph::new(0), &uids),
+            run_on(&Graph::new(0), &uids),
             Err(CoreError::InvalidInput { .. })
         ));
         let mut g = generators::line(6);
         g.remove_edge(NodeId(2), NodeId(3)).unwrap();
         let uids = UidMap::new(6, UidAssignment::Sequential);
         assert!(matches!(
-            run_graph_to_star(&g, &uids),
+            run_on(&g, &uids),
             Err(CoreError::InvalidInput { .. })
         ));
         let uids = UidMap::new(5, UidAssignment::Sequential);
         assert!(matches!(
-            run_graph_to_star(&generators::line(6), &uids),
+            run_on(&generators::line(6), &uids),
             Err(CoreError::InvalidInput { .. })
         ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrapper_still_works() {
+        let g = generators::ring(12);
+        let uids = UidMap::new(12, UidAssignment::Sequential);
+        let outcome = run_graph_to_star(&g, &uids).unwrap();
+        check_outcome(&g, &uids, &outcome);
+        // The wrapper preserves the old always-traced behaviour.
+        assert!(!outcome.trace.is_empty());
     }
 
     #[test]

@@ -4,6 +4,9 @@
 //! *"Distributed Computation and Reconfiguration in Actively Dynamic
 //! Networks"* (Michail, Skretas, Spirakis — PODC 2020):
 //!
+//! * [`algorithm`] — the unified entry point: the
+//!   [`ReconfigurationAlgorithm`] trait, the shared [`RunConfig`] and the
+//!   [`registry`] enumerating every strategy below.
 //! * [`subroutines`] — the basic building blocks of Section 2.3 and the
 //!   appendix: `TreeToStar`, `LineToCompleteBinaryTree` (synchronous and
 //!   asynchronous wake-up variants) and the complete-`k`-ary-tree
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod algorithm;
 pub mod baselines;
 pub mod centralized;
 pub mod error;
@@ -49,5 +53,8 @@ pub mod outcome;
 pub mod subroutines;
 pub mod tasks;
 
+pub use algorithm::{
+    registry, AlgorithmSpec, CentralizedConfig, ReconfigurationAlgorithm, RunConfig, TraceLevel,
+};
 pub use error::CoreError;
 pub use outcome::TransformationOutcome;

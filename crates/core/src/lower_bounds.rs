@@ -197,7 +197,10 @@ mod tests {
         // The antipodal node stays symmetric the longest.
         let n = 64;
         assert!(in_corresponding_states(n, n / 2, n / 2 + 1, 3));
-        assert!(!in_corresponding_states(n, 0, 1, 3), "node 0 sees both extremes quickly");
+        assert!(
+            !in_corresponding_states(n, 0, 1, 3),
+            "node 0 sees both extremes quickly"
+        );
     }
 
     #[test]

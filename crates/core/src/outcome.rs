@@ -1,15 +1,16 @@
 //! Common result type for the transformation algorithms.
 
 use adn_graph::{Graph, NodeId};
-use adn_sim::{EdgeMetrics, RoundStats};
+use adn_sim::{EdgeMetrics, Network, RoundStats};
 
-/// Outcome of one of the paper's transformation algorithms
-/// (`GraphToStar`, `GraphToWreath`, `GraphToThinWreath`, clique formation
-/// or a centralized strategy).
+/// Outcome of any registered algorithm (`GraphToStar`, `GraphToWreath`,
+/// `GraphToThinWreath`, clique formation, flooding or a centralized
+/// strategy).
 ///
 /// Besides the metered execution, it records the two pieces of the
 /// Depth-d Tree problem statement: the elected leader (root) and the final
-/// reconfigured network.
+/// reconfigured network. Task-layer by-products (token dissemination) are
+/// folded in as well, so one outcome type covers the whole registry.
 #[derive(Debug, Clone)]
 pub struct TransformationOutcome {
     /// The elected unique leader (the paper's `u_max` for the distributed
@@ -27,11 +28,35 @@ pub struct TransformationOutcome {
     /// Per-phase number of committees alive (empty when not applicable);
     /// drives the committee-decay figure (F4).
     pub committees_per_phase: Vec<usize>,
-    /// Optional per-round trace.
+    /// Optional per-round trace (populated when the run was configured
+    /// with `TraceLevel::PerRound`).
     pub trace: Vec<RoundStats>,
+    /// Tokens known by each node at the end of a dissemination run
+    /// (flooding); empty for algorithms that do not disseminate tokens.
+    pub tokens_per_node: Vec<usize>,
 }
 
 impl TransformationOutcome {
+    /// Builds an outcome from a finished execution on `network`: final
+    /// snapshot, metrics, rounds and the captured trace are taken from the
+    /// network; phase-structure fields start empty and are filled in by
+    /// the algorithm when applicable. Taking the outcome ends the capture:
+    /// tracing is switched off so later work on the same network does not
+    /// silently keep accumulating rounds.
+    pub fn from_network(leader: NodeId, network: &mut Network) -> Self {
+        network.set_trace_enabled(false);
+        TransformationOutcome {
+            leader,
+            final_graph: network.graph().clone(),
+            phases: 0,
+            rounds: network.metrics().rounds,
+            metrics: network.metrics().clone(),
+            committees_per_phase: Vec::new(),
+            trace: network.take_trace(),
+            tokens_per_node: Vec::new(),
+        }
+    }
+
     /// Final diameter of `G_f` (None if disconnected — which would be an
     /// algorithm bug).
     pub fn final_diameter(&self) -> Option<usize> {
@@ -59,8 +84,23 @@ mod tests {
             metrics: EdgeMetrics::default(),
             committees_per_phase: vec![8, 4, 1],
             trace: Vec::new(),
+            tokens_per_node: Vec::new(),
         };
         assert_eq!(outcome.final_diameter(), Some(2));
         assert_eq!(outcome.final_max_degree(), 7);
+    }
+
+    #[test]
+    fn from_network_mirrors_the_network_state() {
+        let mut network = Network::new(generators::line(5));
+        network.stage_activation(NodeId(0), NodeId(2)).unwrap();
+        network.commit_round();
+        let outcome = TransformationOutcome::from_network(NodeId(4), &mut network);
+        assert_eq!(outcome.leader, NodeId(4));
+        assert_eq!(outcome.rounds, 1);
+        assert_eq!(outcome.metrics.total_activations, 1);
+        assert!(outcome.final_graph.has_edge(NodeId(0), NodeId(2)));
+        assert!(outcome.phases == 0 && outcome.committees_per_phase.is_empty());
+        assert!(outcome.tokens_per_node.is_empty());
     }
 }

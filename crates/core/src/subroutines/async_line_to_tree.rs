@@ -183,8 +183,7 @@ pub fn run_async_line_to_tree(
         .collect();
     let mut jumps_done: Vec<usize> = vec![0; n];
 
-    let is_done =
-        |jumps_done: &[usize], pos: usize| jumps_done[pos] >= schedule[pos].len();
+    let is_done = |jumps_done: &[usize], pos: usize| jumps_done[pos] >= schedule[pos].len();
 
     let max_wake = config.wake_round.iter().copied().max().unwrap_or(1);
     let round_limit = max_wake + 8 * adn_graph::properties::ceil_log2(n.max(2)) + 32;
@@ -223,9 +222,7 @@ pub fn run_async_line_to_tree(
                 // Children that still need the (pos, cp) edge must move in
                 // the same round.
                 let children_ok = children[pos].iter().all(|&c| {
-                    is_done(&jumps_done, c)
-                        || jumps_done[c] > jumps_done[pos]
-                        || will_jump[c]
+                    is_done(&jumps_done, c) || jumps_done[c] > jumps_done[pos] || will_jump[c]
                 });
                 if !children_ok {
                     continue;
@@ -264,7 +261,13 @@ pub fn run_async_line_to_tree(
     }
 
     let parents: Vec<Option<NodeId>> = (0..n)
-        .map(|pos| if pos == 0 { None } else { Some(NodeId(parent_pos[pos])) })
+        .map(|pos| {
+            if pos == 0 {
+                None
+            } else {
+                Some(NodeId(parent_pos[pos]))
+            }
+        })
         .collect();
     let tree = RootedTree::from_parents(NodeId(0), parents).expect("valid tree by construction");
     Ok((tree, rounds))
@@ -275,10 +278,8 @@ mod tests {
     use super::*;
     use crate::subroutines::line_to_tree::{run_line_to_tree, LineToTreeConfig};
     use adn_graph::properties::ceil_log2;
+    use adn_graph::rng::DetRng;
     use adn_graph::{generators, NodeId};
-    use rand::Rng;
-    use rand_chacha::rand_core::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
 
     fn identity_line(n: usize) -> Vec<NodeId> {
         (0..n).map(NodeId).collect()
@@ -291,7 +292,9 @@ mod tests {
             arity,
             protected_edges: BTreeSet::new(),
         };
-        run_line_to_tree(&mut net, &identity_line(n), &config).unwrap().0
+        run_line_to_tree(&mut net, &identity_line(n), &config)
+            .unwrap()
+            .0
     }
 
     #[test]
@@ -351,11 +354,11 @@ mod tests {
 
     #[test]
     fn random_wake_schedules_match_synchronous_output() {
-        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut rng = DetRng::seed_from_u64(7);
         for &n in &[16usize, 40, 64] {
             for _ in 0..4 {
                 let max_delay = ceil_log2(n) + 3;
-                let wake: Vec<usize> = (0..n).map(|_| 1 + rng.gen_range(0..max_delay)).collect();
+                let wake: Vec<usize> = (0..n).map(|_| 1 + rng.gen_range(0, max_delay)).collect();
                 let g = generators::line(n);
                 let mut net = Network::new(g);
                 let config = AsyncLineConfig {
@@ -410,7 +413,11 @@ mod tests {
             Err(CoreError::InvalidInput { .. })
         ));
         assert!(matches!(
-            run_async_line_to_tree(&mut net, &identity_line(4), &AsyncLineConfig::all_awake(4, 0)),
+            run_async_line_to_tree(
+                &mut net,
+                &identity_line(4),
+                &AsyncLineConfig::all_awake(4, 0)
+            ),
             Err(CoreError::InvalidInput { .. })
         ));
     }

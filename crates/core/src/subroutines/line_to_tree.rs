@@ -175,10 +175,7 @@ pub fn run_line_to_tree(
     }
     let positional_tree = RootedTree::from_parents(
         NodeId(0),
-        parent_by_position
-            .iter()
-            .map(|p| p.map(NodeId))
-            .collect(),
+        parent_by_position.iter().map(|p| p.map(NodeId)).collect(),
     )
     .expect("construction yields a valid tree");
     Ok((remap_tree(&positional_tree, line), rounds))
@@ -210,7 +207,10 @@ fn validate_line(
     for w in line.windows(2) {
         if !network.graph().has_edge(w[0], w[1]) {
             return Err(CoreError::InvalidInput {
-                reason: format!("consecutive line nodes {} and {} are not adjacent", w[0], w[1]),
+                reason: format!(
+                    "consecutive line nodes {} and {} are not adjacent",
+                    w[0], w[1]
+                ),
             });
         }
     }
@@ -263,7 +263,10 @@ mod tests {
             );
             // Every node has at most 2 children, so tree degree <= 3.
             for u in (0..n).map(NodeId) {
-                assert!(tree.child_count(u) <= 2, "n={n}: node {u} has too many children");
+                assert!(
+                    tree.child_count(u) <= 2,
+                    "n={n}: node {u} has too many children"
+                );
             }
             assert!(tree.max_degree() <= 3);
             // Proposition 2.2: ⌈log d⌉ rounds (+1 slack for the final
@@ -305,7 +308,10 @@ mod tests {
         let (tree, _) = run_line_to_tree(&mut net, &identity_line(n), &config).unwrap();
         // All original line edges are still active.
         for e in g.edges() {
-            assert!(net.graph().has_edge(e.a, e.b), "protected edge {e:?} was removed");
+            assert!(
+                net.graph().has_edge(e.a, e.b),
+                "protected edge {e:?} was removed"
+            );
         }
         // And the tree edges are active too.
         for u in (1..n).map(NodeId) {
@@ -322,13 +328,20 @@ mod tests {
         let g = generators::line(n);
         let mut net_bin = Network::new(g.clone());
         let (bin, _) =
-            run_line_to_tree(&mut net_bin, &identity_line(n), &LineToTreeConfig::binary())
-                .unwrap();
+            run_line_to_tree(&mut net_bin, &identity_line(n), &LineToTreeConfig::binary()).unwrap();
         let mut net_poly = Network::new(g);
-        let (poly, _) =
-            run_line_to_tree(&mut net_poly, &identity_line(n), &LineToTreeConfig::polylog(n))
-                .unwrap();
-        assert!(poly.depth() < bin.depth(), "poly {} vs bin {}", poly.depth(), bin.depth());
+        let (poly, _) = run_line_to_tree(
+            &mut net_poly,
+            &identity_line(n),
+            &LineToTreeConfig::polylog(n),
+        )
+        .unwrap();
+        assert!(
+            poly.depth() < bin.depth(),
+            "poly {} vs bin {}",
+            poly.depth(),
+            bin.depth()
+        );
         let arity = LineToTreeConfig::polylog(n).arity;
         for u in (0..n).map(NodeId) {
             assert!(poly.child_count(u) <= arity);

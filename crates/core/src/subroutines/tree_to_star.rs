@@ -100,7 +100,10 @@ mod tests {
             let (net, rounds) = run_on_tree(&g, NodeId(0));
             // Every node is now adjacent to the root.
             for i in 1..n {
-                assert!(net.graph().has_edge(NodeId(0), NodeId(i)), "n={n}, node {i}");
+                assert!(
+                    net.graph().has_edge(NodeId(0), NodeId(i)),
+                    "n={n}, node {i}"
+                );
             }
             // Proposition 2.1: ⌈log d⌉ rounds where d = depth = n-1.
             assert!(
@@ -146,7 +149,10 @@ mod tests {
         let n = 32;
         let g = generators::line(n);
         let (net, _) = run_on_tree(&g, NodeId(0));
-        assert!(is_star(net.graph()), "final graph should be a spanning star");
+        assert!(
+            is_star(net.graph()),
+            "final graph should be a spanning star"
+        );
         assert_eq!(net.graph().degree(NodeId(0)), n - 1);
     }
 

@@ -13,7 +13,7 @@
 //!   ([`disseminate_after_transformation`]), compared against plain
 //!   flooding on the original network (the no-reconfiguration baseline).
 
-use crate::baselines::flooding::run_flooding;
+use crate::baselines::flooding::flood;
 use crate::{CoreError, TransformationOutcome};
 use adn_graph::traversal::eccentricity;
 use adn_graph::{Graph, NodeId, UidMap};
@@ -55,12 +55,12 @@ pub fn disseminate_after_transformation(
     outcome: &TransformationOutcome,
     uids: &UidMap,
 ) -> Result<DisseminationReport, CoreError> {
-    let flood = run_flooding(&outcome.final_graph, uids)?;
+    let dissemination = flood(&outcome.final_graph, uids)?;
     let mut metrics = outcome.metrics.clone();
-    metrics.absorb_sequential(&flood.metrics);
+    metrics.absorb_sequential(&dissemination.metrics);
     Ok(DisseminationReport {
         transformation_rounds: outcome.rounds,
-        dissemination_rounds: flood.rounds,
+        dissemination_rounds: dissemination.rounds,
         metrics,
         global_max_uid: uids.uid(outcome.leader).value(),
     })
@@ -77,8 +77,8 @@ pub fn disseminate_by_flooding_only(
     initial: &Graph,
     uids: &UidMap,
 ) -> Result<(usize, EdgeMetrics), CoreError> {
-    let flood = run_flooding(initial, uids)?;
-    Ok((flood.rounds, flood.metrics))
+    let outcome = flood(initial, uids)?;
+    Ok((outcome.rounds, outcome.metrics))
 }
 
 /// Upper bound on the rounds needed for convergecast + broadcast from the
@@ -92,15 +92,19 @@ pub fn convergecast_broadcast_rounds(graph: &Graph, leader: NodeId) -> Option<us
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph_to_star::run_graph_to_star;
+    use crate::algorithm::{GraphToStar, ReconfigurationAlgorithm, RunConfig};
     use adn_graph::{generators, UidAssignment};
+
+    fn star(g: &Graph, uids: &UidMap) -> TransformationOutcome {
+        GraphToStar.run(g, uids, &RunConfig::default()).unwrap()
+    }
 
     #[test]
     fn transformation_plus_dissemination_beats_flooding_on_a_line() {
         let n = 128;
         let g = generators::line(n);
         let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed: 1 });
-        let outcome = run_graph_to_star(&g, &uids).unwrap();
+        let outcome = star(&g, &uids);
         assert!(verify_leader_election(&outcome, &uids));
 
         let report = disseminate_after_transformation(&outcome, &uids).unwrap();
@@ -141,7 +145,7 @@ mod tests {
         let n = 64;
         let g = generators::ring(n);
         let uids = UidMap::new(n, UidAssignment::Sequential);
-        let outcome = run_graph_to_star(&g, &uids).unwrap();
+        let outcome = star(&g, &uids);
         let report = disseminate_after_transformation(&outcome, &uids).unwrap();
         // The star has diameter 2, so dissemination is O(1) rounds.
         assert!(report.dissemination_rounds <= 4);

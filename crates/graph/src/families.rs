@@ -9,11 +9,10 @@
 //! "spanning line", "increasing-order ring", …).
 
 use crate::{generators, Graph};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A named family of initial networks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GraphFamily {
     /// Spanning line (path). Diameter `n - 1`; the hard case for the time
     /// lower bound (Lemma 6.1).
@@ -128,7 +127,7 @@ impl GraphFamily {
             }
             GraphFamily::Caterpillar => {
                 let spine = (n / 4).max(1);
-                let legs = if spine == 0 { 0 } else { (n / spine).saturating_sub(1) };
+                let legs = (n / spine).saturating_sub(1);
                 generators::caterpillar(spine, legs)
             }
             GraphFamily::Hypercube => {

@@ -1,14 +1,12 @@
 //! Generators for the initial-network and target-network families used in
 //! the paper and its reproduction experiments.
 //!
-//! All random generators are deterministic given a seed (they use
-//! `ChaCha8Rng`), so every experiment in this repository is reproducible.
+//! All random generators are deterministic given a seed (they use the
+//! crate's own [`DetRng`]), so every experiment in this repository is
+//! reproducible.
 
+use crate::rng::DetRng;
 use crate::{Graph, NodeId, RootedTree};
-use rand::seq::SliceRandom;
-use rand::Rng;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 fn nid(i: usize) -> NodeId {
     NodeId(i)
@@ -160,9 +158,14 @@ pub fn lollipop(clique: usize, tail: usize) -> Graph {
         }
     }
     for i in 0..tail {
-        let prev = if i == 0 { clique.saturating_sub(1) } else { clique + i - 1 };
+        let prev = if i == 0 {
+            clique.saturating_sub(1)
+        } else {
+            clique + i - 1
+        };
         if n > 1 {
-            g.add_edge(nid(prev), nid(clique + i)).expect("valid tail edge");
+            g.add_edge(nid(prev), nid(clique + i))
+                .expect("valid tail edge");
         }
     }
     g
@@ -171,10 +174,10 @@ pub fn lollipop(clique: usize, tail: usize) -> Graph {
 /// Uniform random recursive tree on `n` nodes: node `i` attaches to a
 /// uniformly random earlier node. Expected depth Θ(log n), unbounded degree.
 pub fn random_tree(n: usize, seed: u64) -> Graph {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut g = Graph::new(n);
     for i in 1..n {
-        let parent = rng.gen_range(0..i);
+        let parent = rng.gen_range(0, i);
         g.add_edge(nid(parent), nid(i)).expect("valid tree edge");
     }
     g
@@ -191,11 +194,11 @@ pub fn random_bounded_degree_tree(n: usize, max_degree: usize, seed: u64) -> Gra
     if n > 2 {
         assert!(max_degree >= 2, "need max_degree >= 2 to span {n} nodes");
     }
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut g = Graph::new(n);
     let mut available: Vec<usize> = if n > 0 { vec![0] } else { vec![] };
     for i in 1..n {
-        let idx = rng.gen_range(0..available.len());
+        let idx = rng.gen_range(0, available.len());
         let parent = available[idx];
         g.add_edge(nid(parent), nid(i)).expect("valid tree edge");
         if g.degree(nid(parent)) >= max_degree {
@@ -213,9 +216,9 @@ pub fn random_bounded_degree_tree(n: usize, max_degree: usize, seed: u64) -> Gra
 /// Connected by construction and close to the paper's hard instances when
 /// `extra_edges` is small.
 pub fn random_line_with_chords(n: usize, extra_edges: usize, seed: u64) -> Graph {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut perm: Vec<usize> = (0..n).collect();
-    perm.shuffle(&mut rng);
+    rng.shuffle(&mut perm);
     let mut g = Graph::new(n);
     for w in perm.windows(2) {
         g.add_edge(nid(w[0]), nid(w[1])).expect("valid path edge");
@@ -224,8 +227,8 @@ pub fn random_line_with_chords(n: usize, extra_edges: usize, seed: u64) -> Graph
     let mut attempts = 0usize;
     while added < extra_edges && attempts < 20 * (extra_edges + 1) && n >= 2 {
         attempts += 1;
-        let u = rng.gen_range(0..n);
-        let v = rng.gen_range(0..n);
+        let u = rng.gen_range(0, n);
+        let v = rng.gen_range(0, n);
         if u != v && !g.has_edge(nid(u), nid(v)) {
             g.add_edge(nid(u), nid(v)).expect("valid chord");
             added += 1;
@@ -238,11 +241,11 @@ pub fn random_line_with_chords(n: usize, extra_edges: usize, seed: u64) -> Graph
 /// overlaying a uniform random recursive tree (so the result is always
 /// connected, and for moderate `p` is statistically close to `G(n, p)`).
 pub fn random_connected(n: usize, p: f64, seed: u64) -> Graph {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut g = random_tree(n, seed.wrapping_add(0x9E3779B97F4A7C15));
     for i in 0..n {
         for j in (i + 1)..n {
-            if !g.has_edge(nid(i), nid(j)) && rng.gen_bool(p.clamp(0.0, 1.0)) {
+            if !g.has_edge(nid(i), nid(j)) && rng.gen_bool(p) {
                 g.add_edge(nid(i), nid(j)).expect("valid random edge");
             }
         }
@@ -260,14 +263,14 @@ pub fn random_bounded_degree_connected(
     seed: u64,
 ) -> Graph {
     assert!(max_degree >= 2, "need max_degree >= 2");
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut g = if n >= 3 { ring(n) } else { line(n) };
     let mut added = 0usize;
     let mut attempts = 0usize;
     while added < extra_edges && attempts < 50 * (extra_edges + 1) && n >= 2 {
         attempts += 1;
-        let u = rng.gen_range(0..n);
-        let v = rng.gen_range(0..n);
+        let u = rng.gen_range(0, n);
+        let v = rng.gen_range(0, n);
         if u != v
             && !g.has_edge(nid(u), nid(v))
             && g.degree(nid(u)) < max_degree
@@ -300,11 +303,13 @@ pub fn barbell(k: usize, bridge: usize) -> Graph {
     // Path connecting the two cliques.
     let mut prev = if k > 0 { k - 1 } else { 0 };
     for b in 0..bridge {
-        g.add_edge(nid(prev), nid(k + b)).expect("valid bridge edge");
+        g.add_edge(nid(prev), nid(k + b))
+            .expect("valid bridge edge");
         prev = k + b;
     }
     if k > 0 && n > k {
-        g.add_edge(nid(prev), nid(offset)).expect("valid bridge edge");
+        g.add_edge(nid(prev), nid(offset))
+            .expect("valid bridge edge");
     }
     g
 }

@@ -1,14 +1,13 @@
 //! A simple undirected graph over a fixed vertex set `0..n`.
 
 use crate::{GraphError, NodeId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// An undirected edge, stored in canonical (sorted) order.
 ///
 /// Two `Edge` values compare equal iff they connect the same pair of nodes,
 /// regardless of the order in which the endpoints were supplied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Edge {
     /// The smaller endpoint.
     pub a: NodeId,
@@ -55,7 +54,7 @@ impl Edge {
 /// the vertex set never changes, only the edge set does. Adjacency is kept
 /// as a sorted set per node so that iteration order is deterministic, which
 /// matters for reproducible executions of the deterministic algorithms.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
     n: usize,
     adjacency: Vec<BTreeSet<NodeId>>,
@@ -216,7 +215,11 @@ impl Graph {
 
     /// Maximum degree over all nodes (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        self.adjacency.iter().map(|adj| adj.len()).max().unwrap_or(0)
+        self.adjacency
+            .iter()
+            .map(|adj| adj.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Iterator over all edges in canonical order.
@@ -240,8 +243,7 @@ impl Graph {
     /// Panics if the two graphs have different node counts.
     pub fn union(&self, other: &Graph) -> Graph {
         assert_eq!(
-            self.n,
-            other.n,
+            self.n, other.n,
             "graph union requires identical vertex sets"
         );
         let mut g = self.clone();
@@ -260,8 +262,7 @@ impl Graph {
     /// Panics if the two graphs have different node counts.
     pub fn difference(&self, other: &Graph) -> Graph {
         assert_eq!(
-            self.n,
-            other.n,
+            self.n, other.n,
             "graph difference requires identical vertex sets"
         );
         let mut g = Graph::new(self.n);
@@ -354,8 +355,11 @@ mod tests {
     #[test]
     fn potential_neighbors_are_distance_two() {
         // Path 0 - 1 - 2 - 3
-        let g = Graph::from_edges(4, vec![(nid(0), nid(1)), (nid(1), nid(2)), (nid(2), nid(3))])
-            .unwrap();
+        let g = Graph::from_edges(
+            4,
+            vec![(nid(0), nid(1)), (nid(1), nid(2)), (nid(2), nid(3))],
+        )
+        .unwrap();
         let p0 = g.potential_neighbors(nid(0));
         assert_eq!(p0.into_iter().collect::<Vec<_>>(), vec![nid(2)]);
         assert!(g.at_distance_two(nid(0), nid(2)));
@@ -367,8 +371,11 @@ mod tests {
 
     #[test]
     fn degrees_and_edges() {
-        let g = Graph::from_edges(5, vec![(nid(0), nid(1)), (nid(0), nid(2)), (nid(0), nid(3))])
-            .unwrap();
+        let g = Graph::from_edges(
+            5,
+            vec![(nid(0), nid(1)), (nid(0), nid(2)), (nid(0), nid(3))],
+        )
+        .unwrap();
         assert_eq!(g.degree(nid(0)), 3);
         assert_eq!(g.degree(nid(4)), 0);
         assert_eq!(g.max_degree(), 3);

@@ -1,13 +1,12 @@
 //! Strongly-typed identifiers: node indices and UIDs.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a node in a network with vertex set `0..n`.
 ///
 /// The paper's vertex set `V` is static; we index it densely so that all
 /// per-node state can live in flat vectors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub usize);
 
 impl NodeId {
@@ -42,7 +41,7 @@ impl From<NodeId> for usize {
 /// and that algorithms are *comparison based*: UIDs are only ever compared
 /// with `<`, `>` and `=`. A `u64` comfortably covers every experiment size
 /// we run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Uid(pub u64);
 
 impl Uid {

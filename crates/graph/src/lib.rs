@@ -44,6 +44,7 @@ pub mod families;
 pub mod generators;
 pub mod graph;
 pub mod properties;
+pub mod rng;
 pub mod rooted;
 pub mod traversal;
 pub mod uid;

@@ -96,9 +96,7 @@ pub fn is_bounded_arity_tree(graph: &Graph, root: NodeId, arity: usize, max_dept
         return false;
     }
     match RootedTree::from_tree_graph(graph, root) {
-        Ok(t) => {
-            t.depth() <= max_depth && graph.nodes().all(|u| t.child_count(u) <= arity)
-        }
+        Ok(t) => t.depth() <= max_depth && graph.nodes().all(|u| t.child_count(u) <= arity),
         Err(_) => false,
     }
 }

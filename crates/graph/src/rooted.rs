@@ -5,12 +5,11 @@
 //! its parent from its children. [`RootedTree`] is that oriented view.
 
 use crate::{Graph, GraphError, NodeId};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A rooted tree over the vertex set `0..n`, stored as a parent map plus
 /// derived children lists and depths.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RootedTree {
     root: NodeId,
     parent: Vec<Option<NodeId>>,
@@ -210,9 +209,7 @@ impl RootedTree {
     /// (children + parent).
     pub fn max_degree(&self) -> usize {
         (0..self.node_count())
-            .map(|i| {
-                self.children[i].len() + usize::from(self.parent[i].is_some())
-            })
+            .map(|i| self.children[i].len() + usize::from(self.parent[i].is_some()))
             .max()
             .unwrap_or(0)
     }
@@ -310,9 +307,7 @@ mod tests {
         // Self-parent.
         assert!(RootedTree::from_parents(nid(0), vec![None, Some(nid(1))]).is_err());
         // Cycle among non-root nodes: 1 -> 2 -> 1 unreachable from root 0.
-        assert!(
-            RootedTree::from_parents(nid(0), vec![None, Some(nid(2)), Some(nid(1))]).is_err()
-        );
+        assert!(RootedTree::from_parents(nid(0), vec![None, Some(nid(2)), Some(nid(1))]).is_err());
         // Out-of-range root.
         assert!(RootedTree::from_parents(nid(5), vec![None]).is_err());
         // Out-of-range parent.

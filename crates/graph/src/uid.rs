@@ -6,14 +6,11 @@
 //! is exactly what the lower-bound constructions of Section 6 manipulate
 //! (the *increasing order ring*, Definition D.8).
 
+use crate::rng::DetRng;
 use crate::{NodeId, Uid};
-use rand::seq::SliceRandom;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 /// How UIDs are assigned to the nodes `0..n`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UidAssignment {
     /// Node `i` receives UID `i + 1` (so the maximum-UID node is `n - 1`).
     Sequential,
@@ -33,7 +30,7 @@ pub enum UidAssignment {
 }
 
 /// A concrete UID assignment for `n` nodes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UidMap {
     uids: Vec<Uid>,
 }
@@ -48,8 +45,8 @@ impl UidMap {
             UidAssignment::Reversed => (0..n).map(|i| Uid((n - i) as u64)).collect(),
             UidAssignment::RandomPermutation { seed } => {
                 let mut values: Vec<u64> = (1..=n as u64).collect();
-                let mut rng = ChaCha8Rng::seed_from_u64(seed);
-                values.shuffle(&mut rng);
+                let mut rng = DetRng::seed_from_u64(seed);
+                rng.shuffle(&mut values);
                 values.into_iter().map(Uid).collect()
             }
         };

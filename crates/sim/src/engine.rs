@@ -7,7 +7,7 @@
 //! driver executes one program instance per node in lock step and applies
 //! their edge decisions through the validated [`Network`] API.
 
-use crate::{ExecutionReport, Network, RoundStats, SimError};
+use crate::{ExecutionReport, Network, SimError};
 use adn_graph::{NodeId, Uid, UidMap};
 
 /// A node's read-only view of the world at the beginning of a round.
@@ -124,7 +124,14 @@ pub fn run_programs<P: NodeProgram>(
     assert_eq!(programs.len(), n, "one program per node is required");
     assert_eq!(uids.len(), n, "one UID per node is required");
 
-    let mut trace = Vec::new();
+    // Per-round statistics are captured by the network itself so that the
+    // trace convention is shared with the committee-level algorithms; the
+    // caller's trace setting is restored on the way out.
+    let caller_trace = network.trace_enabled();
+    if config.record_trace {
+        network.set_trace_enabled(true);
+    }
+    let trace_start = network.trace().len();
     let mut rounds_executed = 0usize;
 
     while !programs.iter().all(|p| p.has_terminated()) {
@@ -136,7 +143,9 @@ pub fn run_programs<P: NodeProgram>(
         rounds_executed += 1;
 
         // Snapshot views for this round.
-        let views: Vec<NodeView> = (0..n).map(|i| build_view(network, uids, NodeId(i))).collect();
+        let views: Vec<NodeView> = (0..n)
+            .map(|i| build_view(network, uids, NodeId(i)))
+            .collect();
 
         // Send phase.
         let mut inboxes: Vec<Vec<(NodeId, P::Message)>> = vec![Vec::new(); n];
@@ -155,33 +164,20 @@ pub fn run_programs<P: NodeProgram>(
         }
 
         // Step phase: gather decisions, then stage and commit.
-        let mut deactivations_this_round = 0usize;
         for i in 0..n {
             let decision = programs[i].step(&views[i], &inboxes[i]);
             for v in decision.activate {
                 network.stage_activation(NodeId(i), v)?;
             }
             for v in decision.deactivate {
-                if network.stage_deactivation(NodeId(i), v)? {
-                    deactivations_this_round += 1;
-                }
+                network.stage_deactivation(NodeId(i), v)?;
             }
         }
-        let summary = network.commit_round();
-        let _ = deactivations_this_round;
-
-        if config.record_trace {
-            trace.push(RoundStats {
-                round: summary.round,
-                activations: summary.activations,
-                deactivations: summary.deactivations,
-                activated_edges: summary.activated_edges_now,
-                max_degree: network.graph().max_degree(),
-                groups_alive: 0,
-            });
-        }
+        network.commit_round();
     }
 
+    let trace = network.trace()[trace_start..].to_vec();
+    network.set_trace_enabled(caller_trace);
     let report = ExecutionReport::new(network.metrics().clone(), network.graph().clone(), 0)
         .with_trace(trace);
     Ok(report)
@@ -211,7 +207,12 @@ mod tests {
             }
             self.done = true;
             NodeDecision {
-                activate: view.potential_neighbors.first().copied().into_iter().collect(),
+                activate: view
+                    .potential_neighbors
+                    .first()
+                    .copied()
+                    .into_iter()
+                    .collect(),
                 deactivate: Vec::new(),
             }
         }

@@ -75,10 +75,15 @@ mod tests {
         assert!(SimError::RoundLimitExceeded { limit: 10 }
             .to_string()
             .contains("10"));
-        assert!(SimError::SelfLoop { node: NodeId(2) }.to_string().contains("v2"));
-        assert!(SimError::NodeOutOfRange { node: NodeId(9), n: 4 }
+        assert!(SimError::SelfLoop { node: NodeId(2) }
             .to_string()
-            .contains("v9"));
+            .contains("v2"));
+        assert!(SimError::NodeOutOfRange {
+            node: NodeId(9),
+            n: 4
+        }
+        .to_string()
+        .contains("v9"));
     }
 
     #[test]

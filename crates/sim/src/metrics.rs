@@ -1,7 +1,5 @@
 //! Edge-complexity metrics (Section 2.2 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 /// The paper's edge-complexity measures plus the running time, accumulated
 /// by [`crate::Network`] as rounds are committed.
 ///
@@ -15,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// * `max_total_degree` — the largest degree counting all edges (initial
 ///   plus activated); the paper's bounded-degree statements
 ///   ("8 + c where c is the initial degree") are checked against this.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EdgeMetrics {
     /// Number of rounds that have elapsed (committed or idle-charged).
     pub rounds: usize,
@@ -51,7 +49,11 @@ impl EdgeMetrics {
 
     /// Maximum number of activations in any single round.
     pub fn max_activations_in_round(&self) -> usize {
-        self.activations_per_round.iter().copied().max().unwrap_or(0)
+        self.activations_per_round
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average number of activations per committed round (0 if no rounds).

@@ -1,6 +1,6 @@
 //! The validated, metered temporal graph.
 
-use crate::{EdgeMetrics, SimError};
+use crate::{EdgeMetrics, RoundStats, SimError};
 use adn_graph::{Edge, Graph, NodeId};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -37,6 +37,9 @@ pub struct Network {
     staged_activations: BTreeSet<Edge>,
     staged_deactivations: BTreeSet<Edge>,
     staged_by_node: BTreeMap<NodeId, usize>,
+    trace_enabled: bool,
+    groups_alive: usize,
+    trace: Vec<RoundStats>,
 }
 
 impl Network {
@@ -54,7 +57,41 @@ impl Network {
             staged_activations: BTreeSet::new(),
             staged_deactivations: BTreeSet::new(),
             staged_by_node: BTreeMap::new(),
+            trace_enabled: false,
+            groups_alive: 0,
+            trace: Vec::new(),
         }
+    }
+
+    /// Enables or disables the per-round [`RoundStats`] trace. While
+    /// enabled, every committed round appends one entry (idle rounds are
+    /// not traced — they perform no edge operations by definition).
+    pub fn set_trace_enabled(&mut self, enabled: bool) {
+        self.trace_enabled = enabled;
+    }
+
+    /// Returns true if per-round tracing is enabled.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_enabled
+    }
+
+    /// Records the number of algorithm-specific groups (e.g. committees)
+    /// currently alive; the value is stamped into every subsequently traced
+    /// round until updated. Algorithms without a group structure leave it
+    /// at the default 0.
+    pub fn note_groups_alive(&mut self, groups: usize) {
+        self.groups_alive = groups;
+    }
+
+    /// The per-round trace captured so far (empty unless tracing was
+    /// enabled via [`Network::set_trace_enabled`]).
+    pub fn trace(&self) -> &[RoundStats] {
+        &self.trace
+    }
+
+    /// Takes ownership of the captured trace, leaving an empty one behind.
+    pub fn take_trace(&mut self) -> Vec<RoundStats> {
+        std::mem::take(&mut self.trace)
     }
 
     /// Number of nodes.
@@ -228,6 +265,16 @@ impl Network {
             deactivations,
             activated_edges_now: activated_now,
         };
+        if self.trace_enabled {
+            self.trace.push(RoundStats {
+                round: summary.round,
+                activations,
+                deactivations,
+                activated_edges: activated_now,
+                max_degree: self.current.max_degree(),
+                groups_alive: self.groups_alive,
+            });
+        }
         self.round += 1;
         summary
     }
@@ -260,7 +307,11 @@ impl Network {
     /// # Errors
     ///
     /// Same as [`Network::stage_activation`].
-    pub fn activate_in_own_round(&mut self, u: NodeId, v: NodeId) -> Result<RoundSummary, SimError> {
+    pub fn activate_in_own_round(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+    ) -> Result<RoundSummary, SimError> {
         self.stage_activation(u, v)?;
         Ok(self.commit_round())
     }
@@ -316,7 +367,10 @@ mod tests {
     fn deactivation_requires_active_edge() {
         let mut net = Network::new(generators::line(3));
         assert!(net.stage_deactivation(nid(0), nid(1)).unwrap());
-        assert!(!net.stage_deactivation(nid(0), nid(2)).unwrap(), "inactive edge is a no-op");
+        assert!(
+            !net.stage_deactivation(nid(0), nid(2)).unwrap(),
+            "inactive edge is a no-op"
+        );
         let s = net.commit_round();
         assert_eq!(s.deactivations, 1);
         assert!(!net.graph().has_edge(nid(0), nid(1)));

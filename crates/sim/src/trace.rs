@@ -2,11 +2,10 @@
 
 use crate::EdgeMetrics;
 use adn_graph::Graph;
-use serde::{Deserialize, Serialize};
 
 /// Per-round statistics captured while an execution runs. These power the
 /// "figure"-style experiments (committee decay, activation time-series).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoundStats {
     /// The round index.
     pub round: usize,

@@ -12,7 +12,7 @@ fn main() -> Result<(), CoreError> {
     let n = 512;
     // Bounded-degree peer topology: a ring with a few random chords.
     let graph = GraphFamily::BoundedDegreeConnected.generate(n, 7);
-    let uids = UidMap::new(graph.node_count(), UidAssignment::RandomPermutation { seed: 7 });
+    let uids = UidAssignment::RandomPermutation { seed: 7 };
 
     println!(
         "initial overlay : n = {}, max degree = {}, diameter = {:?}",
@@ -21,23 +21,32 @@ fn main() -> Result<(), CoreError> {
         traversal::diameter(&graph)
     );
 
-    for (name, outcome) in [
-        ("GraphToWreath     ", run_graph_to_wreath(&graph, &uids)?),
-        ("GraphToThinWreath ", run_graph_to_thin_wreath(&graph, &uids)?),
-    ] {
+    for id in ["graph_to_wreath", "graph_to_thin_wreath"] {
+        let spec = find_algorithm(id).expect("registered").spec();
+        let outcome = Experiment::on(graph.clone())
+            .uids(uids)
+            .algorithm(id)
+            .run()?;
         let tree = RootedTree::from_tree_graph(&outcome.final_graph, outcome.leader)
             .expect("final overlay is a spanning tree");
         println!(
-            "{name}: rounds = {:4}, activations = {:6}, max degree during run = {:2}, final depth = {:2}",
+            "{:<18}: rounds = {:4}, activations = {:6}, max degree during run = {:2}, final depth = {:2}  [{} time]",
+            spec.name,
             outcome.rounds,
             outcome.metrics.total_activations,
             outcome.metrics.max_total_degree,
             tree.depth(),
+            spec.time,
         );
     }
 
-    println!("(GraphToStar would be faster but needs a linear-degree hub — unusable as a P2P overlay.)");
-    let star = run_graph_to_star(&graph, &uids)?;
+    println!(
+        "(GraphToStar would be faster but needs a linear-degree hub — unusable as a P2P overlay.)"
+    );
+    let star = Experiment::on(graph)
+        .uids(uids)
+        .algorithm("graph_to_star")
+        .run()?;
     println!(
         "GraphToStar       : rounds = {:4}, activations = {:6}, max degree during run = {:2} (!)",
         star.rounds, star.metrics.total_activations, star.metrics.max_total_degree

@@ -1,5 +1,6 @@
 //! Quickstart: reconfigure a high-diameter network into a spanning star,
-//! elect a leader, and inspect the paper's edge-complexity measures.
+//! elect a leader, and inspect the paper's edge-complexity measures —
+//! all through the `Experiment` builder.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -11,22 +12,43 @@ fn main() -> Result<(), CoreError> {
     let graph = generators::line(n);
     let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed: 42 });
 
-    println!("initial network : spanning line, n = {n}, diameter = {:?}", traversal::diameter(&graph));
+    println!(
+        "initial network : spanning line, n = {n}, diameter = {:?}",
+        traversal::diameter(&graph)
+    );
 
     // GraphToStar (Section 3): O(log n) rounds, O(n log n) activations.
-    let outcome = run_graph_to_star(&graph, &uids)?;
+    let outcome = Experiment::on(graph.clone())
+        .uids(UidAssignment::RandomPermutation { seed: 42 })
+        .algorithm("graph_to_star")
+        .trace(TraceLevel::PerRound)
+        .run()?;
 
-    println!("elected leader  : {} (max UID? {})", outcome.leader, verify_leader_election(&outcome, &uids));
+    println!(
+        "elected leader  : {} (max UID? {})",
+        outcome.leader,
+        verify_leader_election(&outcome, &uids)
+    );
     println!("final diameter  : {:?}", outcome.final_diameter());
     println!("rounds          : {}", outcome.rounds);
     println!("phases          : {}", outcome.phases);
-    println!("total edge activations      : {}", outcome.metrics.total_activations);
-    println!("max activated edges / round : {}", outcome.metrics.max_activated_edges);
-    println!("max activated degree        : {}", outcome.metrics.max_activated_degree);
+    println!(
+        "total edge activations      : {}",
+        outcome.metrics.total_activations
+    );
+    println!(
+        "max activated edges / round : {}",
+        outcome.metrics.max_activated_edges
+    );
+    println!(
+        "max activated degree        : {}",
+        outcome.metrics.max_activated_degree
+    );
     println!(
         "committees per phase        : {:?}",
         outcome.committees_per_phase
     );
+    println!("traced rounds               : {}", outcome.trace.len());
 
     // Composition (Section 1.3): disseminate every token over the new
     // low-diameter network and compare with flooding the original line.

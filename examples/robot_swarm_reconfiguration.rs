@@ -4,6 +4,9 @@
 //! robot, while every connection change is a physical link that costs
 //! energy — exactly the paper's edge-complexity measures.
 //!
+//! The comparison sweeps the algorithm registry instead of naming each
+//! strategy, so new registered algorithms show up automatically.
+//!
 //! Run with: `cargo run --release --example robot_swarm_reconfiguration`
 
 use actively_dynamic_networks::prelude::*;
@@ -12,20 +15,24 @@ fn main() -> Result<(), CoreError> {
     // A 16 x 16 grid of robots.
     let graph = generators::grid(16, 16);
     let n = graph.node_count();
-    let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed: 3 });
     println!(
         "swarm: {n} robots in a 16x16 grid, diameter {:?}",
         traversal::diameter(&graph)
     );
 
-    // Compare the three reconfiguration strategies and the clique
-    // straw-man on the energy measures.
-    let outcomes = vec![
-        ("GraphToStar", run_graph_to_star(&graph, &uids)?),
-        ("GraphToWreath", run_graph_to_wreath(&graph, &uids)?),
-        ("GraphToThinWreath", run_graph_to_thin_wreath(&graph, &uids)?),
-        ("CliqueFormation", run_clique_formation(&graph, &uids)?),
-    ];
+    // Compare every registered distributed strategy on the energy measures.
+    let mut outcomes = Vec::new();
+    for algorithm in registry() {
+        let spec = algorithm.spec();
+        if spec.centralized || !algorithm.supports(&graph) {
+            continue; // robots have no global controller
+        }
+        let outcome = Experiment::on(graph.clone())
+            .uids(UidAssignment::RandomPermutation { seed: 3 })
+            .algorithm(spec.id)
+            .run()?;
+        outcomes.push((spec.name, outcome));
+    }
     println!(
         "{:<18} {:>7} {:>12} {:>14} {:>10} {:>10}",
         "strategy", "rounds", "activations", "max act.edges", "max degree", "final diam"
@@ -42,11 +49,14 @@ fn main() -> Result<(), CoreError> {
         );
     }
 
-    // The command tree: broadcast a "go" order from the elected leader.
-    let (name, best) = &outcomes[1];
-    let broadcast =
-        adn_core::tasks::convergecast_broadcast_rounds(&best.final_graph, best.leader)
-            .expect("command tree is connected");
+    // The command tree: broadcast a "go" order from the elected leader of
+    // the bounded-degree strategy (GraphToWreath).
+    let (name, best) = outcomes
+        .iter()
+        .find(|(name, _)| *name == "GraphToWreath")
+        .expect("GraphToWreath is registered");
+    let broadcast = adn_core::tasks::convergecast_broadcast_rounds(&best.final_graph, best.leader)
+        .expect("command tree is connected");
     println!("\nusing {name}: a command broadcast + acknowledgement takes {broadcast} rounds on the final tree");
     Ok(())
 }

@@ -16,17 +16,25 @@ fn main() -> Result<(), CoreError> {
         let graph = generators::line(n);
         let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed: 11 });
 
-        let (flood_rounds, flood_metrics) = disseminate_by_flooding_only(&graph, &uids)?;
-        assert_eq!(flood_metrics.total_activations, 0);
+        // The baseline is itself a registered algorithm now.
+        let flood = Experiment::on(graph.clone())
+            .uids(UidAssignment::RandomPermutation { seed: 11 })
+            .algorithm("flooding")
+            .run()?;
+        assert_eq!(flood.metrics.total_activations, 0);
+        assert!(flood.tokens_per_node.iter().all(|&t| t == n));
 
-        let outcome = run_graph_to_star(&graph, &uids)?;
+        let outcome = Experiment::on(graph)
+            .uids(UidAssignment::RandomPermutation { seed: 11 })
+            .algorithm("graph_to_star")
+            .run()?;
         let report = disseminate_after_transformation(&outcome, &uids)?;
         let combined = report.transformation_rounds + report.dissemination_rounds;
 
         println!(
             "{:>6} {:>16} {:>26} {:>12}",
             n,
-            flood_rounds,
+            flood.rounds,
             format!(
                 "{combined} ({} + {})",
                 report.transformation_rounds, report.dissemination_rounds

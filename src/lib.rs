@@ -9,26 +9,47 @@
 //! * [`sim`] (adn-sim) — the synchronous actively-dynamic-network
 //!   simulator with the distance-2 activation rule and edge-complexity
 //!   metering.
-//! * [`core`] (adn-core) — the paper's algorithms: GraphToStar,
-//!   GraphToWreath, GraphToThinWreath, the subroutines, baselines,
-//!   centralized strategies, lower-bound machinery and task layer.
+//! * [`core`] (adn-core) — the paper's algorithms behind the unified
+//!   [`core::algorithm::ReconfigurationAlgorithm`] trait and
+//!   [`core::algorithm::registry`]: GraphToStar, GraphToWreath,
+//!   GraphToThinWreath, the baselines and the centralized strategies,
+//!   plus subroutines, lower-bound machinery and the task layer.
 //! * [`analysis`] (adn-analysis) — the experiment harness.
+//!
+//! and adds the [`Experiment`] builder, the recommended entry point.
 //!
 //! # Quickstart
 //!
 //! ```
 //! use actively_dynamic_networks::prelude::*;
 //!
-//! // A spanning line on 64 nodes with random UIDs.
-//! let graph = generators::line(64);
-//! let uids = UidMap::new(64, UidAssignment::RandomPermutation { seed: 7 });
+//! // Reconfigure a spanning line (the paper's worst case: diameter n-1)
+//! // into a spanning star, electing a leader in O(log n) rounds with
+//! // O(n log n) edge activations.
+//! let outcome = Experiment::on(generators::line(64))
+//!     .uids(UidAssignment::RandomPermutation { seed: 7 })
+//!     .algorithm("graph_to_star")
+//!     .trace(TraceLevel::PerRound)
+//!     .run()
+//!     .unwrap();
 //!
-//! // Reconfigure it into a spanning star and elect a leader in O(log n)
-//! // rounds with O(n log n) edge activations.
-//! let outcome = run_graph_to_star(&graph, &uids).unwrap();
 //! assert_eq!(outcome.final_diameter(), Some(2));
-//! assert_eq!(Some(outcome.leader), uids.max_uid_node());
+//! assert!(!outcome.trace.is_empty());
+//!
+//! // Or sweep every registered algorithm generically:
+//! let graph = generators::ring(32);
+//! let uids = UidMap::new(32, UidAssignment::Sequential);
+//! for algorithm in registry() {
+//!     if algorithm.supports(&graph) {
+//!         let outcome = algorithm.run(&graph, &uids, &RunConfig::default()).unwrap();
+//!         println!("{:<20} {} rounds", algorithm.name(), outcome.rounds);
+//!     }
+//! }
 //! ```
+//!
+//! The pre-0.2 free functions (`run_graph_to_star`, `run_flooding`, …)
+//! remain available from the prelude but are deprecated in favour of the
+//! trait and the builder.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,14 +59,19 @@ pub use adn_core as core;
 pub use adn_graph as graph;
 pub use adn_sim as sim;
 
+mod experiment;
+
+pub use experiment::Experiment;
+
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use adn_core::baselines::clique::run_clique_formation;
-    pub use adn_core::baselines::flooding::run_flooding;
-    pub use adn_core::centralized::{run_centralized_general, run_cut_in_half_on_line};
-    pub use adn_core::graph_to_star::run_graph_to_star;
-    pub use adn_core::graph_to_thin_wreath::run_graph_to_thin_wreath;
-    pub use adn_core::graph_to_wreath::run_graph_to_wreath;
+    pub use crate::Experiment;
+    pub use adn_core::algorithm::{
+        find as find_algorithm, registry, AlgorithmSpec, CentralizedConfig, CentralizedCutInHalf,
+        CentralizedGeneral, CliqueFormation, Flooding, GraphToStar, GraphToThinWreath,
+        GraphToWreath, ReconfigurationAlgorithm, RunConfig, TraceLevel,
+    };
+    pub use adn_core::graph_to_wreath::WreathConfig;
     pub use adn_core::tasks::{
         disseminate_after_transformation, disseminate_by_flooding_only, verify_leader_election,
     };
@@ -55,6 +81,21 @@ pub mod prelude {
         UidAssignment, UidMap,
     };
     pub use adn_sim::{EdgeMetrics, Network};
+
+    // Deprecated pre-0.2 entry points, kept working for downstream code.
+    #[allow(deprecated)]
+    pub use adn_core::baselines::clique::run_clique_formation;
+    pub use adn_core::baselines::clique::run_clique_then_prune;
+    #[allow(deprecated)]
+    pub use adn_core::baselines::flooding::run_flooding;
+    #[allow(deprecated)]
+    pub use adn_core::centralized::{run_centralized_general, run_cut_in_half_on_line};
+    #[allow(deprecated)]
+    pub use adn_core::graph_to_star::run_graph_to_star;
+    #[allow(deprecated)]
+    pub use adn_core::graph_to_thin_wreath::run_graph_to_thin_wreath;
+    #[allow(deprecated)]
+    pub use adn_core::graph_to_wreath::run_graph_to_wreath;
 }
 
 #[cfg(test)]
@@ -63,6 +104,18 @@ mod tests {
 
     #[test]
     fn facade_reexports_work_together() {
+        let outcome = Experiment::family(GraphFamily::Ring, 16, 1)
+            .algorithm("graph_to_wreath")
+            .run()
+            .unwrap();
+        let uids = UidMap::new(16, UidAssignment::Sequential);
+        assert!(verify_leader_election(&outcome, &uids));
+        assert!(properties::is_tree(&outcome.final_graph));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_prelude_entry_points_still_work() {
         let graph = generators::ring(16);
         let uids = UidMap::new(16, UidAssignment::Sequential);
         let outcome = run_graph_to_wreath(&graph, &uids).unwrap();

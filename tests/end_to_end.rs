@@ -1,5 +1,6 @@
 //! End-to-end integration tests spanning all workspace crates:
-//! graph generation → simulation → transformation → task layer → analysis.
+//! graph generation → simulation → transformation → task layer → analysis,
+//! all driven through the `Experiment` builder and the algorithm registry.
 
 use actively_dynamic_networks::prelude::*;
 use adn_analysis::{Algorithm, RunRecord};
@@ -12,11 +13,19 @@ fn full_pipeline_on_every_family() {
         let n = graph.node_count();
         let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed: 5 });
 
-        let outcome = run_graph_to_star(&graph, &uids).expect("GraphToStar");
+        let outcome = Experiment::on(graph.clone())
+            .uids(UidAssignment::RandomPermutation { seed: 5 })
+            .algorithm("graph_to_star")
+            .run()
+            .expect("GraphToStar");
         assert!(verify_leader_election(&outcome, &uids), "{family}");
         assert!(properties::is_star(&outcome.final_graph), "{family}");
 
-        let outcome = run_graph_to_wreath(&graph, &uids).expect("GraphToWreath");
+        let outcome = Experiment::on(graph)
+            .uids(UidAssignment::RandomPermutation { seed: 5 })
+            .algorithm("graph_to_wreath")
+            .run()
+            .expect("GraphToWreath");
         assert!(verify_leader_election(&outcome, &uids), "{family}");
         assert!(properties::is_tree(&outcome.final_graph), "{family}");
         let tree = RootedTree::from_tree_graph(&outcome.final_graph, outcome.leader).unwrap();
@@ -30,7 +39,11 @@ fn transformation_beats_flooding_on_high_diameter_graphs() {
     let graph = generators::line(n);
     let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed: 2 });
     let (flood_rounds, _) = disseminate_by_flooding_only(&graph, &uids).unwrap();
-    let outcome = run_graph_to_star(&graph, &uids).unwrap();
+    let outcome = Experiment::on(graph)
+        .uids(UidAssignment::RandomPermutation { seed: 2 })
+        .algorithm("graph_to_star")
+        .run()
+        .unwrap();
     let report = disseminate_after_transformation(&outcome, &uids).unwrap();
     assert!(report.transformation_rounds + report.dissemination_rounds < flood_rounds / 3);
 }
@@ -38,9 +51,11 @@ fn transformation_beats_flooding_on_high_diameter_graphs() {
 #[test]
 fn analysis_records_agree_with_direct_runs() {
     let record = RunRecord::measure(Algorithm::GraphToStar, GraphFamily::Ring, 40, 8).unwrap();
-    let graph = GraphFamily::Ring.generate(40, 8);
-    let uids = UidMap::new(40, UidAssignment::RandomPermutation { seed: 8 });
-    let outcome = run_graph_to_star(&graph, &uids).unwrap();
+    let outcome = Experiment::family(GraphFamily::Ring, 40, 8)
+        .uids(UidAssignment::RandomPermutation { seed: 8 })
+        .algorithm("graph_to_star")
+        .run()
+        .unwrap();
     assert_eq!(record.rounds, outcome.rounds);
     assert_eq!(record.total_activations, outcome.metrics.total_activations);
     assert!(record.leader_ok);
@@ -53,9 +68,17 @@ fn centralized_vs_distributed_activation_separation() {
     // centralized strategy.
     let n = 256;
     let ring = generators::ring(n);
-    let uids = UidMap::new(n, UidAssignment::IncreasingRing);
-    let star = run_graph_to_star(&ring, &uids).unwrap();
-    let central = run_centralized_general(&ring, &uids, true).unwrap();
+    let star = Experiment::on(ring.clone())
+        .uids(UidAssignment::IncreasingRing)
+        .algorithm("graph_to_star")
+        .run()
+        .unwrap();
+    let central = Experiment::on(ring)
+        .uids(UidAssignment::IncreasingRing)
+        .algorithm("centralized_general")
+        .centralized(CentralizedConfig::PruneToTree)
+        .run()
+        .unwrap();
     assert!(central.metrics.total_activations <= 2 * n);
     assert!(
         star.metrics.total_activations >= 2 * central.metrics.total_activations,
@@ -69,12 +92,59 @@ fn centralized_vs_distributed_activation_separation() {
 fn clique_baseline_is_edge_inefficient_but_fast() {
     let n = 64;
     let graph = generators::line(n);
-    let uids = UidMap::new(n, UidAssignment::Sequential);
-    let clique = run_clique_formation(&graph, &uids).unwrap();
-    let star = run_graph_to_star(&graph, &uids).unwrap();
+    let clique = Experiment::on(graph.clone())
+        .algorithm("clique_formation")
+        .run()
+        .unwrap();
+    let star = Experiment::on(graph)
+        .algorithm("graph_to_star")
+        .run()
+        .unwrap();
     assert!(clique.rounds <= ceil_log2(n) + 2);
     // Θ(n²) vs Θ(n log n): at n = 64 the ratio is already a few-fold and it
     // grows with n (the scaling series is experiment T4).
     assert!(clique.metrics.total_activations > 3 * star.metrics.total_activations);
     assert_eq!(clique.metrics.max_total_degree, n - 1);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_run_functions_remain_working() {
+    // The acceptance criterion for the 0.2 API redesign: old entry points
+    // keep working (with deprecation warnings) on top of the trait impls.
+    let n = 48;
+    let graph = generators::line(n);
+    let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed: 4 });
+
+    let star = run_graph_to_star(&graph, &uids).unwrap();
+    assert!(properties::is_star(&star.final_graph));
+
+    let wreath = run_graph_to_wreath(&graph, &uids).unwrap();
+    assert!(properties::is_tree(&wreath.final_graph));
+
+    let thin = run_graph_to_thin_wreath(&graph, &uids).unwrap();
+    assert!(properties::is_tree(&thin.final_graph));
+
+    let clique = run_clique_formation(&graph, &uids).unwrap();
+    assert_eq!(clique.final_graph.edge_count(), n * (n - 1) / 2);
+
+    let flood = run_flooding(&graph, &uids).unwrap();
+    assert!(flood.tokens_per_node.iter().all(|&t| t == n));
+
+    let central = run_centralized_general(&graph, &uids, true).unwrap();
+    assert!(properties::is_tree(&central.final_graph));
+
+    let order: Vec<NodeId> = (0..n).map(NodeId).collect();
+    let cut = run_cut_in_half_on_line(&graph, &order).unwrap();
+    assert!(cut.metrics.total_activations <= n);
+
+    // All of the old outcomes agree with the new entry points.
+    let via_trait = GraphToStar
+        .run(&graph, &uids, &RunConfig::traced())
+        .unwrap();
+    assert_eq!(via_trait.rounds, star.rounds);
+    assert_eq!(
+        via_trait.metrics.total_activations,
+        star.metrics.total_activations
+    );
 }
