@@ -12,6 +12,8 @@
 pub mod experiments;
 pub mod fit;
 pub mod record;
+pub mod stress;
 
 pub use fit::{best_fit, FitResult, Shape};
 pub use record::{Algorithm, RunRecord};
+pub use stress::{StressCase, StressOutcome, StressReport, SweepSummary};

@@ -1,0 +1,546 @@
+//! The deterministic stress suite: algorithms × scenarios × seeds.
+//!
+//! A [`StressCase`] names everything one adversarial execution needs —
+//! algorithm, workload family, size, UID seed, [`Scenario`] and adversary
+//! seed. Crucially, a whole case can be derived from a *single* `u64`
+//! ([`StressCase::from_seed`]), so any failure found by a seed sweep is
+//! reported as one number and reproduced bit-for-bit by
+//! [`replay`] — the FoundationDB recipe, applied to actively dynamic
+//! networks.
+//!
+//! The harness tolerates every way a run can end under faults: clean
+//! completion, a clean error (model violation, exhausted round budget) or
+//! a panic inside the algorithm (caught, recorded, still deterministic).
+//! The DST report (fault schedule + invariant violations) is harvested in
+//! all three cases.
+//!
+//! [`minimize`] shrinks a failing case by bisecting the fault budget: the
+//! adversary's RNG is only consumed while budget remains, so the schedule
+//! under budget `b` is a prefix of the schedule under `B > b`, making the
+//! failing-fault prefix well-defined.
+
+use adn_core::algorithm::{self, arm_network_for_dst, DstConfig, RunConfig};
+use adn_graph::rng::DetRng;
+use adn_graph::{GraphFamily, UidAssignment, UidMap};
+use adn_sim::dst::{self, DstReport, Scenario};
+use adn_sim::Network;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One fully specified adversarial execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StressCase {
+    /// The single seed this case was derived from (0 when the case was
+    /// constructed explicitly rather than via [`StressCase::from_seed`]).
+    pub seed: u64,
+    /// Registry id of the algorithm under test.
+    pub algorithm: String,
+    /// Workload family of the initial network.
+    pub family: GraphFamily,
+    /// Requested node count (families may round it).
+    pub n: usize,
+    /// Seed for instance generation and the UID permutation.
+    pub uid_seed: u64,
+    /// The adversarial environment.
+    pub scenario: Scenario,
+    /// Adversary seed.
+    pub adversary_seed: u64,
+    /// Hard round budget so every run terminates even when faults stall
+    /// the algorithm.
+    pub round_budget: usize,
+}
+
+impl StressCase {
+    /// Derives a complete case from one `u64`: algorithm, family, size,
+    /// UID seed, scenario and adversary seed are all drawn from the
+    /// [`DetRng`] stream of `seed`. The same seed always produces the
+    /// same case — this is the unit of replay.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let algorithms = algorithm::registry();
+        let a = algorithms[rng.gen_range(0, algorithms.len())];
+        // CutInHalf only supports spanning lines; every other algorithm
+        // takes the full family roulette.
+        let family = if a.spec().id == "centralized_cut_in_half" {
+            GraphFamily::Line
+        } else {
+            GraphFamily::ALL[rng.gen_range(0, GraphFamily::ALL.len())]
+        };
+        let n = rng.gen_range(8, 41);
+        let uid_seed = (rng.next_u64() % 100_000) + 1;
+        let pool = dst::scenarios();
+        let scenario = pool[rng.gen_range(0, pool.len())].clone();
+        let adversary_seed = rng.next_u64();
+        StressCase {
+            seed,
+            algorithm: a.spec().id.to_string(),
+            family,
+            n,
+            uid_seed,
+            scenario,
+            adversary_seed,
+            round_budget: 8 * n + 64,
+        }
+    }
+
+    /// Constructs an explicit case (for matrix-style sweeps where the
+    /// algorithm and scenario are pinned rather than seed-derived).
+    pub fn explicit(
+        algorithm: &str,
+        family: GraphFamily,
+        n: usize,
+        uid_seed: u64,
+        scenario: Scenario,
+        adversary_seed: u64,
+    ) -> Self {
+        StressCase {
+            seed: 0,
+            algorithm: algorithm.to_string(),
+            family,
+            n,
+            uid_seed,
+            scenario,
+            adversary_seed,
+            round_budget: 8 * n + 64,
+        }
+    }
+}
+
+/// How an adversarial execution ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StressOutcome {
+    /// The algorithm ran to completion.
+    Completed {
+        /// Rounds consumed.
+        rounds: usize,
+        /// Total edge activations.
+        activations: usize,
+    },
+    /// The algorithm returned an error (model violation, exhausted round
+    /// budget, rejected input — all legitimate under faults).
+    Failed(String),
+    /// The algorithm panicked; the panic was caught and recorded.
+    Panicked(String),
+}
+
+impl StressOutcome {
+    fn label(&self) -> String {
+        match self {
+            StressOutcome::Completed {
+                rounds,
+                activations,
+            } => format!("completed (rounds {rounds}, activations {activations})"),
+            StressOutcome::Failed(e) => format!("failed: {e}"),
+            StressOutcome::Panicked(m) => format!("panicked: {m}"),
+        }
+    }
+}
+
+/// The result of running one [`StressCase`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StressReport {
+    /// The case that was run.
+    pub case: StressCase,
+    /// Actual node count of the generated instance.
+    pub n_actual: usize,
+    /// How the execution ended.
+    pub outcome: StressOutcome,
+    /// The harvested DST report (fault schedule + violations).
+    pub dst: DstReport,
+}
+
+impl StressReport {
+    /// A run is *clean* when the algorithm completed and no invariant was
+    /// violated. Fault-free scenarios must always be clean; under faults,
+    /// `Failed` outcomes are expected and only invariant violations or
+    /// panics count as suite failures (see [`StressReport::is_suite_failure`]).
+    pub fn is_clean(&self) -> bool {
+        matches!(self.outcome, StressOutcome::Completed { .. }) && self.dst.violations.is_empty()
+    }
+
+    /// True when this run should fail the stress suite: the algorithm
+    /// panicked, or an invariant was violated in a failure-free world, or
+    /// the run failed without a single injected fault to blame.
+    pub fn is_suite_failure(&self) -> bool {
+        match &self.outcome {
+            StressOutcome::Panicked(_) => true,
+            StressOutcome::Failed(_) => self.dst.faults.is_empty(),
+            StressOutcome::Completed { .. } => {
+                self.dst.faults.is_empty() && !self.dst.violations.is_empty()
+            }
+        }
+    }
+
+    /// Renders the full report to a stable string; replay equality is
+    /// checked byte-for-byte on exactly this.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "case seed={} algorithm={} family={} n={} (actual {}) uid_seed={} \
+             adversary_seed={} budget={}\n",
+            self.case.seed,
+            self.case.algorithm,
+            self.case.family,
+            self.case.n,
+            self.n_actual,
+            self.case.uid_seed,
+            self.case.adversary_seed,
+            self.case.round_budget,
+        ));
+        s.push_str(&format!("outcome: {}\n", self.outcome.label()));
+        s.push_str(&self.dst.render());
+        s
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one case: generates the instance, arms the network with the
+/// scenario's adversary and the spec-derived invariant checker, executes
+/// the algorithm (catching panics) and harvests the DST report.
+///
+/// # Panics
+///
+/// Panics if the case names an unregistered algorithm.
+pub fn run_case(case: &StressCase) -> StressReport {
+    let a = algorithm::find(&case.algorithm)
+        .unwrap_or_else(|| panic!("unregistered algorithm `{}`", case.algorithm));
+    let graph = case.family.generate(case.n, case.uid_seed);
+    let n_actual = graph.node_count();
+    let uids = UidMap::new(
+        n_actual,
+        UidAssignment::RandomPermutation {
+            seed: case.uid_seed,
+        },
+    );
+    let mut network = Network::new(graph);
+    let dcfg = DstConfig {
+        scenario: case.scenario.clone(),
+        seed: case.adversary_seed,
+    };
+    arm_network_for_dst(&mut network, &a.spec(), &uids, &dcfg);
+    let config = RunConfig::default().with_round_budget(case.round_budget);
+
+    let result = catch_unwind(AssertUnwindSafe(|| a.execute(&mut network, &uids, &config)));
+    let (outcome, dst) = match result {
+        Ok(Ok(o)) => {
+            let report = o.dst.clone();
+            (
+                StressOutcome::Completed {
+                    rounds: o.rounds,
+                    activations: o.metrics.total_activations,
+                },
+                report,
+            )
+        }
+        Ok(Err(e)) => (
+            StressOutcome::Failed(e.to_string()),
+            network.take_dst_report(),
+        ),
+        Err(payload) => (
+            StressOutcome::Panicked(panic_message(payload)),
+            network.take_dst_report(),
+        ),
+    };
+    let dst = dst.unwrap_or_else(|| DstReport {
+        scenario: case.scenario.name.clone(),
+        seed: case.adversary_seed,
+        rounds_checked: 0,
+        crashed: Vec::new(),
+        faults: Vec::new(),
+        violations: Vec::new(),
+    });
+    StressReport {
+        case: case.clone(),
+        n_actual,
+        outcome,
+        dst,
+    }
+}
+
+/// Replays a seed-derived case: `replay(seed)` re-runs exactly the
+/// execution [`StressCase::from_seed`] describes. Two calls with the same
+/// seed render byte-identically.
+pub fn replay(seed: u64) -> StressReport {
+    run_case(&StressCase::from_seed(seed))
+}
+
+/// Runs a seed twice and checks the two renders for byte equality.
+/// Returns the first report plus the verdict.
+pub fn verify_replay(seed: u64) -> (StressReport, bool) {
+    let first = replay(seed);
+    let second = replay(seed);
+    let identical = first.render() == second.render();
+    (first, identical)
+}
+
+/// Result of [`minimize`].
+#[derive(Debug, Clone)]
+pub struct Minimized {
+    /// Smallest fault budget that still reproduces a non-clean run.
+    pub minimal_budget: usize,
+    /// The report of the minimized run.
+    pub report: StressReport,
+}
+
+/// Shrinks a failing case to the smallest fault budget whose run is
+/// non-clean. Returns `None` when the case is clean at its original
+/// budget (nothing to minimize).
+///
+/// The fault schedule under budget `b` is a prefix of the schedule under
+/// any larger budget, but the runs *diverge after the `b`-th fault* — a
+/// later fault can mask an earlier failure (e.g. re-insert a deleted
+/// edge), so non-cleanliness is not necessarily monotone in the budget.
+/// The search therefore scans upward from 0 (budgets are small), which
+/// guarantees the returned budget is exactly minimal: every smaller
+/// budget was probed and ran clean.
+pub fn minimize(case: &StressCase) -> Option<Minimized> {
+    let run_with = |budget: usize| {
+        let mut c = case.clone();
+        c.scenario.fault_budget = budget;
+        run_case(&c)
+    };
+    if run_with(case.scenario.fault_budget).is_clean() {
+        return None;
+    }
+    let budget = (0..case.scenario.fault_budget)
+        .find(|&b| !run_with(b).is_clean())
+        .unwrap_or(case.scenario.fault_budget);
+    Some(Minimized {
+        minimal_budget: budget,
+        report: run_with(budget),
+    })
+}
+
+/// Summary of a seed sweep.
+#[derive(Debug, Clone)]
+pub struct SweepSummary {
+    /// The master seed the case seeds were derived from.
+    pub master_seed: u64,
+    /// All reports, in case order.
+    pub reports: Vec<StressReport>,
+}
+
+impl SweepSummary {
+    /// Number of cleanly completed runs.
+    pub fn completed(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| matches!(r.outcome, StressOutcome::Completed { .. }))
+            .count()
+    }
+
+    /// Number of runs that ended in a clean error.
+    pub fn failed(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| matches!(r.outcome, StressOutcome::Failed(_)))
+            .count()
+    }
+
+    /// Number of caught panics.
+    pub fn panicked(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| matches!(r.outcome, StressOutcome::Panicked(_)))
+            .count()
+    }
+
+    /// Number of runs with at least one invariant violation.
+    pub fn with_violations(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| !r.dst.violations.is_empty())
+            .count()
+    }
+
+    /// The suite failures (see [`StressReport::is_suite_failure`]).
+    pub fn suite_failures(&self) -> Vec<&StressReport> {
+        self.reports
+            .iter()
+            .filter(|r| r.is_suite_failure())
+            .collect()
+    }
+
+    /// A short human-readable summary table.
+    pub fn summary_text(&self) -> String {
+        let mut s = format!(
+            "DST sweep: master_seed={} cases={} completed={} failed={} panicked={} \
+             with_violations={} suite_failures={}\n",
+            self.master_seed,
+            self.reports.len(),
+            self.completed(),
+            self.failed(),
+            self.panicked(),
+            self.with_violations(),
+            self.suite_failures().len(),
+        );
+        for r in self.suite_failures() {
+            s.push_str(&format!(
+                "  FAILURE seed={} ({} on {} under {}): {}\n",
+                r.case.seed,
+                r.case.algorithm,
+                r.case.family,
+                r.case.scenario.name,
+                r.outcome.label()
+            ));
+        }
+        s
+    }
+
+    /// Serializes the sweep to a small JSON document (hand-rolled — the
+    /// workspace is dependency-free), suitable for the `BENCH_dst.json`
+    /// artifact.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => "\\\"".chars().collect::<Vec<_>>(),
+                    '\\' => "\\\\".chars().collect(),
+                    '\n' => "\\n".chars().collect(),
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        let failures: Vec<String> = self
+            .suite_failures()
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"seed\":{},\"algorithm\":\"{}\",\"family\":\"{}\",\"scenario\":\"{}\",\"outcome\":\"{}\"}}",
+                    r.case.seed,
+                    esc(&r.case.algorithm),
+                    esc(r.case.family.name()),
+                    esc(&r.case.scenario.name),
+                    esc(&r.outcome.label()),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"master_seed\":{},\"cases\":{},\"completed\":{},\"failed\":{},\"panicked\":{},\
+             \"with_violations\":{},\"total_faults_injected\":{},\"suite_failures\":[{}]}}",
+            self.master_seed,
+            self.reports.len(),
+            self.completed(),
+            self.failed(),
+            self.panicked(),
+            self.with_violations(),
+            self.reports
+                .iter()
+                .map(|r| r.dst.faults.len())
+                .sum::<usize>(),
+            failures.join(","),
+        )
+    }
+}
+
+/// Runs `cases` seed-derived cases, with case seeds drawn from
+/// `master_seed`'s [`DetRng`] stream. Every failure is reported with its
+/// own `u64` case seed, replayable via [`replay`].
+pub fn sweep(master_seed: u64, cases: usize) -> SweepSummary {
+    let mut rng = DetRng::seed_from_u64(master_seed);
+    let reports = (0..cases)
+        .map(|_| run_case(&StressCase::from_seed(rng.next_u64())))
+        .collect();
+    SweepSummary {
+        master_seed,
+        reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_derivation_is_deterministic() {
+        let a = StressCase::from_seed(17);
+        let b = StressCase::from_seed(17);
+        assert_eq!(a, b);
+        let c = StressCase::from_seed(18);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn failure_free_runs_are_clean() {
+        for algorithm in adn_core::algorithm::registry() {
+            let family = if algorithm.spec().id == "centralized_cut_in_half" {
+                GraphFamily::Line
+            } else {
+                GraphFamily::Ring
+            };
+            let case = StressCase::explicit(
+                algorithm.spec().id,
+                family,
+                20,
+                3,
+                Scenario::failure_free(),
+                99,
+            );
+            let report = run_case(&case);
+            assert!(
+                report.is_clean(),
+                "{} under failure_free: {}",
+                algorithm.spec().id,
+                report.render()
+            );
+            assert!(!report.is_suite_failure());
+        }
+    }
+
+    #[test]
+    fn replay_is_byte_identical() {
+        for seed in [1u64, 2, 3, 40, 41] {
+            let (report, identical) = verify_replay(seed);
+            assert!(identical, "seed {seed} diverged:\n{}", report.render());
+        }
+    }
+
+    #[test]
+    fn minimizer_finds_a_minimal_failing_budget() {
+        // Crashing an interior node of a line disconnects it: flooding
+        // then cannot complete, and the connectivity invariant records a
+        // violation — a guaranteed non-clean case.
+        let scenario = Scenario {
+            per_round_probability: 1.0,
+            ..Scenario::crash_stop().with_fault_budget(6)
+        };
+        let case = StressCase::explicit("flooding", GraphFamily::Line, 16, 1, scenario, 12345);
+        let full = run_case(&case);
+        assert!(!full.is_clean(), "{}", full.render());
+        let minimized = minimize(&case).expect("a failing case must minimize");
+        assert!(minimized.minimal_budget >= 1, "budget 0 is failure-free");
+        assert!(minimized.minimal_budget <= 6);
+        assert!(!minimized.report.is_clean());
+        // The minimal budget really is minimal: one less fault is clean.
+        let mut below = case.clone();
+        below.scenario.fault_budget = minimized.minimal_budget - 1;
+        assert!(run_case(&below).is_clean(), "{}", run_case(&below).render());
+    }
+
+    #[test]
+    fn sweep_reports_are_individually_replayable() {
+        let summary = sweep(0xD57, 12);
+        assert_eq!(summary.reports.len(), 12);
+        for report in &summary.reports {
+            let again = replay(report.case.seed);
+            assert_eq!(
+                report.render(),
+                again.render(),
+                "case seed {} is not reproducible",
+                report.case.seed
+            );
+        }
+        let json = summary.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"cases\":12"));
+    }
+}

@@ -1,10 +1,46 @@
-//! Regenerates the experiment tables and figures of the reproduction.
+//! Regenerates the experiment tables and figures of the reproduction, and
+//! fronts the deterministic stress suite.
 //!
-//! Usage: `cargo run -p adn-bench --release --bin report [-- <experiment-id>]`
-//! where `<experiment-id>` is one of t1, t4, f1, f3, f4, f5, t6, f7, t8, f9.
-//! Without an id the full report (as captured in EXPERIMENTS.md) is printed.
+//! Usage:
+//!
+//! * `cargo run -p adn-bench --release --bin report [-- <experiment-id>]`
+//!   where `<experiment-id>` is one of t1, t4, f1, f3, f4, f5, t6, f7,
+//!   t8, f9 (no id = the full report, as captured in EXPERIMENTS.md);
+//! * `... report -- --dst [cases]` — run the DST stress sweep (default
+//!   1344 cases) and write `BENCH_dst.json`;
+//! * `... report -- --replay <seed>` — replay one stress case from its
+//!   `u64` seed and verify byte-identical reproduction.
 
 fn main() {
-    let arg = std::env::args().nth(1);
-    println!("{}", adn_bench::report_for(arg.as_deref()));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--replay") => {
+            let seed: u64 = args
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .expect("usage: report --replay <u64 seed>");
+            let report = adn_bench::replay_report(seed);
+            print!("{report}");
+            if !report.contains("replay byte-identical: yes") {
+                std::process::exit(1);
+            }
+        }
+        Some("--dst") => {
+            let cases: usize = match args.get(1) {
+                Some(raw) => raw
+                    .parse()
+                    .unwrap_or_else(|_| panic!("usage: report --dst [case count], got `{raw}`")),
+                None => adn_bench::DST_DEFAULT_CASES,
+            };
+            let (summary, json, suite_failures) = adn_bench::dst_suite(cases);
+            std::fs::write("BENCH_dst.json", &json).expect("write BENCH_dst.json");
+            print!("{summary}");
+            println!("wrote BENCH_dst.json ({} bytes)", json.len());
+            // A non-zero exit makes the CI stress job an actual gate.
+            if suite_failures > 0 {
+                std::process::exit(1);
+            }
+        }
+        other => println!("{}", adn_bench::report_for(other)),
+    }
 }

@@ -11,8 +11,45 @@
 //!   report (all tables/figures, as captured in EXPERIMENTS.md).
 //! * `cargo run -p adn-bench --release --bin report -- t1` — a single
 //!   experiment (ids: t1, t4, f1, f3, f4, f5, t6, f7, t8, f9).
+//! * `cargo run -p adn-bench --release --bin report -- --dst [cases]` —
+//!   the deterministic stress suite (default 1344 cases ≈ 64 seeds × 7
+//!   algorithms × 3 fault scenarios); writes `BENCH_dst.json`.
+//! * `cargo run -p adn-bench --release --bin report -- --replay <seed>` —
+//!   replays one stress case from its `u64` seed and verifies the rerun
+//!   is byte-identical.
 
 pub mod harness;
+
+/// Master seed of the CI stress sweep (any u64 works; fixed so the CI
+/// artifact is comparable across commits).
+pub const DST_MASTER_SEED: u64 = 0xD57_5EED;
+
+/// Default case count for the stress sweep: 64 seeds for every
+/// (algorithm, fault scenario) pair of the 7-algorithm registry and the
+/// 3 primary fault scenarios.
+pub const DST_DEFAULT_CASES: usize = 64 * 7 * 3;
+
+/// Runs the deterministic stress sweep and returns
+/// `(summary_text, json, suite_failure_count)` — the JSON is what CI
+/// stores as `BENCH_dst.json`; a non-zero failure count should fail the
+/// caller.
+pub fn dst_suite(cases: usize) -> (String, String, usize) {
+    let summary = adn_analysis::stress::sweep(DST_MASTER_SEED, cases);
+    let failures = summary.suite_failures().len();
+    (summary.summary_text(), summary.to_json(), failures)
+}
+
+/// Replays one stress case from its seed, twice, and reports whether the
+/// two runs rendered byte-identically.
+pub fn replay_report(seed: u64) -> String {
+    let (report, identical) = adn_analysis::stress::verify_replay(seed);
+    let verdict = if identical {
+        "replay byte-identical: yes"
+    } else {
+        "replay byte-identical: NO — determinism bug, please report"
+    };
+    format!("{}{verdict}\n", report.render())
+}
 
 /// Returns the experiment fragment for the given id, or the full report
 /// when `id` is `None` / unrecognised.
@@ -41,5 +78,19 @@ mod tests {
     fn single_experiment_lookup_works() {
         let s = report_for(Some("f4"));
         assert!(s.contains("committees alive"));
+    }
+
+    #[test]
+    fn dst_suite_runs_and_serializes() {
+        let (summary, json, suite_failures) = dst_suite(6);
+        assert!(summary.contains("cases=6"), "{summary}");
+        assert!(json.contains("\"cases\":6"), "{json}");
+        assert_eq!(suite_failures, 0, "{summary}");
+    }
+
+    #[test]
+    fn replay_report_confirms_determinism() {
+        let s = replay_report(7);
+        assert!(s.contains("replay byte-identical: yes"), "{s}");
     }
 }

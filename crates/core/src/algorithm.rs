@@ -29,6 +29,7 @@ use crate::{baselines, centralized, graph_to_star, graph_to_wreath};
 use crate::{CoreError, TransformationOutcome};
 use adn_graph::properties::ceil_log2;
 use adn_graph::{Graph, UidMap};
+use adn_sim::dst::{Adversary, DstState, InvariantPolicy, Scenario};
 use adn_sim::{Network, SimError};
 
 /// How much per-round detail an execution records.
@@ -65,6 +66,18 @@ pub enum CentralizedConfig {
     PruneToTree,
 }
 
+/// A deterministic-simulation-testing request travelling with the run
+/// configuration: which adversarial [`Scenario`] to execute under and the
+/// seed that makes the whole fault schedule reproducible.
+#[derive(Debug, Clone)]
+pub struct DstConfig {
+    /// The adversarial environment to run under.
+    pub scenario: Scenario,
+    /// Adversary seed; `(scenario, seed)` determines the fault schedule
+    /// bit-for-bit.
+    pub seed: u64,
+}
+
 /// The shared run configuration honored by every registered algorithm.
 ///
 /// This replaces the scattered per-function booleans and config structs of
@@ -83,6 +96,13 @@ pub struct RunConfig {
     pub wreath: Option<WreathConfig>,
     /// Target shape for the general centralized strategy.
     pub centralized: CentralizedConfig,
+    /// Optional deterministic-simulation-testing request: run under an
+    /// adversarial scenario with round-level invariant checking. Honored
+    /// by the entry points that build the network
+    /// ([`ReconfigurationAlgorithm::run`] and the `Experiment` builder);
+    /// callers invoking [`ReconfigurationAlgorithm::execute`] on their own
+    /// network arm it themselves via [`arm_network_for_dst`].
+    pub dst: Option<DstConfig>,
 }
 
 impl RunConfig {
@@ -115,6 +135,13 @@ impl RunConfig {
     /// Sets the centralized-strategy target (builder style).
     pub fn with_centralized(mut self, config: CentralizedConfig) -> Self {
         self.centralized = config;
+        self
+    }
+
+    /// Requests a deterministic-simulation-testing run under `scenario`
+    /// with the given adversary seed (builder style).
+    pub fn with_dst(mut self, scenario: Scenario, seed: u64) -> Self {
+        self.dst = Some(DstConfig { scenario, seed });
         self
     }
 
@@ -219,8 +246,10 @@ pub trait ReconfigurationAlgorithm: Sync {
         config: &RunConfig,
     ) -> Result<TransformationOutcome, CoreError>;
 
-    /// Convenience wrapper: builds a fresh [`Network`] over `initial` and
-    /// calls [`ReconfigurationAlgorithm::execute`].
+    /// Convenience wrapper: builds a fresh [`Network`] over `initial`,
+    /// arms the deterministic-simulation-testing layer when
+    /// [`RunConfig::dst`] asks for it, and calls
+    /// [`ReconfigurationAlgorithm::execute`].
     ///
     /// # Errors
     ///
@@ -232,8 +261,41 @@ pub trait ReconfigurationAlgorithm: Sync {
         config: &RunConfig,
     ) -> Result<TransformationOutcome, CoreError> {
         let mut network = Network::new(initial.clone());
+        if let Some(dst) = &config.dst {
+            arm_network_for_dst(&mut network, &self.spec(), uids, dst);
+        }
         self.execute(&mut network, uids, config)
     }
+}
+
+/// Installs the deterministic-simulation-testing state on `network`: a
+/// seeded [`Adversary`] for `dst.scenario` plus a round-level
+/// [`InvariantPolicy`] derived from the algorithm's [`AlgorithmSpec`]
+/// (generous slack over the spec's *final*-network degree bound, since
+/// intermediate snapshots may legitimately exceed it; connectivity of the
+/// live subgraph; UID uniqueness across churn).
+pub fn arm_network_for_dst(
+    network: &mut Network,
+    spec: &AlgorithmSpec,
+    uids: &UidMap,
+    dst: &DstConfig,
+) {
+    let n = network.node_count();
+    let policy = InvariantPolicy {
+        check_connectivity: true,
+        max_activated_degree: Some(4 * (spec.max_degree_bound)(n) + 8),
+        // Any algorithm may temporarily hold its activated edges on top of
+        // the surviving initial ones; the subroutines' stated budget is
+        // O(n) activated edges, the clique straw-man needs the full n².
+        max_active_edges: Some(network.graph().edge_count() + n * n),
+        check_uid_uniqueness: true,
+    };
+    let uid_values = uids.as_slice().iter().map(|u| u.value()).collect();
+    network.install_dst(DstState::new(
+        Adversary::new(dst.scenario.clone(), dst.seed),
+        policy,
+        uid_values,
+    ));
 }
 
 /// **GraphToStar** (Section 3): `O(log n)` time, optimal `O(n log n)`

@@ -220,8 +220,14 @@ pub(crate) fn execute_general(
     if target == CentralizedConfig::PruneToTree && n > 1 {
         config.check_round_budget(network)?;
         // One clean-up round: keep only a BFS tree of the current
-        // low-diameter graph rooted at `root`.
-        let bfs = bfs_spanning_tree(network.graph(), root).expect("network stayed connected");
+        // low-diameter graph rooted at `root`. The network can only be
+        // disconnected here if the environment (a DST fault) severed it
+        // mid-run; surface that as a clean error, not a panic.
+        let bfs =
+            bfs_spanning_tree(network.graph(), root).ok_or_else(|| CoreError::InvalidInput {
+                reason: "network disconnected before the prune round (environment fault)"
+                    .to_string(),
+            })?;
         let keep = bfs.to_graph();
         let current = network.graph().clone();
         for e in current.edges() {

@@ -203,6 +203,12 @@ impl State {
     ) -> BTreeMap<NodeId, BTreeMap<NodeId, (NodeId, NodeId)>> {
         let mut adj: BTreeMap<NodeId, BTreeMap<NodeId, (NodeId, NodeId)>> = BTreeMap::new();
         for e in network.graph().edges() {
+            // Nodes beyond the tracked vertex set (joined mid-run by a DST
+            // churn fault) have no committee; their edges are invisible to
+            // the reconfiguration.
+            if e.b.index() >= self.committee_of.len() {
+                continue;
+            }
             let ca = self.committee_of[e.a.index()];
             let cb = self.committee_of[e.b.index()];
             if ca == cb {

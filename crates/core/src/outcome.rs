@@ -1,7 +1,7 @@
 //! Common result type for the transformation algorithms.
 
 use adn_graph::{Graph, NodeId};
-use adn_sim::{EdgeMetrics, Network, RoundStats};
+use adn_sim::{DstReport, EdgeMetrics, Network, RoundStats};
 
 /// Outcome of any registered algorithm (`GraphToStar`, `GraphToWreath`,
 /// `GraphToThinWreath`, clique formation, flooding or a centralized
@@ -34,6 +34,10 @@ pub struct TransformationOutcome {
     /// Tokens known by each node at the end of a dissemination run
     /// (flooding); empty for algorithms that do not disseminate tokens.
     pub tokens_per_node: Vec<usize>,
+    /// Report of the deterministic-simulation-testing layer (fault
+    /// schedule + invariant violations), harvested automatically when the
+    /// execution ran on a DST-armed network; `None` otherwise.
+    pub dst: Option<DstReport>,
 }
 
 impl TransformationOutcome {
@@ -54,6 +58,7 @@ impl TransformationOutcome {
             committees_per_phase: Vec::new(),
             trace: network.take_trace(),
             tokens_per_node: Vec::new(),
+            dst: network.take_dst_report(),
         }
     }
 
@@ -85,6 +90,7 @@ mod tests {
             committees_per_phase: vec![8, 4, 1],
             trace: Vec::new(),
             tokens_per_node: Vec::new(),
+            dst: None,
         };
         assert_eq!(outcome.final_diameter(), Some(2));
         assert_eq!(outcome.final_max_degree(), 7);
@@ -102,5 +108,6 @@ mod tests {
         assert!(outcome.final_graph.has_edge(NodeId(0), NodeId(2)));
         assert!(outcome.phases == 0 && outcome.committees_per_phase.is_empty());
         assert!(outcome.tokens_per_node.is_empty());
+        assert!(outcome.dst.is_none());
     }
 }

@@ -94,6 +94,18 @@ impl Graph {
         self.n
     }
 
+    /// Appends a fresh, isolated node to the vertex set and returns its id.
+    ///
+    /// The base model keeps the vertex set fixed; this exists for the
+    /// *churn* faults of the deterministic simulation-testing layer
+    /// (`adn_sim::dst`), where an adversary may let nodes join the network
+    /// between rounds.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adjacency.push(BTreeSet::new());
+        self.n += 1;
+        NodeId(self.n - 1)
+    }
+
     /// Number of edges currently present.
     pub fn edge_count(&self) -> usize {
         self.edge_count

@@ -1,0 +1,967 @@
+//! Deterministic simulation testing (DST): seeded adversarial scheduling,
+//! fault injection and round-level invariant checking.
+//!
+//! The paper's algorithms are proven for a clean, failure-free,
+//! round-synchronous world. This module perturbs that world the way a
+//! FoundationDB-style simulation harness would — but fully
+//! deterministically: a seeded [`Adversary`] driven by
+//! [`adn_graph::rng::DetRng`] injects faults *between* committed rounds,
+//! and an [`InvariantPolicy`] is evaluated after every round, so any
+//! stress failure reproduces bit-for-bit from a single `u64` seed.
+//!
+//! Supported fault classes ([`FaultEvent`]):
+//!
+//! * **crash-stop** — a node stops forever; all of its incident edges are
+//!   severed and it takes no further part in the execution;
+//! * **adversarial edge deletions/insertions** — the environment rewires
+//!   the network without respecting the distance-2 rule (the adversary is
+//!   strictly more powerful than the nodes);
+//! * **round skew** — message-delay perturbation, charged as extra
+//!   rounds in which no progress happens;
+//! * **churn** — a brand-new node with a fresh UID joins, attached to an
+//!   existing node.
+//!
+//! A [`Scenario`] declaratively describes the fault mix (budget, timing
+//! window, per-round probability, kind weights, target-selection policy);
+//! [`scenarios`] is the registry of named built-in scenarios, mirroring
+//! the algorithm registry of `adn_core`. A [`DstState`] couples an
+//! [`Adversary`] with the invariant checks and is installed on a
+//! [`crate::Network`] via [`crate::Network::install_dst`]; the network
+//! calls it after every committed (or idle-charged) round. The harvested
+//! [`DstReport`] records the exact fault schedule and every invariant
+//! violation, and renders to a stable string so replay equality can be
+//! checked byte-for-byte.
+
+use crate::Network;
+use adn_graph::rng::DetRng;
+use adn_graph::{Edge, NodeId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// How the adversary picks the victim node for node-targeted faults
+/// (crashes, churn attachment points).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetPolicy {
+    /// Uniformly random among eligible nodes.
+    Random,
+    /// The eligible node with the highest current degree (ties broken by
+    /// lowest id) — aims at hubs, e.g. a freshly elected star centre.
+    MaxDegree,
+    /// The eligible node with the lowest current degree (ties broken by
+    /// lowest id) — aims at leaves and stragglers.
+    MinDegree,
+}
+
+impl TargetPolicy {
+    fn pick(&self, rng: &mut DetRng, network: &Network, candidates: &[NodeId]) -> Option<NodeId> {
+        if candidates.is_empty() {
+            return None;
+        }
+        match self {
+            TargetPolicy::Random => Some(candidates[rng.gen_range(0, candidates.len())]),
+            TargetPolicy::MaxDegree => candidates
+                .iter()
+                .copied()
+                .max_by_key(|&u| (network.graph().degree(u), std::cmp::Reverse(u.index()))),
+            TargetPolicy::MinDegree => candidates
+                .iter()
+                .copied()
+                .min_by_key(|&u| (network.graph().degree(u), u.index())),
+        }
+    }
+}
+
+impl fmt::Display for TargetPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TargetPolicy::Random => "random",
+            TargetPolicy::MaxDegree => "max_degree",
+            TargetPolicy::MinDegree => "min_degree",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A declarative description of an adversarial environment: which faults
+/// may happen, how many, when, and to whom.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Stable scenario name (registry key).
+    pub name: String,
+    /// Maximum total number of fault events injected over the whole run.
+    pub fault_budget: usize,
+    /// First round (1-based) at which the adversary may act.
+    pub window_start: usize,
+    /// Last round at which the adversary may act (`None` = no limit).
+    pub window_end: Option<usize>,
+    /// Per-round probability of attempting one injection while inside the
+    /// window and under budget.
+    pub per_round_probability: f64,
+    /// Relative weight of crash-stop node failures.
+    pub crash_weight: u32,
+    /// Relative weight of adversarial edge deletions.
+    pub edge_delete_weight: u32,
+    /// Relative weight of adversarial edge insertions.
+    pub edge_insert_weight: u32,
+    /// Relative weight of node joins (churn).
+    pub churn_weight: u32,
+    /// Relative weight of round-skew (message-delay) perturbations.
+    pub skew_weight: u32,
+    /// Maximum number of rounds a single skew event may charge.
+    pub max_skew: usize,
+    /// How victim nodes are selected.
+    pub target: TargetPolicy,
+}
+
+impl Scenario {
+    fn base(name: &str) -> Self {
+        Scenario {
+            name: name.to_string(),
+            fault_budget: 0,
+            window_start: 1,
+            window_end: None,
+            per_round_probability: 0.5,
+            crash_weight: 0,
+            edge_delete_weight: 0,
+            edge_insert_weight: 0,
+            churn_weight: 0,
+            skew_weight: 0,
+            max_skew: 3,
+            target: TargetPolicy::Random,
+        }
+    }
+
+    /// The clean world: no faults at all. Running under this scenario is
+    /// equivalent to a plain run, but with the invariant checker armed —
+    /// it turns every traced execution into a property check.
+    pub fn failure_free() -> Self {
+        Scenario {
+            per_round_probability: 0.0,
+            ..Scenario::base("failure_free")
+        }
+    }
+
+    /// Crash-stop node failures only.
+    pub fn crash_stop() -> Self {
+        Scenario {
+            fault_budget: 3,
+            crash_weight: 1,
+            ..Scenario::base("crash_stop")
+        }
+    }
+
+    /// Adversarial edge rewiring: deletions and insertions, no node
+    /// failures.
+    pub fn adversarial_edges() -> Self {
+        Scenario {
+            fault_budget: 6,
+            edge_delete_weight: 2,
+            edge_insert_weight: 1,
+            ..Scenario::base("adversarial_edges")
+        }
+    }
+
+    /// Churn: fresh nodes join mid-execution.
+    pub fn churn() -> Self {
+        Scenario {
+            fault_budget: 4,
+            churn_weight: 1,
+            ..Scenario::base("churn")
+        }
+    }
+
+    /// Message-delay perturbation: rounds are skewed (time passes without
+    /// progress), stressing round budgets and phase accounting.
+    pub fn round_skew() -> Self {
+        Scenario {
+            fault_budget: 4,
+            skew_weight: 1,
+            ..Scenario::base("round_skew")
+        }
+    }
+
+    /// Everything at once, aimed at the highest-degree nodes.
+    pub fn mixed() -> Self {
+        Scenario {
+            fault_budget: 8,
+            crash_weight: 1,
+            edge_delete_weight: 2,
+            edge_insert_weight: 2,
+            churn_weight: 1,
+            skew_weight: 1,
+            target: TargetPolicy::MaxDegree,
+            ..Scenario::base("mixed")
+        }
+    }
+
+    /// Sets the fault budget (builder style).
+    pub fn with_fault_budget(mut self, budget: usize) -> Self {
+        self.fault_budget = budget;
+        self
+    }
+
+    /// Sets the injection window (builder style).
+    pub fn with_window(mut self, start: usize, end: Option<usize>) -> Self {
+        self.window_start = start;
+        self.window_end = end;
+        self
+    }
+
+    /// Sets the target-selection policy (builder style).
+    pub fn with_target(mut self, target: TargetPolicy) -> Self {
+        self.target = target;
+        self
+    }
+
+    fn total_weight(&self) -> u32 {
+        self.crash_weight
+            + self.edge_delete_weight
+            + self.edge_insert_weight
+            + self.churn_weight
+            + self.skew_weight
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (budget {}, window {}..{}, p {:.2}, target {})",
+            self.name,
+            self.fault_budget,
+            self.window_start,
+            self.window_end.map_or("∞".to_string(), |e| e.to_string()),
+            self.per_round_probability,
+            self.target,
+        )
+    }
+}
+
+/// The registry of built-in scenarios, mirroring the algorithm registry:
+/// sweeps iterate `algorithms × scenarios` the same way they iterate
+/// `algorithms × graph families`.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::failure_free(),
+        Scenario::crash_stop(),
+        Scenario::adversarial_edges(),
+        Scenario::churn(),
+        Scenario::round_skew(),
+        Scenario::mixed(),
+    ]
+}
+
+/// Looks a built-in scenario up by name (case-insensitive).
+pub fn find_scenario(name: &str) -> Option<Scenario> {
+    scenarios()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+}
+
+/// One injected fault, as recorded in the fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Node `node` crash-stopped; `severed` incident edges were removed.
+    CrashNode {
+        /// The crashed node.
+        node: NodeId,
+        /// Number of incident edges severed by the crash.
+        severed: usize,
+    },
+    /// The adversary deleted the active edge `{u, v}`.
+    DeleteEdge {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+    },
+    /// The adversary inserted the edge `{u, v}` (ignoring the distance-2
+    /// rule — the environment is more powerful than the nodes).
+    InsertEdge {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+    },
+    /// A fresh node joined the network, attached to `attached_to`.
+    Join {
+        /// The new node's id.
+        node: NodeId,
+        /// The existing node it attached to.
+        attached_to: NodeId,
+        /// The fresh UID assigned to the new node.
+        uid: u64,
+    },
+    /// Time was skewed forward by `rounds` rounds (message delay).
+    Skew {
+        /// Number of rounds charged.
+        rounds: usize,
+    },
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultEvent::CrashNode { node, severed } => {
+                write!(f, "crash node {node} (severed {severed} edges)")
+            }
+            FaultEvent::DeleteEdge { u, v } => write!(f, "delete edge {{{u}, {v}}}"),
+            FaultEvent::InsertEdge { u, v } => write!(f, "insert edge {{{u}, {v}}}"),
+            FaultEvent::Join {
+                node,
+                attached_to,
+                uid,
+            } => write!(f, "join node {node} (uid {uid}) at {attached_to}"),
+            FaultEvent::Skew { rounds } => write!(f, "skew +{rounds} rounds"),
+        }
+    }
+}
+
+/// A fault event stamped with the round *after* which it was injected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// The round boundary at which the fault was applied (the fault is
+    /// visible from the beginning of this round).
+    pub round: usize,
+    /// The injected event.
+    pub event: FaultEvent,
+}
+
+/// One invariant violation observed at a round boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The round at whose beginning the violation was observed.
+    pub round: usize,
+    /// Which invariant failed.
+    pub invariant: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Which invariants to evaluate at every round boundary. Bounds are
+/// normally derived from the running algorithm's `AlgorithmSpec` (with
+/// generous slack, since the spec bounds the *final* network while these
+/// are checked on every intermediate snapshot).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantPolicy {
+    /// The subgraph induced by live (non-crashed) nodes must stay
+    /// connected. Faults may legitimately break this — the violation is
+    /// recorded, not fatal.
+    pub check_connectivity: bool,
+    /// Upper bound on any node's activated (non-initial) degree.
+    pub max_activated_degree: Option<usize>,
+    /// Upper bound on the number of concurrently active edges.
+    pub max_active_edges: Option<usize>,
+    /// UIDs (including churned-in ones) must stay pairwise distinct.
+    pub check_uid_uniqueness: bool,
+}
+
+impl Default for InvariantPolicy {
+    fn default() -> Self {
+        InvariantPolicy {
+            check_connectivity: true,
+            max_activated_degree: None,
+            max_active_edges: None,
+            check_uid_uniqueness: true,
+        }
+    }
+}
+
+/// The seeded fault injector. All decisions are drawn from a [`DetRng`],
+/// so the whole fault schedule is a pure function of `(scenario, seed)`.
+#[derive(Debug, Clone)]
+pub struct Adversary {
+    scenario: Scenario,
+    seed: u64,
+    rng: DetRng,
+    budget_left: usize,
+}
+
+impl Adversary {
+    /// Creates an adversary for `scenario`, fully determined by `seed`.
+    pub fn new(scenario: Scenario, seed: u64) -> Self {
+        let budget_left = scenario.fault_budget;
+        Adversary {
+            scenario,
+            seed,
+            rng: DetRng::seed_from_u64(seed),
+            budget_left,
+        }
+    }
+
+    /// The seed this adversary was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scenario driving this adversary.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Remaining fault budget.
+    pub fn budget_left(&self) -> usize {
+        self.budget_left
+    }
+
+    /// Attempts one injection at the boundary before `round`. The RNG is
+    /// only consumed while budget remains, so the fault schedule produced
+    /// with budget `b` is a strict prefix of the schedule with budget
+    /// `B > b` — the property the failing-seed minimizer relies on.
+    fn inject(
+        &mut self,
+        network: &mut Network,
+        crashed: &mut BTreeSet<NodeId>,
+        uids: &mut Vec<u64>,
+        round: usize,
+    ) -> Option<FaultEvent> {
+        if self.budget_left == 0 || self.scenario.total_weight() == 0 {
+            return None;
+        }
+        if round < self.scenario.window_start {
+            return None;
+        }
+        if let Some(end) = self.scenario.window_end {
+            if round > end {
+                return None;
+            }
+        }
+        if !self.rng.gen_bool(self.scenario.per_round_probability) {
+            return None;
+        }
+        let event = self.pick_event(network, crashed, uids)?;
+        self.budget_left -= 1;
+        Some(event)
+    }
+
+    fn live_nodes(network: &Network, crashed: &BTreeSet<NodeId>) -> Vec<NodeId> {
+        network
+            .graph()
+            .nodes()
+            .filter(|u| !crashed.contains(u))
+            .collect()
+    }
+
+    fn pick_event(
+        &mut self,
+        network: &mut Network,
+        crashed: &mut BTreeSet<NodeId>,
+        uids: &mut Vec<u64>,
+    ) -> Option<FaultEvent> {
+        let s = &self.scenario;
+        let total = s.total_weight();
+        let mut x = self.rng.gen_range(0, total as usize) as u32;
+        let weights = [
+            s.crash_weight,
+            s.edge_delete_weight,
+            s.edge_insert_weight,
+            s.churn_weight,
+            s.skew_weight,
+        ];
+        let mut kind = 0usize;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                kind = i;
+                break;
+            }
+            x -= w;
+        }
+        match kind {
+            0 => self.crash(network, crashed),
+            1 => self.delete_edge(network),
+            2 => self.insert_edge(network, crashed),
+            3 => self.join(network, crashed, uids),
+            _ => self.skew(network),
+        }
+    }
+
+    fn crash(
+        &mut self,
+        network: &mut Network,
+        crashed: &mut BTreeSet<NodeId>,
+    ) -> Option<FaultEvent> {
+        let live = Self::live_nodes(network, crashed);
+        if live.len() <= 2 {
+            return None; // keep at least two live nodes alive
+        }
+        let node = self.scenario.target.pick(&mut self.rng, network, &live)?;
+        let neighbors: Vec<NodeId> = network.graph().neighbors(node).collect();
+        for v in &neighbors {
+            network.fault_remove_edge(node, *v);
+        }
+        crashed.insert(node);
+        Some(FaultEvent::CrashNode {
+            node,
+            severed: neighbors.len(),
+        })
+    }
+
+    fn delete_edge(&mut self, network: &mut Network) -> Option<FaultEvent> {
+        let edges: Vec<Edge> = network.graph().edge_vec();
+        if edges.is_empty() {
+            return None;
+        }
+        let e = edges[self.rng.gen_range(0, edges.len())];
+        network.fault_remove_edge(e.a, e.b);
+        Some(FaultEvent::DeleteEdge { u: e.a, v: e.b })
+    }
+
+    fn insert_edge(
+        &mut self,
+        network: &mut Network,
+        crashed: &BTreeSet<NodeId>,
+    ) -> Option<FaultEvent> {
+        let live = Self::live_nodes(network, crashed);
+        if live.len() < 2 {
+            return None;
+        }
+        // A few deterministic attempts to find a non-adjacent live pair.
+        for _ in 0..8 {
+            let u = live[self.rng.gen_range(0, live.len())];
+            let v = live[self.rng.gen_range(0, live.len())];
+            if u != v && !network.graph().has_edge(u, v) {
+                network.fault_insert_edge(u, v);
+                return Some(FaultEvent::InsertEdge {
+                    u: u.min(v),
+                    v: u.max(v),
+                });
+            }
+        }
+        None
+    }
+
+    fn join(
+        &mut self,
+        network: &mut Network,
+        crashed: &BTreeSet<NodeId>,
+        uids: &mut Vec<u64>,
+    ) -> Option<FaultEvent> {
+        let live = Self::live_nodes(network, crashed);
+        let attached_to = self.scenario.target.pick(&mut self.rng, network, &live)?;
+        let node = network.fault_add_node();
+        network.fault_insert_edge(node, attached_to);
+        let uid = uids.iter().copied().max().unwrap_or(0) + 1;
+        uids.push(uid);
+        Some(FaultEvent::Join {
+            node,
+            attached_to,
+            uid,
+        })
+    }
+
+    fn skew(&mut self, network: &mut Network) -> Option<FaultEvent> {
+        let max = self.scenario.max_skew.max(1);
+        let rounds = self.rng.gen_range(1, max + 1);
+        network.fault_skew(rounds);
+        Some(FaultEvent::Skew { rounds })
+    }
+}
+
+/// The per-network DST state: adversary, invariant policy, fault log and
+/// violation log. Installed with [`crate::Network::install_dst`]; the
+/// network calls [`DstState::on_round`] after every committed or
+/// idle-charged round.
+#[derive(Debug, Clone)]
+pub struct DstState {
+    adversary: Adversary,
+    policy: InvariantPolicy,
+    /// UID values by node index, kept up to date across churn so UID
+    /// uniqueness can be checked even for joined nodes.
+    uids: Vec<u64>,
+    crashed: BTreeSet<NodeId>,
+    log: Vec<FaultRecord>,
+    violations: Vec<Violation>,
+    rounds_checked: usize,
+}
+
+impl DstState {
+    /// Couples an adversary with an invariant policy. `uids` are the UID
+    /// values by node index of the network the state will be installed on
+    /// (pass an empty vector to skip UID tracking).
+    pub fn new(adversary: Adversary, policy: InvariantPolicy, uids: Vec<u64>) -> Self {
+        DstState {
+            adversary,
+            policy,
+            uids,
+            crashed: BTreeSet::new(),
+            log: Vec::new(),
+            violations: Vec::new(),
+            rounds_checked: 0,
+        }
+    }
+
+    /// The nodes crashed so far.
+    pub fn crashed(&self) -> &BTreeSet<NodeId> {
+        &self.crashed
+    }
+
+    /// The fault schedule injected so far.
+    pub fn fault_log(&self) -> &[FaultRecord] {
+        &self.log
+    }
+
+    /// The invariant violations recorded so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Called by the network at each round boundary: first the adversary
+    /// gets a chance to inject, then the invariants are evaluated on the
+    /// resulting snapshot.
+    pub(crate) fn on_round(&mut self, network: &mut Network) {
+        let round = network.round();
+        if let Some(event) =
+            self.adversary
+                .inject(network, &mut self.crashed, &mut self.uids, round)
+        {
+            self.log.push(FaultRecord { round, event });
+        }
+        self.check_invariants(network, round);
+    }
+
+    fn check_invariants(&mut self, network: &Network, round: usize) {
+        self.rounds_checked += 1;
+        let graph = network.graph();
+        if self.policy.check_connectivity && !live_subgraph_connected(network, &self.crashed) {
+            self.violations.push(Violation {
+                round,
+                invariant: "connectivity",
+                detail: format!(
+                    "live subgraph disconnected ({} live nodes)",
+                    graph.node_count() - self.crashed.len()
+                ),
+            });
+        }
+        if let Some(bound) = self.policy.max_activated_degree {
+            for u in graph.nodes() {
+                let d = network.activated_degree(u);
+                if d > bound {
+                    self.violations.push(Violation {
+                        round,
+                        invariant: "activated_degree",
+                        detail: format!("node {u} has activated degree {d} > bound {bound}"),
+                    });
+                    break; // one violation per round is enough signal
+                }
+            }
+        }
+        if let Some(bound) = self.policy.max_active_edges {
+            let m = graph.edge_count();
+            if m > bound {
+                self.violations.push(Violation {
+                    round,
+                    invariant: "edge_budget",
+                    detail: format!("{m} active edges > bound {bound}"),
+                });
+            }
+        }
+        if self.policy.check_uid_uniqueness && !self.uids.is_empty() {
+            let mut sorted = self.uids.clone();
+            sorted.sort_unstable();
+            let before = sorted.len();
+            sorted.dedup();
+            if sorted.len() != before {
+                self.violations.push(Violation {
+                    round,
+                    invariant: "uid_uniqueness",
+                    detail: format!("{} duplicate UIDs", before - sorted.len()),
+                });
+            }
+        }
+    }
+
+    /// Finalizes this state into a report.
+    pub fn into_report(self) -> DstReport {
+        DstReport {
+            scenario: self.adversary.scenario.name.clone(),
+            seed: self.adversary.seed,
+            rounds_checked: self.rounds_checked,
+            crashed: self.crashed.into_iter().collect(),
+            faults: self.log,
+            violations: self.violations,
+        }
+    }
+}
+
+/// BFS over the live (non-crashed) induced subgraph: true iff every live
+/// node is reachable from the first live node. Crashed nodes are isolated
+/// by construction, so plain connectivity would always be false after the
+/// first crash; this is the meaningful residual property.
+fn live_subgraph_connected(network: &Network, crashed: &BTreeSet<NodeId>) -> bool {
+    let graph = network.graph();
+    let n = graph.node_count();
+    let live_count = n - crashed.len();
+    if live_count <= 1 {
+        return true;
+    }
+    let start = match graph.nodes().find(|u| !crashed.contains(u)) {
+        Some(u) => u,
+        None => return true,
+    };
+    let mut seen = vec![false; n];
+    seen[start.index()] = true;
+    let mut queue = std::collections::VecDeque::from([start]);
+    let mut reached = 1usize;
+    while let Some(u) = queue.pop_front() {
+        for v in graph.neighbors(u) {
+            if !seen[v.index()] && !crashed.contains(&v) {
+                seen[v.index()] = true;
+                reached += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    reached == live_count
+}
+
+/// The harvested result of a DST-instrumented execution: the exact fault
+/// schedule, every invariant violation, and the `(scenario, seed)` pair
+/// that reproduces both.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DstReport {
+    /// Name of the scenario that drove the adversary.
+    pub scenario: String,
+    /// The adversary seed; together with the scenario it determines the
+    /// whole fault schedule.
+    pub seed: u64,
+    /// Number of round boundaries at which invariants were evaluated.
+    pub rounds_checked: usize,
+    /// Nodes crashed over the run, ascending.
+    pub crashed: Vec<NodeId>,
+    /// The injected fault schedule, in order.
+    pub faults: Vec<FaultRecord>,
+    /// All recorded invariant violations, in order.
+    pub violations: Vec<Violation>,
+}
+
+impl DstReport {
+    /// True when no faults were injected and no invariants were violated.
+    pub fn is_clean(&self) -> bool {
+        self.faults.is_empty() && self.violations.is_empty()
+    }
+
+    /// Renders the report to a stable, line-oriented string. Two runs of
+    /// the same `(scenario, seed)` must produce byte-identical renders —
+    /// the replay machinery compares exactly this.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "scenario={} seed={} rounds_checked={}\n",
+            self.scenario, self.seed, self.rounds_checked
+        ));
+        for f in &self.faults {
+            s.push_str(&format!("fault @r{}: {}\n", f.round, f.event));
+        }
+        for v in &self.violations {
+            s.push_str(&format!(
+                "violation @r{}: {} — {}\n",
+                v.round, v.invariant, v.detail
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_graph::generators;
+
+    fn armed_network(n: usize, scenario: Scenario, seed: u64) -> Network {
+        let mut net = Network::new(generators::line(n));
+        let uids = (1..=n as u64).collect();
+        net.install_dst(DstState::new(
+            Adversary::new(scenario, seed),
+            InvariantPolicy::default(),
+            uids,
+        ));
+        net
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        let names: Vec<String> = scenarios().iter().map(|s| s.name.clone()).collect();
+        let mut deduped = names.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len());
+        for name in &names {
+            assert!(find_scenario(name).is_some(), "{name}");
+            assert!(find_scenario(&name.to_uppercase()).is_some(), "{name}");
+        }
+        assert!(find_scenario("no_such_scenario").is_none());
+    }
+
+    #[test]
+    fn failure_free_never_injects() {
+        let mut net = armed_network(8, Scenario::failure_free(), 7);
+        for _ in 0..20 {
+            net.commit_round();
+        }
+        let report = net.take_dst_report().unwrap();
+        assert!(report.faults.is_empty());
+        assert!(report.violations.is_empty());
+        assert_eq!(report.rounds_checked, 20);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut net = armed_network(12, Scenario::mixed().with_fault_budget(6), seed);
+            for _ in 0..30 {
+                net.commit_round();
+            }
+            net.take_dst_report().unwrap()
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
+        assert!(
+            !a.faults.is_empty(),
+            "mixed scenario should fire in 30 rounds"
+        );
+        let c = run(43);
+        assert_ne!(
+            a.render(),
+            c.render(),
+            "different seeds, different schedule"
+        );
+    }
+
+    #[test]
+    fn budget_prefix_property_holds() {
+        // The schedule with budget b is a prefix of the schedule with a
+        // larger budget (the minimizer depends on this).
+        let run = |budget: usize| {
+            let mut net = armed_network(
+                16,
+                Scenario::adversarial_edges().with_fault_budget(budget),
+                9,
+            );
+            for _ in 0..40 {
+                net.commit_round();
+            }
+            net.take_dst_report().unwrap().faults
+        };
+        let small = run(2);
+        let big = run(6);
+        assert_eq!(small.len(), 2);
+        assert!(big.len() >= small.len());
+        assert_eq!(&big[..small.len()], &small[..]);
+    }
+
+    #[test]
+    fn crash_isolates_node_and_connectivity_violation_is_recorded() {
+        // Crashing an interior node of a line disconnects the live rest.
+        let scenario = Scenario {
+            per_round_probability: 1.0,
+            ..Scenario::crash_stop().with_fault_budget(1)
+        };
+        let mut net = armed_network(6, scenario, 5);
+        net.commit_round();
+        let crashed: Vec<NodeId> = net.dst_state().unwrap().crashed().iter().copied().collect();
+        assert_eq!(crashed.len(), 1);
+        assert_eq!(net.graph().degree(crashed[0]), 0);
+        let report = net.take_dst_report().unwrap();
+        assert_eq!(report.faults.len(), 1);
+        // Interior crash on a line ⇒ disconnection; endpoint crash keeps
+        // the rest connected. Either way the record agrees with the graph.
+        let interior = !matches!(crashed[0].index(), 0 | 5);
+        assert_eq!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.invariant == "connectivity"),
+            interior,
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn churn_grows_the_network_with_fresh_uids() {
+        let scenario = Scenario {
+            per_round_probability: 1.0,
+            ..Scenario::churn().with_fault_budget(3)
+        };
+        let mut net = armed_network(5, scenario, 11);
+        for _ in 0..3 {
+            net.commit_round();
+        }
+        assert_eq!(net.node_count(), 8);
+        let report = net.take_dst_report().unwrap();
+        assert_eq!(report.faults.len(), 3);
+        let uids: Vec<u64> = report
+            .faults
+            .iter()
+            .filter_map(|f| match f.event {
+                FaultEvent::Join { uid, .. } => Some(uid),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(uids, vec![6, 7, 8], "fresh UIDs extend the namespace");
+        assert!(
+            !report
+                .violations
+                .iter()
+                .any(|v| v.invariant == "uid_uniqueness"),
+            "fresh UIDs stay unique"
+        );
+    }
+
+    #[test]
+    fn skew_charges_rounds_without_operations() {
+        let scenario = Scenario {
+            per_round_probability: 1.0,
+            max_skew: 1,
+            ..Scenario::round_skew().with_fault_budget(2)
+        };
+        let mut net = armed_network(4, scenario, 3);
+        net.commit_round();
+        // 1 committed round + 1 skewed round.
+        assert_eq!(net.metrics().rounds, 2);
+        assert_eq!(net.metrics().total_activations, 0);
+        let report = net.take_dst_report().unwrap();
+        assert!(matches!(
+            report.faults[0].event,
+            FaultEvent::Skew { rounds: 1 }
+        ));
+    }
+
+    #[test]
+    fn window_gates_injection() {
+        let scenario = Scenario {
+            per_round_probability: 1.0,
+            ..Scenario::adversarial_edges()
+                .with_fault_budget(100)
+                .with_window(5, Some(7))
+        };
+        let mut net = armed_network(10, scenario, 1);
+        for _ in 0..12 {
+            net.commit_round();
+        }
+        let report = net.take_dst_report().unwrap();
+        assert!(!report.faults.is_empty());
+        assert!(
+            report.faults.iter().all(|f| (5..=7).contains(&f.round)),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn target_policies_pick_extremes() {
+        let mut rng = DetRng::seed_from_u64(0);
+        let net = Network::new(generators::star(6)); // centre 0 has degree 5
+        let candidates: Vec<NodeId> = net.graph().nodes().collect();
+        assert_eq!(
+            TargetPolicy::MaxDegree.pick(&mut rng, &net, &candidates),
+            Some(NodeId(0))
+        );
+        assert_eq!(
+            TargetPolicy::MinDegree.pick(&mut rng, &net, &candidates),
+            Some(NodeId(1))
+        );
+        assert_eq!(TargetPolicy::Random.pick(&mut rng, &net, &[]), None);
+    }
+}

@@ -142,14 +142,20 @@ pub fn run_programs<P: NodeProgram>(
         }
         rounds_executed += 1;
 
-        // Snapshot views for this round.
-        let views: Vec<NodeView> = (0..n)
+        // Snapshot views for this round. The node count is re-read every
+        // round: under DST churn faults the network can grow mid-run;
+        // joined nodes have no program (they are passive), but they can
+        // receive messages and appear in neighbourhoods, so the inboxes
+        // must cover the full current vertex set.
+        let programs_len = programs.len();
+        let n_now = network.node_count();
+        let views: Vec<NodeView> = (0..programs_len)
             .map(|i| build_view(network, uids, NodeId(i)))
             .collect();
 
         // Send phase.
-        let mut inboxes: Vec<Vec<(NodeId, P::Message)>> = vec![Vec::new(); n];
-        for i in 0..n {
+        let mut inboxes: Vec<Vec<(NodeId, P::Message)>> = vec![Vec::new(); n_now];
+        for i in 0..programs_len {
             let outbox = programs[i].send(&views[i]);
             for (to, msg) in outbox {
                 if !network.graph().has_edge(NodeId(i), to) {
@@ -164,7 +170,7 @@ pub fn run_programs<P: NodeProgram>(
         }
 
         // Step phase: gather decisions, then stage and commit.
-        for i in 0..n {
+        for i in 0..programs_len {
             let decision = programs[i].step(&views[i], &inboxes[i]);
             for v in decision.activate {
                 network.stage_activation(NodeId(i), v)?;

@@ -26,6 +26,12 @@
 //!   machines (used by the clique-formation baseline, flooding/token
 //!   dissemination and other strictly message-passing protocols).
 //!
+//! A third, orthogonal layer is the deterministic simulation-testing
+//! subsystem [`dst`]: a seeded adversary that injects crash-stop
+//! failures, adversarial edge rewiring, round skew and churn between
+//! rounds, plus a round-level invariant checker — all reproducible
+//! bit-for-bit from a single `u64` seed.
+//!
 //! # Example
 //!
 //! ```
@@ -43,12 +49,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dst;
 pub mod engine;
 pub mod error;
 pub mod metrics;
 pub mod network;
 pub mod trace;
 
+pub use dst::{Adversary, DstReport, DstState, FaultEvent, FaultRecord, InvariantPolicy, Scenario};
 pub use error::SimError;
 pub use metrics::EdgeMetrics;
 pub use network::{Network, RoundSummary};

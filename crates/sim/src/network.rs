@@ -1,5 +1,6 @@
 //! The validated, metered temporal graph.
 
+use crate::dst::{DstReport, DstState};
 use crate::{EdgeMetrics, RoundStats, SimError};
 use adn_graph::{Edge, Graph, NodeId};
 use std::collections::{BTreeMap, BTreeSet};
@@ -40,6 +41,16 @@ pub struct Network {
     trace_enabled: bool,
     groups_alive: usize,
     trace: Vec<RoundStats>,
+    /// Per-node count of active non-initial edges, maintained
+    /// incrementally so `commit_round` does not have to rebuild the full
+    /// activated-edge difference graph every round.
+    activated_degree: Vec<usize>,
+    /// Number of currently active non-initial edges (incremental mirror of
+    /// the old per-round scan).
+    activated_now: usize,
+    /// Optional deterministic-simulation-testing state (adversary +
+    /// invariant checker), ticked at every round boundary.
+    dst: Option<Box<DstState>>,
 }
 
 impl Network {
@@ -49,6 +60,7 @@ impl Network {
         let mut metrics = EdgeMetrics::new();
         metrics.max_total_degree = current.max_degree();
         metrics.max_active_edges_total = current.edge_count();
+        let n = current.node_count();
         Network {
             initial,
             current,
@@ -60,6 +72,36 @@ impl Network {
             trace_enabled: false,
             groups_alive: 0,
             trace: Vec::new(),
+            activated_degree: vec![0; n],
+            activated_now: 0,
+            dst: None,
+        }
+    }
+
+    /// Installs a deterministic-simulation-testing state (seeded
+    /// adversary + invariant checker). From now on the state is ticked at
+    /// every round boundary: the adversary may inject faults and the
+    /// invariants are evaluated on the resulting snapshot. Harvest the
+    /// result with [`Network::take_dst_report`].
+    pub fn install_dst(&mut self, state: DstState) {
+        self.dst = Some(Box::new(state));
+    }
+
+    /// The installed DST state, if any.
+    pub fn dst_state(&self) -> Option<&DstState> {
+        self.dst.as_deref()
+    }
+
+    /// Removes the DST state and finalizes it into a report. Returns
+    /// `None` when no state was installed (or it was already taken).
+    pub fn take_dst_report(&mut self) -> Option<DstReport> {
+        self.dst.take().map(|s| s.into_report())
+    }
+
+    fn tick_dst(&mut self) {
+        if let Some(mut state) = self.dst.take() {
+            state.on_round(self);
+            self.dst = Some(state);
         }
     }
 
@@ -127,10 +169,17 @@ impl Network {
 
     /// Number of currently active edges that are not initial edges.
     pub fn activated_edge_count(&self) -> usize {
-        self.current
-            .edges()
-            .filter(|e| !self.initial.has_edge(e.a, e.b))
-            .count()
+        self.activated_now
+    }
+
+    /// Number of active non-initial edges incident to `u` (the node's
+    /// *activated degree*), maintained incrementally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn activated_degree(&self, u: NodeId) -> usize {
+        self.activated_degree[u.index()]
     }
 
     fn check_node(&self, u: NodeId) -> Result<(), SimError> {
@@ -228,11 +277,36 @@ impl Network {
         let activations = self.staged_activations.len();
         let deactivations = self.staged_deactivations.len();
 
+        // Apply the staged operations while updating the incremental
+        // activated-degree counters (formerly an O(E) difference-graph
+        // rebuild per round). Maxima are taken only after both sets are
+        // applied, so a node activated and deactivated in the same round
+        // is credited with its end-of-round degree, exactly like the old
+        // whole-graph scan.
+        let mut touched: Vec<NodeId> = Vec::with_capacity(2 * activations);
         for e in std::mem::take(&mut self.staged_activations) {
-            let _ = self.current.add_edge(e.a, e.b);
+            let newly = self.current.add_edge(e.a, e.b).unwrap_or(false);
+            if newly && !self.initial.has_edge(e.a, e.b) {
+                self.activated_now += 1;
+                self.activated_degree[e.a.index()] += 1;
+                self.activated_degree[e.b.index()] += 1;
+                touched.push(e.a);
+                touched.push(e.b);
+            }
         }
         for e in std::mem::take(&mut self.staged_deactivations) {
-            let _ = self.current.remove_edge(e.a, e.b);
+            let removed = self.current.remove_edge(e.a, e.b).unwrap_or(false);
+            if removed && !self.initial.has_edge(e.a, e.b) {
+                self.activated_now -= 1;
+                self.activated_degree[e.a.index()] -= 1;
+                self.activated_degree[e.b.index()] -= 1;
+            }
+        }
+        for u in touched {
+            self.metrics.max_activated_degree = self
+                .metrics
+                .max_activated_degree
+                .max(self.activated_degree[u.index()]);
         }
 
         // Metrics bookkeeping.
@@ -245,19 +319,14 @@ impl Network {
             self.metrics.max_node_activations_in_round.max(max_per_node);
         self.staged_by_node.clear();
 
-        let activated_now = self.activated_edge_count();
+        let activated_now = self.activated_now;
         self.metrics.max_activated_edges = self.metrics.max_activated_edges.max(activated_now);
         self.metrics.max_active_edges_total = self
             .metrics
             .max_active_edges_total
             .max(self.current.edge_count());
-        let activated_graph = self.current.difference(&self.initial);
-        self.metrics.max_activated_degree = self
-            .metrics
-            .max_activated_degree
-            .max(activated_graph.max_degree());
-        self.metrics.max_total_degree =
-            self.metrics.max_total_degree.max(self.current.max_degree());
+        let max_degree = self.current.max_degree();
+        self.metrics.max_total_degree = self.metrics.max_total_degree.max(max_degree);
 
         let summary = RoundSummary {
             round: self.round,
@@ -271,11 +340,12 @@ impl Network {
                 activations,
                 deactivations,
                 activated_edges: activated_now,
-                max_degree: self.current.max_degree(),
+                max_degree,
                 groups_alive: self.groups_alive,
             });
         }
         self.round += 1;
+        self.tick_dst();
         summary
     }
 
@@ -294,6 +364,57 @@ impl Network {
             0,
             "cannot charge idle rounds while edge operations are staged"
         );
+        for _ in 0..k {
+            self.round += 1;
+            self.metrics.rounds += 1;
+            self.metrics.activations_per_round.push(0);
+            self.tick_dst();
+        }
+    }
+
+    // ---- fault-injection entry points (crate-private, used by `dst`) ----
+    //
+    // Adversarial operations bypass the distance-2 validation (the
+    // environment is more powerful than the nodes) and are *not* metered:
+    // the edge-complexity measures account for the algorithm's work, not
+    // the adversary's. The incremental activated-degree counters are kept
+    // consistent so invariant checks and `activated_edge_count` stay
+    // correct under faults.
+
+    /// Removes an edge adversarially. Returns true if it was present.
+    pub(crate) fn fault_remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        let removed = self.current.remove_edge(u, v).unwrap_or(false);
+        if removed && !self.initial.has_edge(u, v) {
+            self.activated_now -= 1;
+            self.activated_degree[u.index()] -= 1;
+            self.activated_degree[v.index()] -= 1;
+        }
+        removed
+    }
+
+    /// Inserts an edge adversarially. Returns true if it was absent.
+    pub(crate) fn fault_insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        let added = self.current.add_edge(u, v).unwrap_or(false);
+        if added && !self.initial.has_edge(u, v) {
+            self.activated_now += 1;
+            self.activated_degree[u.index()] += 1;
+            self.activated_degree[v.index()] += 1;
+        }
+        added
+    }
+
+    /// Appends a fresh, isolated node (churn). The initial network keeps
+    /// its original vertex set; every edge of the new node counts as
+    /// activated.
+    pub(crate) fn fault_add_node(&mut self) -> NodeId {
+        let node = self.current.add_node();
+        self.activated_degree.push(0);
+        node
+    }
+
+    /// Skews time forward by `k` rounds (message-delay perturbation):
+    /// rounds pass, nothing happens, the metered round count grows.
+    pub(crate) fn fault_skew(&mut self, k: usize) {
         self.round += k;
         self.metrics.rounds += k;
         for _ in 0..k {

@@ -13,10 +13,11 @@
 //! assert_eq!(outcome.final_diameter(), Some(2));
 //! ```
 
-use adn_core::algorithm::{self, CentralizedConfig, RunConfig, TraceLevel};
+use adn_core::algorithm::{self, CentralizedConfig, DstConfig, RunConfig, TraceLevel};
 use adn_core::graph_to_wreath::WreathConfig;
 use adn_core::{CoreError, TransformationOutcome};
 use adn_graph::{Graph, GraphFamily, UidAssignment, UidMap};
+use adn_sim::dst::Scenario;
 use adn_sim::Network;
 
 /// Builder for a single algorithm execution: workload × UID assignment ×
@@ -103,6 +104,16 @@ impl Experiment {
         self
     }
 
+    /// Runs the experiment under an adversarial [`Scenario`] with the
+    /// given adversary seed: the deterministic-simulation-testing layer
+    /// injects faults between rounds and checks round-level invariants;
+    /// the harvested report lands in
+    /// [`TransformationOutcome::dst`].
+    pub fn scenario(mut self, scenario: Scenario, seed: u64) -> Self {
+        self.config.dst = Some(DstConfig { scenario, seed });
+        self
+    }
+
     /// Replaces the whole [`RunConfig`] at once.
     pub fn config(mut self, config: RunConfig) -> Self {
         self.config = config;
@@ -134,6 +145,9 @@ impl Experiment {
         let algorithm = Self::lookup(&self.algorithm)?;
         let uids = self.resolve_uids();
         let mut network = Network::new(self.graph);
+        if let Some(dst) = &self.config.dst {
+            algorithm::arm_network_for_dst(&mut network, &algorithm.spec(), &uids, dst);
+        }
         algorithm.execute(&mut network, &uids, &self.config)
     }
 
@@ -163,6 +177,9 @@ impl Experiment {
         }
         let algorithm = Self::lookup(&self.algorithm)?;
         let uids = self.resolve_uids();
+        if let Some(dst) = &self.config.dst {
+            algorithm::arm_network_for_dst(network, &algorithm.spec(), &uids, dst);
+        }
         algorithm.execute(network, &uids, &self.config)
     }
 

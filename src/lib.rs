@@ -67,9 +67,10 @@ pub use experiment::Experiment;
 pub mod prelude {
     pub use crate::Experiment;
     pub use adn_core::algorithm::{
-        find as find_algorithm, registry, AlgorithmSpec, CentralizedConfig, CentralizedCutInHalf,
-        CentralizedGeneral, CliqueFormation, Flooding, GraphToStar, GraphToThinWreath,
-        GraphToWreath, ReconfigurationAlgorithm, RunConfig, TraceLevel,
+        arm_network_for_dst, find as find_algorithm, registry, AlgorithmSpec, CentralizedConfig,
+        CentralizedCutInHalf, CentralizedGeneral, CliqueFormation, DstConfig, Flooding,
+        GraphToStar, GraphToThinWreath, GraphToWreath, ReconfigurationAlgorithm, RunConfig,
+        TraceLevel,
     };
     pub use adn_core::graph_to_wreath::WreathConfig;
     pub use adn_core::tasks::{
@@ -79,6 +80,9 @@ pub mod prelude {
     pub use adn_graph::{
         generators, properties, traversal, Graph, GraphFamily, NodeId, RootedTree, Uid,
         UidAssignment, UidMap,
+    };
+    pub use adn_sim::dst::{
+        find_scenario, scenarios, DstReport, FaultEvent, FaultRecord, Scenario, TargetPolicy,
     };
     pub use adn_sim::{EdgeMetrics, Network};
 

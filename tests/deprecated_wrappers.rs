@@ -1,0 +1,135 @@
+//! Drift guard for the `#[deprecated]` pre-0.2 entry points: every
+//! wrapper must delegate to the registry path and produce exactly the
+//! outcome the `Experiment` builder produces — until the wrappers are
+//! removed, they may not silently diverge.
+
+#![allow(deprecated)]
+
+use actively_dynamic_networks::prelude::*;
+
+const N: usize = 32;
+const SEED: u64 = 6;
+
+fn uids() -> UidMap {
+    UidMap::new(N, UidAssignment::RandomPermutation { seed: SEED })
+}
+
+fn via_experiment(algorithm: &str) -> TransformationOutcome {
+    Experiment::on(generators::line(N))
+        .uid_map(uids())
+        .algorithm(algorithm)
+        .run()
+        .unwrap()
+}
+
+fn assert_same(label: &str, wrapper: &TransformationOutcome, builder: &TransformationOutcome) {
+    assert_eq!(wrapper.leader, builder.leader, "{label}: leader");
+    assert_eq!(wrapper.rounds, builder.rounds, "{label}: rounds");
+    assert_eq!(wrapper.phases, builder.phases, "{label}: phases");
+    assert_eq!(wrapper.metrics, builder.metrics, "{label}: metrics");
+    assert_eq!(
+        wrapper.final_graph, builder.final_graph,
+        "{label}: final graph"
+    );
+    assert_eq!(
+        wrapper.tokens_per_node, builder.tokens_per_node,
+        "{label}: tokens"
+    );
+}
+
+#[test]
+fn run_graph_to_star_matches_builder() {
+    let wrapper = run_graph_to_star(&generators::line(N), &uids()).unwrap();
+    assert_same("graph_to_star", &wrapper, &via_experiment("graph_to_star"));
+}
+
+#[test]
+fn run_graph_to_wreath_matches_builder() {
+    let wrapper = run_graph_to_wreath(&generators::line(N), &uids()).unwrap();
+    assert_same(
+        "graph_to_wreath",
+        &wrapper,
+        &via_experiment("graph_to_wreath"),
+    );
+}
+
+#[test]
+fn run_graph_to_thin_wreath_matches_builder() {
+    let wrapper = run_graph_to_thin_wreath(&generators::line(N), &uids()).unwrap();
+    assert_same(
+        "graph_to_thin_wreath",
+        &wrapper,
+        &via_experiment("graph_to_thin_wreath"),
+    );
+}
+
+#[test]
+fn run_flooding_matches_builder() {
+    let wrapper = run_flooding(&generators::line(N), &uids()).unwrap();
+    let builder = via_experiment("flooding");
+    assert_same("flooding", &wrapper, &builder);
+    // Dissemination accounting must agree too, not just the metering.
+    assert_eq!(wrapper.tokens_per_node, vec![N; N]);
+}
+
+#[test]
+fn run_clique_formation_matches_builder() {
+    // The wrapper historically runs traced; compare against the traced
+    // builder path so the traces line up as well.
+    let wrapper = run_clique_formation(&generators::line(N), &uids()).unwrap();
+    let builder = Experiment::on(generators::line(N))
+        .uid_map(uids())
+        .algorithm("clique_formation")
+        .trace(TraceLevel::PerRound)
+        .run()
+        .unwrap();
+    assert_same("clique_formation", &wrapper, &builder);
+    assert_eq!(wrapper.trace, builder.trace, "clique trace drift");
+}
+
+#[test]
+fn run_centralized_general_matches_builder_for_both_targets() {
+    for (prune, target) in [
+        (true, CentralizedConfig::PruneToTree),
+        (false, CentralizedConfig::LowDiameter),
+    ] {
+        let wrapper = run_centralized_general(&generators::line(N), &uids(), prune).unwrap();
+        let builder = Experiment::on(generators::line(N))
+            .uid_map(uids())
+            .algorithm("centralized_general")
+            .centralized(target)
+            .run()
+            .unwrap();
+        assert_same(
+            &format!("centralized_general(prune={prune})"),
+            &wrapper,
+            &builder,
+        );
+    }
+}
+
+#[test]
+fn run_cut_in_half_on_line_matches_builder() {
+    // The trait entry point recovers the path order starting from the
+    // smallest-index endpoint — on `generators::line` that is the natural
+    // order, so the explicit-order wrapper must agree exactly.
+    let order: Vec<NodeId> = (0..N).map(NodeId).collect();
+    let wrapper = run_cut_in_half_on_line(&generators::line(N), &order).unwrap();
+    let builder = via_experiment("centralized_cut_in_half");
+    assert_same("centralized_cut_in_half", &wrapper, &builder);
+}
+
+#[test]
+fn wrappers_error_like_the_registry_path() {
+    // Rejections must flow through the same validation: a disconnected
+    // input fails both paths with InvalidInput.
+    let mut g = generators::line(6);
+    g.remove_edge(NodeId(2), NodeId(3)).unwrap();
+    let uids = UidMap::new(6, UidAssignment::Sequential);
+    assert!(matches!(
+        run_flooding(&g, &uids),
+        Err(CoreError::InvalidInput { .. })
+    ));
+    let builder = Experiment::on(g).uid_map(uids).algorithm("flooding").run();
+    assert!(matches!(builder, Err(CoreError::InvalidInput { .. })));
+}
