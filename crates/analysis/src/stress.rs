@@ -399,17 +399,7 @@ impl SweepSummary {
     /// workspace is dependency-free), suitable for the `BENCH_dst.json`
     /// artifact.
     pub fn to_json(&self) -> String {
-        fn esc(s: &str) -> String {
-            s.chars()
-                .flat_map(|c| match c {
-                    '"' => "\\\"".chars().collect::<Vec<_>>(),
-                    '\\' => "\\\\".chars().collect(),
-                    '\n' => "\\n".chars().collect(),
-                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-                    c => vec![c],
-                })
-                .collect()
-        }
+        use json_escape as esc;
         let failures: Vec<String> = self
             .suite_failures()
             .iter()
@@ -442,17 +432,90 @@ impl SweepSummary {
     }
 }
 
+/// Escapes a string for embedding in the workspace's hand-rolled JSON
+/// artifacts (`BENCH_dst.json`, `BENCH_core.json`) — the workspace is
+/// dependency-free, so this is the one shared escaper.
+pub fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
 /// Runs `cases` seed-derived cases, with case seeds drawn from
 /// `master_seed`'s [`DetRng`] stream. Every failure is reported with its
 /// own `u64` case seed, replayable via [`replay`].
+///
+/// Equivalent to [`sweep_with_threads`] with one thread.
 pub fn sweep(master_seed: u64, cases: usize) -> SweepSummary {
+    sweep_with_threads(master_seed, cases, 1)
+}
+
+/// Derives the per-case seeds of a sweep (the only part that consumes the
+/// master RNG; cases are then fully independent, which is what makes the
+/// sweep embarrassingly parallel).
+fn case_seeds(master_seed: u64, cases: usize) -> Vec<u64> {
     let mut rng = DetRng::seed_from_u64(master_seed);
-    let reports = (0..cases)
-        .map(|_| run_case(&StressCase::from_seed(rng.next_u64())))
-        .collect();
+    (0..cases).map(|_| rng.next_u64()).collect()
+}
+
+/// Runs a seed sweep on a pool of `threads` worker threads
+/// (`std::thread`, no external dependencies). Case seeds are derived
+/// up-front from the master RNG, workers claim indices from a shared
+/// atomic counter, and reports are reassembled in case order — so the
+/// returned [`SweepSummary`] (and therefore `summary_text`/`to_json` and
+/// every per-case [`StressReport::render`]) is byte-identical for every
+/// thread count, including 1.
+///
+/// `threads` is clamped to `[1, cases]`; `0` means one thread.
+pub fn sweep_with_threads(master_seed: u64, cases: usize, threads: usize) -> SweepSummary {
+    let seeds = case_seeds(master_seed, cases);
+    let threads = threads.clamp(1, cases.max(1));
+    if threads <= 1 {
+        let reports = seeds
+            .iter()
+            .map(|&s| run_case(&StressCase::from_seed(s)))
+            .collect();
+        return SweepSummary {
+            master_seed,
+            reports,
+        };
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let next = AtomicUsize::new(0);
+    let seeds = &seeds;
+    let next = &next;
+    let mut indexed: Vec<(usize, StressReport)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= seeds.len() {
+                            break;
+                        }
+                        out.push((i, run_case(&StressCase::from_seed(seeds[i]))));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(indexed.len(), cases);
     SweepSummary {
         master_seed,
-        reports,
+        reports: indexed.into_iter().map(|(_, r)| r).collect(),
     }
 }
 
@@ -524,6 +587,33 @@ mod tests {
         let mut below = case.clone();
         below.scenario.fault_budget = minimized.minimal_budget - 1;
         assert!(run_case(&below).is_clean(), "{}", run_case(&below).render());
+    }
+
+    #[test]
+    fn sweep_output_is_identical_across_thread_counts() {
+        let serial = sweep_with_threads(0xAB1E, 10, 1);
+        for threads in [2usize, 4, 16] {
+            let parallel = sweep_with_threads(0xAB1E, 10, threads);
+            assert_eq!(parallel.master_seed, serial.master_seed);
+            assert_eq!(parallel.reports.len(), serial.reports.len());
+            assert_eq!(
+                parallel.summary_text(),
+                serial.summary_text(),
+                "aggregate diverged at {threads} threads"
+            );
+            assert_eq!(parallel.to_json(), serial.to_json());
+            for (a, b) in serial.reports.iter().zip(&parallel.reports) {
+                assert_eq!(
+                    a.render(),
+                    b.render(),
+                    "case seed {} diverged at {threads} threads",
+                    a.case.seed
+                );
+            }
+        }
+        // `sweep` is the one-thread path.
+        let plain = sweep(0xAB1E, 10);
+        assert_eq!(plain.to_json(), serial.to_json());
     }
 
     #[test]

@@ -1,20 +1,61 @@
 //! Regenerates the experiment tables and figures of the reproduction, and
-//! fronts the deterministic stress suite.
+//! fronts the deterministic stress suite and the CPU-performance baseline.
 //!
 //! Usage:
 //!
 //! * `cargo run -p adn-bench --release --bin report [-- <experiment-id>]`
 //!   where `<experiment-id>` is one of t1, t4, f1, f3, f4, f5, t6, f7,
 //!   t8, f9 (no id = the full report, as captured in EXPERIMENTS.md);
-//! * `... report -- --dst [cases]` — run the DST stress sweep (default
-//!   1344 cases) and write `BENCH_dst.json`;
+//! * `... report -- --dst [cases] [--threads N]` — run the DST stress
+//!   sweep (default 1344 cases) on `N` worker threads (default: available
+//!   cores; the artifact is byte-identical for every `N`) and write
+//!   `BENCH_dst.json`;
 //! * `... report -- --replay <seed>` — replay one stress case from its
-//!   `u64` seed and verify byte-identical reproduction.
+//!   `u64` seed and verify byte-identical reproduction;
+//! * `... report -- --bench [--quick] [--threads N]` — run the CPU-perf
+//!   baseline of the hot data path and write `BENCH_core.json`
+//!   (`--quick` is the reduced CI smoke pass).
+
+/// Extracts `--threads N` from `args` (removing both tokens); `None` when
+/// the flag is absent.
+fn take_threads(args: &mut Vec<String>) -> Option<usize> {
+    let pos = args.iter().position(|a| a == "--threads")?;
+    let value = args
+        .get(pos + 1)
+        .and_then(|s| s.parse().ok())
+        .expect("usage: --threads <positive integer>");
+    args.drain(pos..=pos + 1);
+    Some(value)
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+/// Rejects flags a subcommand does not honor instead of silently
+/// swallowing them.
+fn reject_unused(subcommand: &str, threads: Option<usize>, quick: bool, threads_ok: bool) {
+    if threads.is_some() && !threads_ok {
+        panic!("`{subcommand}` does not take --threads");
+    }
+    if quick {
+        panic!("`{subcommand}` does not take --quick");
+    }
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = take_threads(&mut args);
+    let quick = take_flag(&mut args, "--quick");
+    let first = args.first().cloned();
+    match first.as_deref() {
         Some("--replay") => {
+            reject_unused("--replay", threads, quick, false);
             let seed: u64 = args
                 .get(1)
                 .and_then(|s| s.parse().ok())
@@ -26,21 +67,39 @@ fn main() {
             }
         }
         Some("--dst") => {
+            reject_unused("--dst", None, quick, true);
             let cases: usize = match args.get(1) {
                 Some(raw) => raw
                     .parse()
                     .unwrap_or_else(|_| panic!("usage: report --dst [case count], got `{raw}`")),
                 None => adn_bench::DST_DEFAULT_CASES,
             };
-            let (summary, json, suite_failures) = adn_bench::dst_suite(cases);
+            let threads = adn_bench::corebench::resolve_threads(threads.unwrap_or(0));
+            let (summary, json, suite_failures) = adn_bench::dst_suite(cases, threads);
             std::fs::write("BENCH_dst.json", &json).expect("write BENCH_dst.json");
             print!("{summary}");
-            println!("wrote BENCH_dst.json ({} bytes)", json.len());
+            println!(
+                "wrote BENCH_dst.json ({} bytes, {threads} threads)",
+                json.len()
+            );
             // A non-zero exit makes the CI stress job an actual gate.
             if suite_failures > 0 {
                 std::process::exit(1);
             }
         }
-        other => println!("{}", adn_bench::report_for(other)),
+        Some("--bench") => {
+            let cfg = adn_bench::corebench::CoreBenchConfig {
+                quick,
+                threads: threads.unwrap_or(0),
+            };
+            let (table, json) = adn_bench::corebench::run(&cfg);
+            std::fs::write("BENCH_core.json", &json).expect("write BENCH_core.json");
+            print!("{table}");
+            println!("wrote BENCH_core.json ({} bytes)", json.len());
+        }
+        other => {
+            reject_unused("the experiment report", threads, quick, false);
+            println!("{}", adn_bench::report_for(other));
+        }
     }
 }

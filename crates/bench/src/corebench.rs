@@ -1,0 +1,279 @@
+//! CPU-performance baseline for the hot data path (`BENCH_core.json`).
+//!
+//! The model-level report measures rounds and activations — quantities the
+//! paper's theorems are about. This module measures the *wall-clock* cost
+//! of the structures those quantities are computed on: raw graph mutation,
+//! distance-2 scans, `commit_round`, full algorithm executions and the
+//! stress-sweep throughput. The resulting JSON is the comparison point for
+//! every future performance PR (see README "Performance").
+//!
+//! Run with `cargo run -p adn-bench --release --bin report -- --bench`
+//! (`--quick` for the reduced CI smoke pass, `--threads N` to pin the
+//! sweep-throughput case to a thread count).
+
+use crate::harness::{Bench, Sample};
+use adn_analysis::stress::json_escape;
+use adn_core::algorithm::{self, RunConfig};
+use adn_graph::rng::DetRng;
+use adn_graph::{generators, Graph, NodeId, UidAssignment, UidMap};
+use adn_sim::Network;
+use std::time::Instant;
+
+/// Configuration for the core CPU benchmark.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoreBenchConfig {
+    /// Reduced sizes and iteration counts for the CI smoke job.
+    pub quick: bool,
+    /// Worker threads for the sweep-throughput case (0 = available
+    /// parallelism).
+    pub threads: usize,
+}
+
+/// Resolves a requested worker-thread count: `0` means one thread per
+/// available core (the shared default of every parallel entry point).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    }
+}
+
+/// A deterministic pseudo-random edge stream on `n` nodes (no self-loops,
+/// duplicates allowed — the structures under test must absorb them).
+fn edge_stream(n: usize, m: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut rng = DetRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| {
+            let u = rng.gen_range(0, n);
+            let mut v = rng.gen_range(0, n - 1);
+            if v >= u {
+                v += 1;
+            }
+            (NodeId(u), NodeId(v))
+        })
+        .collect()
+}
+
+/// A deterministic connected "scratch" graph for read-path cases.
+fn scratch_graph(n: usize, extra: usize, seed: u64) -> Graph {
+    generators::random_line_with_chords(n, extra, seed)
+}
+
+fn bench_graph_ops(bench: &mut Bench, quick: bool) {
+    let n = if quick { 256 } else { 1024 };
+    let m = if quick { 2048 } else { 16384 };
+    let stream = edge_stream(n, m, 0xADD5);
+
+    bench.measure(&format!("graph/add_remove_stream n={n} m={m}"), || {
+        let mut g = Graph::new(n);
+        for &(u, v) in &stream {
+            let _ = g.add_edge(u, v);
+        }
+        for &(u, v) in &stream {
+            let _ = g.remove_edge(u, v);
+        }
+        assert!(g.is_empty());
+    });
+
+    let g = scratch_graph(n, 4 * n, 0x5EED);
+    bench.measure(&format!("graph/potential_neighbors_all n={n}"), || {
+        let mut total = 0usize;
+        for u in g.nodes() {
+            total += g.potential_neighbors(u).len();
+        }
+        assert!(total > 0);
+    });
+
+    bench.measure(&format!("graph/neighbor_scan n={n}"), || {
+        let mut acc = 0usize;
+        for u in g.nodes() {
+            for v in g.neighbors(u) {
+                acc = acc.wrapping_add(v.index());
+            }
+        }
+        std::hint::black_box(acc);
+    });
+}
+
+fn bench_commit_round(bench: &mut Bench, quick: bool) {
+    // Star with centre 0: every leaf pair is at distance 2, so arbitrary
+    // leaf-leaf activations are valid. Stage `chunk` edges per round,
+    // commit, then deactivate them over the same number of rounds — a
+    // pure staging/commit workload with no algorithm logic on top.
+    let n = if quick { 513 } else { 2049 };
+    let chunk = 64;
+    let rounds = if quick { 16 } else { 64 };
+    let mut rng = DetRng::seed_from_u64(0xC0117);
+    let schedule: Vec<Vec<(NodeId, NodeId)>> = (0..rounds)
+        .map(|_| {
+            (0..chunk)
+                .map(|_| {
+                    let u = rng.gen_range(1, n);
+                    let mut v = rng.gen_range(1, n - 1);
+                    if v >= u {
+                        v += 1;
+                    }
+                    (NodeId(u), NodeId(v))
+                })
+                .collect()
+        })
+        .collect();
+
+    bench.measure(
+        &format!("network/commit_round star n={n} chunk={chunk} rounds={rounds}x2"),
+        || {
+            let mut net = Network::new(generators::star(n));
+            for batch in &schedule {
+                for &(u, v) in batch {
+                    let _ = net.stage_activation(u, v);
+                }
+                net.commit_round();
+            }
+            for batch in &schedule {
+                for &(u, v) in batch {
+                    let _ = net.stage_deactivation(u, v);
+                }
+                net.commit_round();
+            }
+            assert_eq!(net.activated_edge_count(), 0);
+        },
+    );
+
+    // Steady-state variant: the network outlives the closure, so the
+    // measurement is staging + commit only (no construction), and every
+    // iteration returns the snapshot to the initial star.
+    let mut net = Network::new(generators::star(n));
+    bench.measure(
+        &format!("network/commit_round_steady star n={n} chunk={chunk} rounds={rounds}x2"),
+        || {
+            for batch in &schedule {
+                for &(u, v) in batch {
+                    let _ = net.stage_activation(u, v);
+                }
+                net.commit_round();
+            }
+            for batch in &schedule {
+                for &(u, v) in batch {
+                    let _ = net.stage_deactivation(u, v);
+                }
+                net.commit_round();
+            }
+            assert_eq!(net.activated_edge_count(), 0);
+        },
+    );
+}
+
+fn bench_algorithms(bench: &mut Bench, quick: bool) {
+    let n = if quick { 128 } else { 512 };
+    let cases: &[(&str, Graph)] = &[
+        ("graph_to_star", generators::line(n)),
+        ("graph_to_wreath", generators::line(n)),
+        ("flooding", generators::ring(n)),
+    ];
+    for (id, graph) in cases {
+        let a = algorithm::find(id).expect("registered algorithm");
+        let uids = UidMap::new(
+            graph.node_count(),
+            UidAssignment::RandomPermutation { seed: 11 },
+        );
+        let config = RunConfig::default();
+        bench.measure(&format!("algorithm/{id} n={n}"), || {
+            let outcome = a.run(graph, &uids, &config).expect("clean run");
+            assert!(outcome.rounds > 0);
+        });
+    }
+}
+
+fn bench_sweep(bench: &mut Bench, quick: bool, threads: usize) {
+    let cases = if quick { 24 } else { 96 };
+    bench.measure(&format!("sweep/serial cases={cases}"), || {
+        let summary = adn_analysis::stress::sweep(0xBE7C4, cases);
+        assert_eq!(summary.reports.len(), cases);
+    });
+    if threads > 1 {
+        bench.measure(&format!("sweep/threads={threads} cases={cases}"), || {
+            let summary = adn_analysis::stress::sweep_with_threads(0xBE7C4, cases, threads);
+            assert_eq!(summary.reports.len(), cases);
+        });
+    }
+}
+
+/// Serializes bench samples to the `BENCH_core.json` document
+/// (hand-rolled — the workspace is dependency-free).
+fn to_json(cfg: &CoreBenchConfig, threads: usize, elapsed_ms: u128, samples: &[Sample]) -> String {
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"case\":\"{}\",\"min_ns\":{},\"median_ns\":{},\"mean_ns\":{}}}",
+                json_escape(&s.label),
+                s.min.as_nanos(),
+                s.median.as_nanos(),
+                s.mean.as_nanos(),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"mode\":\"{}\",\"threads\":{},\"elapsed_ms\":{},\"rows\":[{}]}}",
+        if cfg.quick { "quick" } else { "full" },
+        threads,
+        elapsed_ms,
+        rows.join(","),
+    )
+}
+
+/// Runs the core CPU benchmark and returns `(human_table, json)`.
+pub fn run(cfg: &CoreBenchConfig) -> (String, String) {
+    let threads = resolve_threads(cfg.threads);
+    let iterations = if cfg.quick { 3 } else { 9 };
+    let started = Instant::now();
+    let mut bench = Bench::new("core CPU baseline", iterations);
+    bench_graph_ops(&mut bench, cfg.quick);
+    bench_commit_round(&mut bench, cfg.quick);
+    bench_algorithms(&mut bench, cfg.quick);
+    bench_sweep(&mut bench, cfg.quick, threads);
+    let samples = bench.take_samples();
+    let elapsed_ms = started.elapsed().as_millis();
+    let mut table = format!(
+        "core CPU baseline ({} mode, {iterations} iterations, sweep threads {threads})\n",
+        if cfg.quick { "quick" } else { "full" },
+    );
+    for s in &samples {
+        table.push_str(&format!(
+            "{:<56} min {:>12?} median {:>12?} mean {:>12?}\n",
+            s.label, s.min, s.median, s.mean
+        ));
+    }
+    let json = to_json(cfg, threads, elapsed_ms, &samples);
+    (table, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_runs_and_serializes() {
+        let (table, json) = run(&CoreBenchConfig {
+            quick: true,
+            threads: 1,
+        });
+        assert!(table.contains("core CPU baseline"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"mode\":\"quick\""));
+        assert!(json.contains("graph/add_remove_stream"));
+        assert!(json.contains("network/commit_round"));
+        assert!(json.contains("sweep/serial"));
+    }
+
+    #[test]
+    fn edge_stream_is_deterministic_and_loop_free() {
+        let a = edge_stream(64, 256, 9);
+        let b = edge_stream(64, 256, 9);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|(u, v)| u != v));
+    }
+}

@@ -24,6 +24,21 @@ struct Row {
     mean: Duration,
 }
 
+/// A measured case, harvested with [`Bench::take_samples`] for
+/// machine-readable output (e.g. the `BENCH_core.json` artifact) instead
+/// of the printed table.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// The case label passed to [`Bench::measure`].
+    pub label: String,
+    /// Fastest timed iteration.
+    pub min: Duration,
+    /// Median timed iteration.
+    pub median: Duration,
+    /// Mean over all timed iterations.
+    pub mean: Duration,
+}
+
 impl Bench {
     /// Creates a group that runs every case `iterations` times (after one
     /// untimed warm-up iteration).
@@ -56,6 +71,20 @@ impl Bench {
             median,
             mean,
         });
+    }
+
+    /// Drains the recorded rows as [`Sample`]s, suppressing the printed
+    /// table (nothing is left for [`Bench::report`] / drop to print).
+    pub fn take_samples(&mut self) -> Vec<Sample> {
+        self.rows
+            .drain(..)
+            .map(|r| Sample {
+                label: r.label,
+                min: r.min,
+                median: r.median,
+                mean: r.mean,
+            })
+            .collect()
     }
 
     /// Prints the group's table. Called automatically on drop; exposed for

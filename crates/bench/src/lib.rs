@@ -11,13 +11,18 @@
 //!   report (all tables/figures, as captured in EXPERIMENTS.md).
 //! * `cargo run -p adn-bench --release --bin report -- t1` — a single
 //!   experiment (ids: t1, t4, f1, f3, f4, f5, t6, f7, t8, f9).
-//! * `cargo run -p adn-bench --release --bin report -- --dst [cases]` —
-//!   the deterministic stress suite (default 1344 cases ≈ 64 seeds × 7
-//!   algorithms × 3 fault scenarios); writes `BENCH_dst.json`.
+//! * `cargo run -p adn-bench --release --bin report -- --dst [cases]
+//!   [--threads N]` — the deterministic stress suite (default 1344 cases
+//!   ≈ 64 seeds × 7 algorithms × 3 fault scenarios) on `N` worker
+//!   threads; writes `BENCH_dst.json` (byte-identical for every `N`).
 //! * `cargo run -p adn-bench --release --bin report -- --replay <seed>` —
 //!   replays one stress case from its `u64` seed and verifies the rerun
 //!   is byte-identical.
+//! * `cargo run -p adn-bench --release --bin report -- --bench [--quick]
+//!   [--threads N]` — the CPU-performance baseline of the hot data path;
+//!   writes `BENCH_core.json` (see [`corebench`]).
 
+pub mod corebench;
 pub mod harness;
 
 /// Master seed of the CI stress sweep (any u64 works; fixed so the CI
@@ -29,12 +34,13 @@ pub const DST_MASTER_SEED: u64 = 0xD57_5EED;
 /// 3 primary fault scenarios.
 pub const DST_DEFAULT_CASES: usize = 64 * 7 * 3;
 
-/// Runs the deterministic stress sweep and returns
+/// Runs the deterministic stress sweep on `threads` worker threads
+/// (`0` or `1` = serial) and returns
 /// `(summary_text, json, suite_failure_count)` — the JSON is what CI
 /// stores as `BENCH_dst.json`; a non-zero failure count should fail the
-/// caller.
-pub fn dst_suite(cases: usize) -> (String, String, usize) {
-    let summary = adn_analysis::stress::sweep(DST_MASTER_SEED, cases);
+/// caller. The output is byte-identical for every thread count.
+pub fn dst_suite(cases: usize, threads: usize) -> (String, String, usize) {
+    let summary = adn_analysis::stress::sweep_with_threads(DST_MASTER_SEED, cases, threads);
     let failures = summary.suite_failures().len();
     (summary.summary_text(), summary.to_json(), failures)
 }
@@ -82,10 +88,13 @@ mod tests {
 
     #[test]
     fn dst_suite_runs_and_serializes() {
-        let (summary, json, suite_failures) = dst_suite(6);
+        let (summary, json, suite_failures) = dst_suite(6, 1);
         assert!(summary.contains("cases=6"), "{summary}");
         assert!(json.contains("\"cases\":6"), "{json}");
         assert_eq!(suite_failures, 0, "{summary}");
+        // Parallel execution changes nothing about the artifact.
+        let (_, json2, _) = dst_suite(6, 3);
+        assert_eq!(json, json2);
     }
 
     #[test]

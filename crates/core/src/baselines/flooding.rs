@@ -13,7 +13,6 @@ use crate::{CoreError, TransformationOutcome};
 use adn_graph::{Graph, NodeId, Uid, UidMap};
 use adn_sim::engine::{run_programs, EngineConfig, NodeDecision, NodeProgram, NodeView};
 use adn_sim::Network;
-use std::collections::BTreeSet;
 
 /// The old name of the flooding result. Flooding now reports through the
 /// shared outcome type; token counts live in
@@ -25,27 +24,62 @@ use std::collections::BTreeSet;
 pub type FloodingOutcome = TransformationOutcome;
 
 struct FloodNode {
-    known: BTreeSet<Uid>,
+    /// Known tokens, kept sorted and duplicate-free — inbound messages
+    /// are themselves sorted (clones of a sender's `known`), so absorbing
+    /// one is a two-pointer union instead of per-token tree inserts. The
+    /// contents and order are identical to the old `BTreeSet` form.
+    known: Vec<Uid>,
+    scratch: Vec<Uid>,
     /// A node terminates when it has seen `n` tokens (it knows `n` here,
     /// as in the paper's ThinWreath assumption) — `n` is read from the
     /// view.
     done: bool,
 }
 
+impl FloodNode {
+    /// Merges the sorted `tokens` into the sorted `known` set.
+    fn absorb(&mut self, tokens: &[Uid]) {
+        debug_assert!(tokens.windows(2).all(|w| w[0] < w[1]));
+        self.scratch.clear();
+        self.scratch.reserve(self.known.len() + tokens.len());
+        let (a, b) = (&self.known, tokens);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    self.scratch.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    self.scratch.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    self.scratch.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        self.scratch.extend_from_slice(&a[i..]);
+        self.scratch.extend_from_slice(&b[j..]);
+        std::mem::swap(&mut self.known, &mut self.scratch);
+    }
+}
+
 impl NodeProgram for FloodNode {
     type Message = Vec<Uid>;
 
     fn send(&mut self, view: &NodeView) -> Vec<(NodeId, Self::Message)> {
-        let payload: Vec<Uid> = self.known.iter().copied().collect();
         view.neighbors
             .iter()
-            .map(|&v| (v, payload.clone()))
+            .map(|&v| (v, self.known.clone()))
             .collect()
     }
 
     fn step(&mut self, view: &NodeView, inbox: &[(NodeId, Self::Message)]) -> NodeDecision {
         for (_, tokens) in inbox {
-            self.known.extend(tokens.iter().copied());
+            self.absorb(tokens);
         }
         if self.known.len() >= view.n {
             self.done = true;
@@ -102,7 +136,8 @@ pub(crate) fn execute(
     network.set_trace_enabled(config.trace.is_per_round());
     let mut programs: Vec<FloodNode> = (0..n)
         .map(|i| FloodNode {
-            known: [uids.uid(NodeId(i))].into_iter().collect(),
+            known: vec![uids.uid(NodeId(i))],
+            scratch: Vec::new(),
             done: n == 1,
         })
         .collect();

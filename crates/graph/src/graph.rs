@@ -1,7 +1,6 @@
 //! A simple undirected graph over a fixed vertex set `0..n`.
 
 use crate::{GraphError, NodeId};
-use std::collections::BTreeSet;
 
 /// An undirected edge, stored in canonical (sorted) order.
 ///
@@ -51,14 +50,60 @@ impl Edge {
 /// A simple undirected graph on the fixed vertex set `{0, …, n-1}`.
 ///
 /// This is the snapshot `D(i) = (V, E(i))` of the paper's temporal graph:
-/// the vertex set never changes, only the edge set does. Adjacency is kept
-/// as a sorted set per node so that iteration order is deterministic, which
-/// matters for reproducible executions of the deterministic algorithms.
+/// the vertex set never changes, only the edge set does. Adjacency is a
+/// sorted, duplicate-free `Vec<NodeId>` per node — a flat representation
+/// whose iteration order is identical to the previous per-node `BTreeSet`
+/// (ascending), so every deterministic execution is preserved, while
+/// neighbour scans are contiguous and batch edits are merge passes rather
+/// than tree rebuilds.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
     n: usize,
-    adjacency: Vec<BTreeSet<NodeId>>,
+    adjacency: Vec<Vec<NodeId>>,
     edge_count: usize,
+}
+
+/// Merges `add` (sorted ascending, duplicate-free, disjoint from `list`)
+/// into the sorted `list` in one backward pass.
+fn merge_sorted_additions(list: &mut Vec<NodeId>, add: &[NodeId]) {
+    if add.is_empty() {
+        return;
+    }
+    let old_len = list.len();
+    list.resize(old_len + add.len(), NodeId(0));
+    let mut i = old_len; // unmerged prefix of the original list
+    let mut j = add.len(); // unmerged prefix of the additions
+    let mut w = list.len(); // next write position (from the back)
+    while j > 0 {
+        if i > 0 && list[i - 1] > add[j - 1] {
+            list[w - 1] = list[i - 1];
+            i -= 1;
+        } else {
+            list[w - 1] = add[j - 1];
+            j -= 1;
+        }
+        w -= 1;
+    }
+}
+
+/// Removes every element of `del` (sorted ascending, duplicate-free, all
+/// present in `list`) from the sorted `list` in one forward pass.
+fn remove_sorted_elements(list: &mut Vec<NodeId>, del: &[NodeId]) {
+    if del.is_empty() {
+        return;
+    }
+    let mut j = 0usize;
+    let mut w = 0usize;
+    for r in 0..list.len() {
+        let v = list[r];
+        if j < del.len() && del[j] == v {
+            j += 1;
+        } else {
+            list[w] = v;
+            w += 1;
+        }
+    }
+    list.truncate(w);
 }
 
 impl Graph {
@@ -66,7 +111,7 @@ impl Graph {
     pub fn new(n: usize) -> Self {
         Graph {
             n,
-            adjacency: vec![BTreeSet::new(); n],
+            adjacency: vec![Vec::new(); n],
             edge_count: 0,
         }
     }
@@ -101,7 +146,7 @@ impl Graph {
     /// (`adn_sim::dst`), where an adversary may let nodes join the network
     /// between rounds.
     pub fn add_node(&mut self) -> NodeId {
-        self.adjacency.push(BTreeSet::new());
+        self.adjacency.push(Vec::new());
         self.n += 1;
         NodeId(self.n - 1)
     }
@@ -141,12 +186,18 @@ impl Graph {
         if u == v {
             return Err(GraphError::SelfLoop { node: u });
         }
-        let inserted = self.adjacency[u.index()].insert(v);
-        self.adjacency[v.index()].insert(u);
-        if inserted {
-            self.edge_count += 1;
+        match self.adjacency[u.index()].binary_search(&v) {
+            Ok(_) => Ok(false),
+            Err(pos) => {
+                self.adjacency[u.index()].insert(pos, v);
+                let back = self.adjacency[v.index()]
+                    .binary_search(&u)
+                    .expect_err("adjacency must stay symmetric");
+                self.adjacency[v.index()].insert(back, u);
+                self.edge_count += 1;
+                Ok(true)
+            }
         }
-        Ok(inserted)
     }
 
     /// Removes the undirected edge `{u, v}`. Returns `true` if the edge was
@@ -158,12 +209,159 @@ impl Graph {
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, GraphError> {
         self.check_node(u)?;
         self.check_node(v)?;
-        let removed = self.adjacency[u.index()].remove(&v);
-        self.adjacency[v.index()].remove(&u);
-        if removed {
-            self.edge_count -= 1;
+        match self.adjacency[u.index()].binary_search(&v) {
+            Err(_) => Ok(false),
+            Ok(pos) => {
+                self.adjacency[u.index()].remove(pos);
+                let back = self.adjacency[v.index()]
+                    .binary_search(&u)
+                    .expect("adjacency must stay symmetric");
+                self.adjacency[v.index()].remove(back);
+                self.edge_count -= 1;
+                Ok(true)
+            }
         }
-        Ok(removed)
+    }
+
+    /// Inserts a batch of canonical edges in one merge pass per touched
+    /// node and calls `on_insert` for every edge that was newly inserted
+    /// (in the order of `edges`). Returns the number of new edges.
+    ///
+    /// Amortized cost is `O(degree + batch)` per touched node, versus one
+    /// `O(degree)` memmove per edge for repeated [`Graph::add_edge`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or `edges` contains
+    /// duplicate not-yet-present edges — the case that would corrupt the
+    /// adjacency (callers stage through set-semantics vectors, so a
+    /// duplicate is a logic error, not data). Duplicates of already
+    /// present edges are harmlessly skipped by the freshness pre-filter.
+    pub fn add_edges_batch<F: FnMut(Edge)>(&mut self, edges: &[Edge], mut on_insert: F) -> usize {
+        if edges.is_empty() {
+            return 0;
+        }
+        let mut fresh: Vec<Edge> = Vec::with_capacity(edges.len());
+        for &e in edges {
+            assert!(
+                e.a.index() < self.n && e.b.index() < self.n,
+                "edge {{{}, {}}} out of range (n = {})",
+                e.a,
+                e.b,
+                self.n
+            );
+            if !self.has_edge(e.a, e.b) {
+                fresh.push(e);
+            }
+        }
+        // One directed entry per endpoint, grouped by source node.
+        let mut directed: Vec<(NodeId, NodeId)> = Vec::with_capacity(2 * fresh.len());
+        for &e in &fresh {
+            directed.push((e.a, e.b));
+            directed.push((e.b, e.a));
+        }
+        directed.sort_unstable();
+        assert!(
+            directed.windows(2).all(|w| w[0] != w[1]),
+            "duplicate edges in batch"
+        );
+        let mut i = 0;
+        let mut add: Vec<NodeId> = Vec::new();
+        while i < directed.len() {
+            let u = directed[i].0;
+            add.clear();
+            while i < directed.len() && directed[i].0 == u {
+                add.push(directed[i].1);
+                i += 1;
+            }
+            merge_sorted_additions(&mut self.adjacency[u.index()], &add);
+        }
+        self.edge_count += fresh.len();
+        for &e in &fresh {
+            on_insert(e);
+        }
+        fresh.len()
+    }
+
+    /// Removes a batch of canonical edges in one merge pass per touched
+    /// node and calls `on_remove` for every edge that was present (in the
+    /// order of `edges`). Returns the number of edges removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or `edges` contains
+    /// duplicate present edges — the case that would corrupt the
+    /// adjacency; duplicates of absent edges are harmlessly skipped.
+    pub fn remove_edges_batch<F: FnMut(Edge)>(
+        &mut self,
+        edges: &[Edge],
+        mut on_remove: F,
+    ) -> usize {
+        if edges.is_empty() {
+            return 0;
+        }
+        let mut present: Vec<Edge> = Vec::with_capacity(edges.len());
+        for &e in edges {
+            assert!(
+                e.a.index() < self.n && e.b.index() < self.n,
+                "edge {{{}, {}}} out of range (n = {})",
+                e.a,
+                e.b,
+                self.n
+            );
+            if self.has_edge(e.a, e.b) {
+                present.push(e);
+            }
+        }
+        let mut directed: Vec<(NodeId, NodeId)> = Vec::with_capacity(2 * present.len());
+        for &e in &present {
+            directed.push((e.a, e.b));
+            directed.push((e.b, e.a));
+        }
+        directed.sort_unstable();
+        assert!(
+            directed.windows(2).all(|w| w[0] != w[1]),
+            "duplicate edges in batch"
+        );
+        let mut i = 0;
+        let mut del: Vec<NodeId> = Vec::new();
+        while i < directed.len() {
+            let u = directed[i].0;
+            del.clear();
+            while i < directed.len() && directed[i].0 == u {
+                del.push(directed[i].1);
+                i += 1;
+            }
+            remove_sorted_elements(&mut self.adjacency[u.index()], &del);
+        }
+        self.edge_count -= present.len();
+        for &e in &present {
+            on_remove(e);
+        }
+        present.len()
+    }
+
+    /// Severs every edge incident to `u` in one pass (one merge per
+    /// neighbour plus clearing `u`'s own list) and calls `on_remove` for
+    /// each severed edge in ascending neighbour order. Returns the number
+    /// of severed edges. Used by the DST crash-stop fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn remove_incident_edges<F: FnMut(Edge)>(&mut self, u: NodeId, mut on_remove: F) -> usize {
+        let neighbors = std::mem::take(&mut self.adjacency[u.index()]);
+        for &v in &neighbors {
+            let pos = self.adjacency[v.index()]
+                .binary_search(&u)
+                .expect("adjacency must stay symmetric");
+            self.adjacency[v.index()].remove(pos);
+        }
+        self.edge_count -= neighbors.len();
+        for &v in &neighbors {
+            on_remove(Edge::new(u, v));
+        }
+        neighbors.len()
     }
 
     /// Returns true if the edge `{u, v}` is present.
@@ -172,7 +370,7 @@ impl Graph {
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         self.adjacency
             .get(u.index())
-            .map(|adj| adj.contains(&v))
+            .map(|adj| adj.binary_search(&v).is_ok())
             .unwrap_or(false)
     }
 
@@ -185,18 +383,102 @@ impl Graph {
         self.adjacency[u.index()].iter().copied()
     }
 
+    /// Neighbours of `u` as a sorted slice — the zero-cost form of
+    /// [`Graph::neighbors`] for hot scans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbors_slice(&self, u: NodeId) -> &[NodeId] {
+        &self.adjacency[u.index()]
+    }
+
     /// The set of nodes at distance exactly two from `u` (the paper's
     /// `N_2(u)`, the *potential neighbours*): nodes `w` such that some `v`
     /// is adjacent to both `u` and `w`, and `w` is not adjacent to `u` and
-    /// `w != u`.
-    pub fn potential_neighbors(&self, u: NodeId) -> BTreeSet<NodeId> {
-        let mut out = BTreeSet::new();
-        for v in self.neighbors(u) {
-            for w in self.neighbors(v) {
-                if w != u && !self.has_edge(u, w) {
-                    out.insert(w);
+    /// `w != u`. Returned sorted ascending, the same order the old
+    /// `BTreeSet` form iterated in.
+    ///
+    /// Computed as a flat union of the (sorted) neighbour lists of
+    /// `N_1(u)`: iterated two-pointer merges while the degree is small
+    /// (the common case — bounded `O(deg(u) · D)` with a tiny constant),
+    /// switching to gather + sort + dedup on hub nodes (bounded
+    /// `O(D log D)` for `D = Σ deg(v)`, immune to the quadratic re-merge
+    /// blowup of long pairwise-union chains), then one subtraction pass.
+    /// No per-element tree inserts anywhere.
+    pub fn potential_neighbors(&self, u: NodeId) -> Vec<NodeId> {
+        // Above this degree, long pairwise-union chains re-copy the accumulated
+        // union too often; sorting the gathered candidates is bounded.
+        const MERGE_MAX_DEGREE: usize = 64;
+        let n1 = &self.adjacency[u.index()];
+        let mut out: Vec<NodeId> = Vec::new();
+        if n1.len() <= MERGE_MAX_DEGREE {
+            let mut scratch: Vec<NodeId> = Vec::new();
+            for &v in n1 {
+                let list = &self.adjacency[v.index()];
+                if out.is_empty() {
+                    out.extend_from_slice(list);
+                    continue;
+                }
+                // Two-pointer union of `out` and `list` into `scratch`.
+                scratch.clear();
+                scratch.reserve(out.len() + list.len());
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < out.len() && j < list.len() {
+                    match out[i].cmp(&list[j]) {
+                        std::cmp::Ordering::Less => {
+                            scratch.push(out[i]);
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            scratch.push(list[j]);
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            scratch.push(out[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                scratch.extend_from_slice(&out[i..]);
+                scratch.extend_from_slice(&list[j..]);
+                std::mem::swap(&mut out, &mut scratch);
+            }
+        } else {
+            let total: usize = n1.iter().map(|v| self.adjacency[v.index()].len()).sum();
+            out.reserve(total);
+            for &v in n1 {
+                out.extend_from_slice(&self.adjacency[v.index()]);
+            }
+            out.sort_unstable();
+            out.dedup();
+        }
+        // Subtract `{u} ∪ N_1(u)` in one forward pass (both sides sorted).
+        let mut j = 0usize;
+        out.retain(|&w| {
+            while j < n1.len() && n1[j] < w {
+                j += 1;
+            }
+            w != u && !(j < n1.len() && n1[j] == w)
+        });
+
+        // Differential check against the old BTreeSet-based semantics.
+        #[cfg(debug_assertions)]
+        {
+            let mut reference = std::collections::BTreeSet::new();
+            for v in self.neighbors(u) {
+                for w in self.neighbors(v) {
+                    if w != u && !self.has_edge(u, w) {
+                        reference.insert(w);
+                    }
                 }
             }
+            debug_assert!(
+                out.iter().copied().eq(reference.iter().copied()),
+                "merge-based potential_neighbors diverged from reference for {u}: \
+                 {out:?} vs {reference:?}"
+            );
         }
         out
     }
@@ -207,13 +489,25 @@ impl Graph {
         if u == w || self.has_edge(u, w) {
             return false;
         }
-        self.neighbors(u).any(|v| self.has_edge(v, w))
+        self.common_neighbor(u, w).is_some()
     }
 
     /// A common neighbour of `u` and `w`, if any (a witness for the
-    /// distance-2 activation rule).
+    /// distance-2 activation rule). Both lists are sorted, so this is a
+    /// two-pointer intersection probe; the witness returned is the
+    /// smallest common neighbour, exactly as the old linear scan found.
     pub fn common_neighbor(&self, u: NodeId, w: NodeId) -> Option<NodeId> {
-        self.neighbors(u).find(|&v| self.has_edge(v, w))
+        let a = self.adjacency.get(u.index())?;
+        let b = self.adjacency.get(w.index())?;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return Some(a[i]),
+            }
+        }
+        None
     }
 
     /// Degree of `u`.
@@ -286,16 +580,21 @@ impl Graph {
         g
     }
 
-    /// Checks that the internal adjacency structure is symmetric and the
-    /// edge count matches. Used by property tests.
+    /// Checks that the internal adjacency structure is sorted,
+    /// duplicate-free and symmetric, and that the edge count matches.
+    /// Used by property tests.
     pub fn check_invariants(&self) -> bool {
         let mut count = 0usize;
         for u in 0..self.n {
-            for &v in &self.adjacency[u] {
+            let adj = &self.adjacency[u];
+            if adj.windows(2).any(|w| w[0] >= w[1]) {
+                return false; // unsorted or duplicated
+            }
+            for &v in adj {
                 if v.index() >= self.n || v.index() == u {
                     return false;
                 }
-                if !self.adjacency[v.index()].contains(&NodeId(u)) {
+                if self.adjacency[v.index()].binary_search(&NodeId(u)).is_err() {
                     return false;
                 }
                 if v.index() > u {
@@ -373,12 +672,125 @@ mod tests {
         )
         .unwrap();
         let p0 = g.potential_neighbors(nid(0));
-        assert_eq!(p0.into_iter().collect::<Vec<_>>(), vec![nid(2)]);
+        assert_eq!(p0, vec![nid(2)]);
         assert!(g.at_distance_two(nid(0), nid(2)));
         assert!(!g.at_distance_two(nid(0), nid(3)));
         assert!(!g.at_distance_two(nid(0), nid(1)));
         assert_eq!(g.common_neighbor(nid(0), nid(2)), Some(nid(1)));
         assert_eq!(g.common_neighbor(nid(0), nid(3)), None);
+    }
+
+    #[test]
+    fn potential_neighbors_merge_matches_scan_on_dense_graphs() {
+        // A lollipop-ish graph exercises overlapping neighbour lists: the
+        // union has many duplicates and the subtraction removes a block.
+        let mut g = Graph::new(8);
+        for u in 0..4usize {
+            for v in (u + 1)..4 {
+                g.add_edge(nid(u), nid(v)).unwrap();
+            }
+        }
+        for i in 3..7usize {
+            g.add_edge(nid(i), nid(i + 1)).unwrap();
+        }
+        for u in g.nodes().collect::<Vec<_>>() {
+            let got = g.potential_neighbors(u);
+            let mut expect: Vec<NodeId> = g.nodes().filter(|&w| g.at_distance_two(u, w)).collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "node {u}");
+            assert!(got.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
+        }
+    }
+
+    #[test]
+    fn batch_add_and_remove_match_singles() {
+        let stream = [
+            (0usize, 1usize),
+            (1, 2),
+            (0, 2),
+            (3, 5),
+            (2, 5),
+            (0, 1), // duplicate of an earlier edge: skipped, not fresh
+        ];
+        let mut singles = Graph::new(6);
+        for &(u, v) in &stream {
+            let _ = singles.add_edge(nid(u), nid(v)).unwrap();
+        }
+        let mut batched = Graph::new(6);
+        // Set semantics: feed the deduplicated edge list.
+        let edges: Vec<Edge> = vec![
+            Edge::new(nid(0), nid(1)),
+            Edge::new(nid(1), nid(2)),
+            Edge::new(nid(0), nid(2)),
+            Edge::new(nid(3), nid(5)),
+            Edge::new(nid(2), nid(5)),
+        ];
+        let mut inserted = Vec::new();
+        let fresh = batched.add_edges_batch(&edges, |e| inserted.push(e));
+        assert_eq!(fresh, 5);
+        assert_eq!(inserted, edges);
+        assert_eq!(batched, singles);
+        assert!(batched.check_invariants());
+
+        // Batch-inserting again finds nothing fresh.
+        assert_eq!(batched.add_edges_batch(&edges, |_| panic!("no fresh")), 0);
+
+        // Remove a sub-batch plus one absent edge.
+        let removals = vec![
+            Edge::new(nid(0), nid(2)),
+            Edge::new(nid(3), nid(4)), // absent: skipped
+            Edge::new(nid(3), nid(5)),
+        ];
+        let mut removed = Vec::new();
+        let gone = batched.remove_edges_batch(&removals, |e| removed.push(e));
+        assert_eq!(gone, 2);
+        assert_eq!(
+            removed,
+            vec![Edge::new(nid(0), nid(2)), Edge::new(nid(3), nid(5))]
+        );
+        singles.remove_edge(nid(0), nid(2)).unwrap();
+        singles.remove_edge(nid(3), nid(5)).unwrap();
+        assert_eq!(batched, singles);
+        assert!(batched.check_invariants());
+    }
+
+    #[test]
+    fn remove_incident_edges_isolates_a_node() {
+        let mut g = Graph::from_edges(
+            5,
+            vec![
+                (nid(0), nid(1)),
+                (nid(0), nid(2)),
+                (nid(0), nid(3)),
+                (nid(2), nid(3)),
+            ],
+        )
+        .unwrap();
+        let mut severed = Vec::new();
+        let k = g.remove_incident_edges(nid(0), |e| severed.push(e));
+        assert_eq!(k, 3);
+        assert_eq!(
+            severed,
+            vec![
+                Edge::new(nid(0), nid(1)),
+                Edge::new(nid(0), nid(2)),
+                Edge::new(nid(0), nid(3)),
+            ]
+        );
+        assert_eq!(g.degree(nid(0)), 0);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(nid(2), nid(3)));
+        assert!(g.check_invariants());
+        // Severing an isolated node is a no-op.
+        assert_eq!(g.remove_incident_edges(nid(0), |_| panic!("no edges")), 0);
+    }
+
+    #[test]
+    fn neighbors_slice_matches_iterator() {
+        let g = Graph::from_edges(4, vec![(nid(1), nid(0)), (nid(1), nid(3))]).unwrap();
+        assert_eq!(g.neighbors_slice(nid(1)), &[nid(0), nid(3)]);
+        let collected: Vec<NodeId> = g.neighbors(nid(1)).collect();
+        assert_eq!(collected, g.neighbors_slice(nid(1)));
     }
 
     #[test]

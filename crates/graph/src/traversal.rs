@@ -17,7 +17,7 @@ pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<Option<usize>> {
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
         let du = dist[u.index()].expect("queued nodes have distances");
-        for v in graph.neighbors(u) {
+        for &v in graph.neighbors_slice(u) {
             if dist[v.index()].is_none() {
                 dist[v.index()] = Some(du + 1);
                 queue.push_back(v);
@@ -89,7 +89,7 @@ pub fn connected_components(graph: &Graph) -> Vec<Vec<NodeId>> {
         queue.push_back(NodeId(start));
         while let Some(u) = queue.pop_front() {
             component.push(u);
-            for v in graph.neighbors(u) {
+            for &v in graph.neighbors_slice(u) {
                 if !seen[v.index()] {
                     seen[v.index()] = true;
                     queue.push_back(v);
@@ -117,7 +117,7 @@ pub fn bfs_spanning_tree(graph: &Graph, root: NodeId) -> Option<RootedTree> {
     visited[root.index()] = true;
     queue.push_back(root);
     while let Some(u) = queue.pop_front() {
-        for v in graph.neighbors(u) {
+        for &v in graph.neighbors_slice(u) {
             if !visited[v.index()] {
                 visited[v.index()] = true;
                 parent[v.index()] = Some(u);

@@ -434,11 +434,15 @@ impl Adversary {
         Some(event)
     }
 
-    fn live_nodes(network: &Network, crashed: &BTreeSet<NodeId>) -> Vec<NodeId> {
+    /// Liveness is derived from the network's crash mask — the single
+    /// source of truth the commit path also consults; `DstState.crashed`
+    /// only mirrors it as the sorted list for the report.
+    fn live_nodes(network: &Network) -> Vec<NodeId> {
+        let crashed = network.crashed_mask();
         network
             .graph()
             .nodes()
-            .filter(|u| !crashed.contains(u))
+            .filter(|u| !crashed[u.index()])
             .collect()
     }
 
@@ -469,8 +473,8 @@ impl Adversary {
         match kind {
             0 => self.crash(network, crashed),
             1 => self.delete_edge(network),
-            2 => self.insert_edge(network, crashed),
-            3 => self.join(network, crashed, uids),
+            2 => self.insert_edge(network),
+            3 => self.join(network, uids),
             _ => self.skew(network),
         }
     }
@@ -480,20 +484,16 @@ impl Adversary {
         network: &mut Network,
         crashed: &mut BTreeSet<NodeId>,
     ) -> Option<FaultEvent> {
-        let live = Self::live_nodes(network, crashed);
+        let live = Self::live_nodes(network);
         if live.len() <= 2 {
             return None; // keep at least two live nodes alive
         }
         let node = self.scenario.target.pick(&mut self.rng, network, &live)?;
-        let neighbors: Vec<NodeId> = network.graph().neighbors(node).collect();
-        for v in &neighbors {
-            network.fault_remove_edge(node, *v);
-        }
+        // One batched sever (and crash-mark, so same-round staged edges of
+        // the victim are dropped at commit) instead of a per-edge loop.
+        let severed = network.fault_crash_node(node);
         crashed.insert(node);
-        Some(FaultEvent::CrashNode {
-            node,
-            severed: neighbors.len(),
-        })
+        Some(FaultEvent::CrashNode { node, severed })
     }
 
     fn delete_edge(&mut self, network: &mut Network) -> Option<FaultEvent> {
@@ -506,12 +506,8 @@ impl Adversary {
         Some(FaultEvent::DeleteEdge { u: e.a, v: e.b })
     }
 
-    fn insert_edge(
-        &mut self,
-        network: &mut Network,
-        crashed: &BTreeSet<NodeId>,
-    ) -> Option<FaultEvent> {
-        let live = Self::live_nodes(network, crashed);
+    fn insert_edge(&mut self, network: &mut Network) -> Option<FaultEvent> {
+        let live = Self::live_nodes(network);
         if live.len() < 2 {
             return None;
         }
@@ -530,13 +526,8 @@ impl Adversary {
         None
     }
 
-    fn join(
-        &mut self,
-        network: &mut Network,
-        crashed: &BTreeSet<NodeId>,
-        uids: &mut Vec<u64>,
-    ) -> Option<FaultEvent> {
-        let live = Self::live_nodes(network, crashed);
+    fn join(&mut self, network: &mut Network, uids: &mut Vec<u64>) -> Option<FaultEvent> {
+        let live = Self::live_nodes(network);
         let attached_to = self.scenario.target.pick(&mut self.rng, network, &live)?;
         let node = network.fault_add_node();
         network.fault_insert_edge(node, attached_to);
@@ -568,10 +559,24 @@ pub struct DstState {
     /// UID values by node index, kept up to date across churn so UID
     /// uniqueness can be checked even for joined nodes.
     uids: Vec<u64>,
+    /// Cached duplicate count of `uids`, recomputed only when the UID
+    /// column grows (churn) instead of a clone + sort every round.
+    uid_dups: usize,
+    /// Length of `uids` when `uid_dups` was last computed.
+    uids_checked_len: usize,
     crashed: BTreeSet<NodeId>,
     log: Vec<FaultRecord>,
     violations: Vec<Violation>,
     rounds_checked: usize,
+}
+
+/// Number of duplicated UID values in `uids`.
+fn count_uid_duplicates(uids: &[u64]) -> usize {
+    let mut sorted = uids.to_vec();
+    sorted.sort_unstable();
+    let before = sorted.len();
+    sorted.dedup();
+    before - sorted.len()
 }
 
 impl DstState {
@@ -579,10 +584,14 @@ impl DstState {
     /// values by node index of the network the state will be installed on
     /// (pass an empty vector to skip UID tracking).
     pub fn new(adversary: Adversary, policy: InvariantPolicy, uids: Vec<u64>) -> Self {
+        let uid_dups = count_uid_duplicates(&uids);
+        let uids_checked_len = uids.len();
         DstState {
             adversary,
             policy,
             uids,
+            uid_dups,
+            uids_checked_len,
             crashed: BTreeSet::new(),
             log: Vec::new(),
             violations: Vec::new(),
@@ -622,7 +631,7 @@ impl DstState {
     fn check_invariants(&mut self, network: &Network, round: usize) {
         self.rounds_checked += 1;
         let graph = network.graph();
-        if self.policy.check_connectivity && !live_subgraph_connected(network, &self.crashed) {
+        if self.policy.check_connectivity && !live_subgraph_connected(network) {
             self.violations.push(Violation {
                 round,
                 invariant: "connectivity",
@@ -656,15 +665,15 @@ impl DstState {
             }
         }
         if self.policy.check_uid_uniqueness && !self.uids.is_empty() {
-            let mut sorted = self.uids.clone();
-            sorted.sort_unstable();
-            let before = sorted.len();
-            sorted.dedup();
-            if sorted.len() != before {
+            if self.uids.len() != self.uids_checked_len {
+                self.uid_dups = count_uid_duplicates(&self.uids);
+                self.uids_checked_len = self.uids.len();
+            }
+            if self.uid_dups > 0 {
                 self.violations.push(Violation {
                     round,
                     invariant: "uid_uniqueness",
-                    detail: format!("{} duplicate UIDs", before - sorted.len()),
+                    detail: format!("{} duplicate UIDs", self.uid_dups),
                 });
             }
         }
@@ -687,14 +696,19 @@ impl DstState {
 /// node is reachable from the first live node. Crashed nodes are isolated
 /// by construction, so plain connectivity would always be false after the
 /// first crash; this is the meaningful residual property.
-fn live_subgraph_connected(network: &Network, crashed: &BTreeSet<NodeId>) -> bool {
+///
+/// Crash membership comes from the network's flat crash mask (one index
+/// per probe) and neighbourhoods are scanned as sorted slices — the same
+/// columnar representation `commit_round` uses.
+fn live_subgraph_connected(network: &Network) -> bool {
     let graph = network.graph();
+    let crashed = network.crashed_mask();
     let n = graph.node_count();
-    let live_count = n - crashed.len();
+    let live_count = n - crashed.iter().filter(|&&c| c).count();
     if live_count <= 1 {
         return true;
     }
-    let start = match graph.nodes().find(|u| !crashed.contains(u)) {
+    let start = match graph.nodes().find(|u| !crashed[u.index()]) {
         Some(u) => u,
         None => return true,
     };
@@ -703,8 +717,8 @@ fn live_subgraph_connected(network: &Network, crashed: &BTreeSet<NodeId>) -> boo
     let mut queue = std::collections::VecDeque::from([start]);
     let mut reached = 1usize;
     while let Some(u) = queue.pop_front() {
-        for v in graph.neighbors(u) {
-            if !seen[v.index()] && !crashed.contains(&v) {
+        for &v in graph.neighbors_slice(u) {
+            if !seen[v.index()] && !crashed[v.index()] {
                 seen[v.index()] = true;
                 reached += 1;
                 queue.push_back(v);

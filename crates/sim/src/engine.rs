@@ -98,8 +98,8 @@ fn build_view(network: &Network, uids: &UidMap, id: NodeId) -> NodeView {
         uid: uids.uid(id),
         round: network.round(),
         n: network.node_count(),
-        neighbors: graph.neighbors(id).collect(),
-        potential_neighbors: graph.potential_neighbors(id).into_iter().collect(),
+        neighbors: graph.neighbors_slice(id).to_vec(),
+        potential_neighbors: graph.potential_neighbors(id),
     }
 }
 

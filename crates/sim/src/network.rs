@@ -3,7 +3,6 @@
 use crate::dst::{DstReport, DstState};
 use crate::{EdgeMetrics, RoundStats, SimError};
 use adn_graph::{Edge, Graph, NodeId};
-use std::collections::{BTreeMap, BTreeSet};
 
 /// Summary of a committed round, returned by [`Network::commit_round`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,9 +34,14 @@ pub struct Network {
     current: Graph,
     round: usize,
     metrics: EdgeMetrics,
-    staged_activations: BTreeSet<Edge>,
-    staged_deactivations: BTreeSet<Edge>,
-    staged_by_node: BTreeMap<NodeId, usize>,
+    /// Columnar round staging: the staged activation edges, kept sorted
+    /// and duplicate-free (set semantics via binary search), with the
+    /// *initiator* of every successful stage in a parallel column —
+    /// per-node activation counts are reduced from it at commit time.
+    staged_activations: Vec<Edge>,
+    staged_initiators: Vec<NodeId>,
+    /// Staged deactivations, sorted and duplicate-free.
+    staged_deactivations: Vec<Edge>,
     trace_enabled: bool,
     groups_alive: usize,
     trace: Vec<RoundStats>,
@@ -48,9 +52,53 @@ pub struct Network {
     /// Number of currently active non-initial edges (incremental mirror of
     /// the old per-round scan).
     activated_now: usize,
+    /// Per-node crash marker, set by the DST crash-stop fault. Staged
+    /// edges with a crashed endpoint are dropped at commit in one pass —
+    /// a crashed node performs no further edge operations.
+    crashed: Vec<bool>,
     /// Optional deterministic-simulation-testing state (adversary +
     /// invariant checker), ticked at every round boundary.
     dst: Option<Box<DstState>>,
+}
+
+/// Removes the elements common to both sorted, duplicate-free vectors
+/// from each, in one two-pointer pass (in-place compaction).
+fn drop_common_sorted(a: &mut Vec<Edge>, b: &mut Vec<Edge>) {
+    if a.is_empty() || b.is_empty() {
+        return;
+    }
+    let (mut i, mut j) = (0usize, 0usize);
+    let (mut wa, mut wb) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                a[wa] = a[i];
+                wa += 1;
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                b[wb] = b[j];
+                wb += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    while i < a.len() {
+        a[wa] = a[i];
+        wa += 1;
+        i += 1;
+    }
+    while j < b.len() {
+        b[wb] = b[j];
+        wb += 1;
+        j += 1;
+    }
+    a.truncate(wa);
+    b.truncate(wb);
 }
 
 impl Network {
@@ -66,14 +114,15 @@ impl Network {
             current,
             round: 1,
             metrics,
-            staged_activations: BTreeSet::new(),
-            staged_deactivations: BTreeSet::new(),
-            staged_by_node: BTreeMap::new(),
+            staged_activations: Vec::new(),
+            staged_initiators: Vec::new(),
+            staged_deactivations: Vec::new(),
             trace_enabled: false,
             groups_alive: 0,
             trace: Vec::new(),
             activated_degree: vec![0; n],
             activated_now: 0,
+            crashed: vec![false; n],
             dst: None,
         }
     }
@@ -222,11 +271,15 @@ impl Network {
                 round: self.round,
             });
         }
-        let newly = self.staged_activations.insert(Edge::new(u, v));
-        if newly {
-            *self.staged_by_node.entry(u).or_insert(0) += 1;
+        let e = Edge::new(u, v);
+        match self.staged_activations.binary_search(&e) {
+            Ok(_) => Ok(false),
+            Err(pos) => {
+                self.staged_activations.insert(pos, e);
+                self.staged_initiators.push(u);
+                Ok(true)
+            }
         }
-        Ok(newly)
     }
 
     /// Stages the deactivation of edge `{u, v}` for the current round.
@@ -247,7 +300,14 @@ impl Network {
         if !self.current.has_edge(u, v) {
             return Ok(false);
         }
-        Ok(self.staged_deactivations.insert(Edge::new(u, v)))
+        let e = Edge::new(u, v);
+        match self.staged_deactivations.binary_search(&e) {
+            Ok(_) => Ok(false),
+            Err(pos) => {
+                self.staged_deactivations.insert(pos, e);
+                Ok(true)
+            }
+        }
     }
 
     /// Number of operations currently staged (activations + deactivations).
@@ -264,43 +324,54 @@ impl Network {
     /// have no effect"); with the staging preconditions above this can only
     /// arise from racy higher-level logic and is resolved conservatively.
     pub fn commit_round(&mut self) -> RoundSummary {
-        let conflicted: Vec<Edge> = self
-            .staged_activations
-            .intersection(&self.staged_deactivations)
-            .copied()
-            .collect();
-        for e in conflicted {
-            self.staged_activations.remove(&e);
-            self.staged_deactivations.remove(&e);
-        }
+        // Conflict rule: both columns are sorted, so dropping the common
+        // edges is one two-pointer pass over each.
+        drop_common_sorted(&mut self.staged_activations, &mut self.staged_deactivations);
+
+        // Validate staged edges against crashed endpoints in one pass: a
+        // node crash-stopped mid-round performs no further edge
+        // operations, so its staged edges are dropped, not applied.
+        let crashed = &self.crashed;
+        self.staged_activations
+            .retain(|e| !crashed[e.a.index()] && !crashed[e.b.index()]);
+        self.staged_deactivations
+            .retain(|e| !crashed[e.a.index()] && !crashed[e.b.index()]);
 
         let activations = self.staged_activations.len();
         let deactivations = self.staged_deactivations.len();
 
-        // Apply the staged operations while updating the incremental
-        // activated-degree counters (formerly an O(E) difference-graph
-        // rebuild per round). Maxima are taken only after both sets are
-        // applied, so a node activated and deactivated in the same round
-        // is credited with its end-of-round degree, exactly like the old
-        // whole-graph scan.
+        // Apply the staged columns as two batch merge passes over the
+        // flat adjacency, updating the incremental activated-degree
+        // counters from the per-edge callbacks. Maxima are taken only
+        // after both batches are applied, so a node activated and
+        // deactivated in the same round is credited with its end-of-round
+        // degree, exactly like the old whole-graph scan.
+        let staged_activations = std::mem::take(&mut self.staged_activations);
+        let staged_deactivations = std::mem::take(&mut self.staged_deactivations);
         let mut touched: Vec<NodeId> = Vec::with_capacity(2 * activations);
-        for e in std::mem::take(&mut self.staged_activations) {
-            let newly = self.current.add_edge(e.a, e.b).unwrap_or(false);
-            if newly && !self.initial.has_edge(e.a, e.b) {
-                self.activated_now += 1;
-                self.activated_degree[e.a.index()] += 1;
-                self.activated_degree[e.b.index()] += 1;
-                touched.push(e.a);
-                touched.push(e.b);
-            }
-        }
-        for e in std::mem::take(&mut self.staged_deactivations) {
-            let removed = self.current.remove_edge(e.a, e.b).unwrap_or(false);
-            if removed && !self.initial.has_edge(e.a, e.b) {
-                self.activated_now -= 1;
-                self.activated_degree[e.a.index()] -= 1;
-                self.activated_degree[e.b.index()] -= 1;
-            }
+        let mut grew: Vec<NodeId> = Vec::with_capacity(2 * activations);
+        {
+            let initial = &self.initial;
+            let activated_degree = &mut self.activated_degree;
+            let activated_now = &mut self.activated_now;
+            self.current.add_edges_batch(&staged_activations, |e| {
+                grew.push(e.a);
+                grew.push(e.b);
+                if !initial.has_edge(e.a, e.b) {
+                    *activated_now += 1;
+                    activated_degree[e.a.index()] += 1;
+                    activated_degree[e.b.index()] += 1;
+                    touched.push(e.a);
+                    touched.push(e.b);
+                }
+            });
+            self.current.remove_edges_batch(&staged_deactivations, |e| {
+                if !initial.has_edge(e.a, e.b) {
+                    *activated_now -= 1;
+                    activated_degree[e.a.index()] -= 1;
+                    activated_degree[e.b.index()] -= 1;
+                }
+            });
         }
         for u in touched {
             self.metrics.max_activated_degree = self
@@ -309,15 +380,35 @@ impl Network {
                 .max(self.activated_degree[u.index()]);
         }
 
-        // Metrics bookkeeping.
+        // Metrics bookkeeping. The initiator column records one entry per
+        // successful stage (including edges later dropped by the conflict
+        // rule, matching the old per-stage map), so the per-node maximum
+        // is a sort + run-length scan. Initiators that crash-stopped this
+        // round are excluded — a crashed node performs no edge
+        // operations, consistent with its staged edges being dropped.
         self.metrics.rounds += 1;
         self.metrics.total_activations += activations;
         self.metrics.total_deactivations += deactivations;
         self.metrics.activations_per_round.push(activations);
-        let max_per_node = self.staged_by_node.values().copied().max().unwrap_or(0);
+        let mut initiators = std::mem::take(&mut self.staged_initiators);
+        initiators.sort_unstable();
+        let mut max_per_node = 0usize;
+        let mut run = 0usize;
+        let mut prev: Option<NodeId> = None;
+        for u in initiators {
+            if self.crashed[u.index()] {
+                continue;
+            }
+            if prev == Some(u) {
+                run += 1;
+            } else {
+                run = 1;
+                prev = Some(u);
+            }
+            max_per_node = max_per_node.max(run);
+        }
         self.metrics.max_node_activations_in_round =
             self.metrics.max_node_activations_in_round.max(max_per_node);
-        self.staged_by_node.clear();
 
         let activated_now = self.activated_now;
         self.metrics.max_activated_edges = self.metrics.max_activated_edges.max(activated_now);
@@ -325,8 +416,19 @@ impl Network {
             .metrics
             .max_active_edges_total
             .max(self.current.edge_count());
-        let max_degree = self.current.max_degree();
-        self.metrics.max_total_degree = self.metrics.max_total_degree.max(max_degree);
+        // The total-degree maximum is sampled at commit instants. Only
+        // endpoints that gained an edge this round can raise it, so the
+        // full O(n) scan is needed solely for the per-round trace value
+        // (which may decrease round over round).
+        for u in grew {
+            self.metrics.max_total_degree =
+                self.metrics.max_total_degree.max(self.current.degree(u));
+        }
+        let max_degree = if self.trace_enabled {
+            self.current.max_degree()
+        } else {
+            0
+        };
 
         let summary = RoundSummary {
             round: self.round,
@@ -381,6 +483,31 @@ impl Network {
     // consistent so invariant checks and `activated_edge_count` stay
     // correct under faults.
 
+    /// Crash-stops `node`: severs all of its incident edges in one merge
+    /// pass (not one tree lookup per edge) and marks the node crashed, so
+    /// any operations it staged in the round in progress are dropped at
+    /// commit. Returns the number of severed edges.
+    pub(crate) fn fault_crash_node(&mut self, node: NodeId) -> usize {
+        self.crashed[node.index()] = true;
+        let initial = &self.initial;
+        let activated_degree = &mut self.activated_degree;
+        let activated_now = &mut self.activated_now;
+        self.current.remove_incident_edges(node, |e| {
+            if !initial.has_edge(e.a, e.b) {
+                *activated_now -= 1;
+                activated_degree[e.a.index()] -= 1;
+                activated_degree[e.b.index()] -= 1;
+            }
+        })
+    }
+
+    /// Per-node crash markers (indexed by node id), maintained by
+    /// [`Network::fault_crash_node`]. Shared with the DST invariant checks
+    /// so they can test membership without a set lookup per edge.
+    pub(crate) fn crashed_mask(&self) -> &[bool] {
+        &self.crashed
+    }
+
     /// Removes an edge adversarially. Returns true if it was present.
     pub(crate) fn fault_remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
         let removed = self.current.remove_edge(u, v).unwrap_or(false);
@@ -400,6 +527,15 @@ impl Network {
             self.activated_degree[u.index()] += 1;
             self.activated_degree[v.index()] += 1;
         }
+        if added {
+            // The commit-time degree sampling only looks at endpoints of
+            // staged activations; adversarial growth is accounted here.
+            self.metrics.max_total_degree = self
+                .metrics
+                .max_total_degree
+                .max(self.current.degree(u))
+                .max(self.current.degree(v));
+        }
         added
     }
 
@@ -409,6 +545,7 @@ impl Network {
     pub(crate) fn fault_add_node(&mut self) -> NodeId {
         let node = self.current.add_node();
         self.activated_degree.push(0);
+        self.crashed.push(false);
         node
     }
 
@@ -572,6 +709,57 @@ mod tests {
         let mut net = Network::new(generators::line(4));
         net.stage_activation(nid(0), nid(2)).unwrap();
         net.advance_idle_rounds(1);
+    }
+
+    #[test]
+    fn staged_edges_to_a_node_crashed_in_the_same_round_are_dropped() {
+        // Regression: an edge staged *before* the endpoint crash-stops in
+        // the same round must be dropped at commit, not applied to the
+        // snapshot or counted as an activation.
+        let mut net = Network::new(generators::line(5));
+        assert!(net.stage_activation(nid(0), nid(2)).unwrap());
+        assert!(net.stage_activation(nid(2), nid(4)).unwrap());
+        assert!(net.stage_deactivation(nid(2), nid(3)).unwrap());
+        let severed = net.fault_crash_node(nid(2));
+        assert_eq!(severed, 2, "both line edges of node 2 are severed");
+        let s = net.commit_round();
+        assert_eq!(s.activations, 0, "crashed-endpoint activations dropped");
+        assert_eq!(s.deactivations, 0, "crashed-endpoint deactivations dropped");
+        assert!(!net.graph().has_edge(nid(0), nid(2)));
+        assert!(!net.graph().has_edge(nid(2), nid(4)));
+        assert_eq!(net.metrics().total_activations, 0);
+        assert_eq!(net.activated_edge_count(), 0);
+        assert_eq!(net.activated_degree(nid(2)), 0);
+        // Stages between live nodes in the same round still commit.
+        let mut net2 = Network::new(generators::line(5));
+        net2.stage_activation(nid(0), nid(2)).unwrap();
+        net2.stage_activation(nid(2), nid(4)).unwrap();
+        net2.fault_crash_node(nid(4));
+        let s2 = net2.commit_round();
+        assert_eq!(s2.activations, 1, "only the edge touching node 4 drops");
+        assert!(net2.graph().has_edge(nid(0), nid(2)));
+        assert!(!net2.graph().has_edge(nid(2), nid(4)));
+    }
+
+    #[test]
+    fn crash_severs_incident_edges_and_updates_counters() {
+        let mut net = Network::new(generators::star(5));
+        net.stage_activation(nid(1), nid(2)).unwrap();
+        net.stage_activation(nid(3), nid(4)).unwrap();
+        net.commit_round();
+        assert_eq!(net.activated_edge_count(), 2);
+        // Crash the centre: all 4 initial star edges go; activated edges
+        // between leaves survive, activated counters are untouched.
+        let severed = net.fault_crash_node(nid(0));
+        assert_eq!(severed, 4);
+        assert_eq!(net.graph().degree(nid(0)), 0);
+        assert_eq!(net.activated_edge_count(), 2);
+        // Crash a leaf with an activated edge: counters come back down.
+        let severed = net.fault_crash_node(nid(1));
+        assert_eq!(severed, 1);
+        assert_eq!(net.activated_edge_count(), 1);
+        assert_eq!(net.activated_degree(nid(2)), 0);
+        assert_eq!(net.activated_degree(nid(3)), 1);
     }
 
     #[test]
