@@ -28,6 +28,18 @@ fn take_threads(args: &mut Vec<String>) -> Option<usize> {
     Some(value)
 }
 
+/// Extracts `--check <path>` from `args` (removing both tokens); `None`
+/// when the flag is absent.
+fn take_check(args: &mut Vec<String>) -> Option<String> {
+    let pos = args.iter().position(|a| a == "--check")?;
+    let value = args
+        .get(pos + 1)
+        .cloned()
+        .expect("usage: --check <baseline json path>");
+    args.drain(pos..=pos + 1);
+    Some(value)
+}
+
 fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     if let Some(pos) = args.iter().position(|a| a == flag) {
         args.remove(pos);
@@ -48,14 +60,22 @@ fn reject_unused(subcommand: &str, threads: Option<usize>, quick: bool, threads_
     }
 }
 
+fn reject_check(subcommand: &str, check: &Option<String>) {
+    if check.is_some() {
+        panic!("`{subcommand}` does not take --check");
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = take_threads(&mut args);
     let quick = take_flag(&mut args, "--quick");
+    let check = take_check(&mut args);
     let first = args.first().cloned();
     match first.as_deref() {
         Some("--replay") => {
             reject_unused("--replay", threads, quick, false);
+            reject_check("--replay", &check);
             let seed: u64 = args
                 .get(1)
                 .and_then(|s| s.parse().ok())
@@ -68,6 +88,7 @@ fn main() {
         }
         Some("--dst") => {
             reject_unused("--dst", None, quick, true);
+            reject_check("--dst", &check);
             let cases: usize = match args.get(1) {
                 Some(raw) => raw
                     .parse()
@@ -88,6 +109,12 @@ fn main() {
             }
         }
         Some("--bench") => {
+            // Read the baseline *before* running: the run overwrites
+            // BENCH_core.json, which is the usual baseline path.
+            let baseline = check.as_ref().map(|path| {
+                std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("--check {path}: cannot read baseline: {e}"))
+            });
             let cfg = adn_bench::corebench::CoreBenchConfig {
                 quick,
                 threads: threads.unwrap_or(0),
@@ -96,9 +123,21 @@ fn main() {
             std::fs::write("BENCH_core.json", &json).expect("write BENCH_core.json");
             print!("{table}");
             println!("wrote BENCH_core.json ({} bytes)", json.len());
+            if let Some(baseline) = baseline {
+                match adn_bench::corebench::check_against_baseline(&baseline, &json, 2.0) {
+                    Ok(verdict) => print!("{verdict}"),
+                    Err(failure) => {
+                        // A non-zero exit makes the CI bench-smoke job an
+                        // actual regression gate.
+                        eprintln!("{failure}");
+                        std::process::exit(1);
+                    }
+                }
+            }
         }
         other => {
             reject_unused("the experiment report", threads, quick, false);
+            reject_check("the experiment report", &check);
             println!("{}", adn_bench::report_for(other));
         }
     }

@@ -14,8 +14,10 @@
 use crate::harness::{Bench, Sample};
 use adn_analysis::stress::json_escape;
 use adn_core::algorithm::{self, RunConfig};
+use adn_core::committee::CommitteeForest;
 use adn_graph::rng::DetRng;
 use adn_graph::{generators, Graph, NodeId, UidAssignment, UidMap};
+use adn_sim::engine::{run_programs, EngineConfig, NodeDecision, NodeProgram, NodeView};
 use adn_sim::Network;
 use std::time::Instant;
 
@@ -187,6 +189,171 @@ fn bench_algorithms(bench: &mut Bench, quick: bool) {
     }
 }
 
+/// Builds a mid-merge committee forest: `committees` surviving slots over
+/// `n` nodes, members distributed round-robin (every committee keeps its
+/// smallest slot as leader — the shape a few merge phases produce).
+fn mid_merge_forest(n: usize, committees: usize) -> CommitteeForest {
+    let mut forest = CommitteeForest::singletons(n);
+    for i in committees..n {
+        let into = adn_core::committee::CommitteeId(i % committees);
+        forest.absorb(adn_core::committee::CommitteeId(i), into);
+    }
+    forest
+}
+
+fn bench_committee(bench: &mut Bench, quick: bool) {
+    let n = if quick { 256 } else { 1024 };
+    let g = scratch_graph(n, 4 * n, 0xC033);
+    let committees = (n / 8).max(2);
+    let forest = mid_merge_forest(n, committees);
+    bench.measure(
+        &format!("committee/adjacency n={n} committees={committees}"),
+        || {
+            let adj = forest.committee_adjacency(&g);
+            assert!(adj.row_count() > 0);
+        },
+    );
+
+    // A full merge cascade: rebuild the adjacency and halve the committee
+    // count until one remains — the structural work of a committee
+    // algorithm's phase loop, without the edge operations.
+    bench.measure(&format!("committee/merge_cascade n={n}"), || {
+        let mut forest = CommitteeForest::singletons(n);
+        while forest.live_count() > 1 {
+            let adj = forest.committee_adjacency(&g);
+            let live = forest.live_ids().to_vec();
+            let mut merged = vec![false; forest.slot_count()];
+            for &cid in &live {
+                if merged[cid.index()] {
+                    continue;
+                }
+                // Merge into the first neighbouring committee that is
+                // still unmerged this phase (deterministic row order).
+                let target = adj
+                    .neighbors(cid)
+                    .iter()
+                    .map(|r| r.other)
+                    .find(|o| forest.is_alive(*o) && !merged[o.index()] && *o != cid);
+                if let Some(t) = target {
+                    merged[cid.index()] = true;
+                    merged[t.index()] = true;
+                    forest.absorb(cid, t);
+                }
+            }
+        }
+        assert_eq!(forest.live_count(), 1);
+    });
+}
+
+/// Max-UID gossip without edge operations: the steady-state program-driven
+/// workload (static topology, so the incremental view cache never rebuilds
+/// a view after round one).
+struct GossipNode {
+    best: u64,
+    rounds_left: usize,
+}
+
+impl NodeProgram for GossipNode {
+    type Message = u64;
+
+    fn send(&mut self, view: &NodeView) -> Vec<(NodeId, u64)> {
+        view.neighbors.iter().map(|&v| (v, self.best)).collect()
+    }
+
+    fn step(&mut self, _view: &NodeView, inbox: &[(NodeId, u64)]) -> NodeDecision {
+        for (_, m) in inbox {
+            self.best = self.best.max(*m);
+        }
+        self.rounds_left = self.rounds_left.saturating_sub(1);
+        NodeDecision::none()
+    }
+
+    fn has_terminated(&self) -> bool {
+        self.rounds_left == 0
+    }
+}
+
+/// One node toggles an edge on and off while everyone else idles: the
+/// sparse-edit engine workload (a handful of views refresh per round).
+struct ToggleNode {
+    pending: Option<NodeId>,
+    rounds_left: usize,
+}
+
+impl NodeProgram for ToggleNode {
+    type Message = ();
+
+    fn send(&mut self, _view: &NodeView) -> Vec<(NodeId, ())> {
+        Vec::new()
+    }
+
+    fn step(&mut self, view: &NodeView, _inbox: &[(NodeId, ())]) -> NodeDecision {
+        if self.rounds_left == 0 {
+            return NodeDecision::none();
+        }
+        self.rounds_left -= 1;
+        if let Some(v) = self.pending.take() {
+            return NodeDecision {
+                activate: Vec::new(),
+                deactivate: vec![v],
+            };
+        }
+        if view.id == NodeId(0) {
+            if let Some(&v) = view.potential_neighbors.first() {
+                self.pending = Some(v);
+                return NodeDecision {
+                    activate: vec![v],
+                    deactivate: Vec::new(),
+                };
+            }
+        }
+        NodeDecision::none()
+    }
+
+    fn has_terminated(&self) -> bool {
+        self.rounds_left == 0
+    }
+}
+
+fn bench_engine(bench: &mut Bench, quick: bool) {
+    let n = if quick { 256 } else { 1024 };
+    let rounds = if quick { 64 } else { 128 };
+    let g = scratch_graph(n, n, 0xE191);
+    let uids = UidMap::new(n, UidAssignment::Sequential);
+
+    bench.measure(
+        &format!("engine/run_programs_gossip n={n} rounds={rounds}"),
+        || {
+            let mut net = Network::new(g.clone());
+            let mut programs: Vec<GossipNode> = (0..n)
+                .map(|i| GossipNode {
+                    best: uids.uid(NodeId(i)).value(),
+                    rounds_left: rounds,
+                })
+                .collect();
+            let report =
+                run_programs(&mut net, &mut programs, &uids, &EngineConfig::default()).unwrap();
+            assert_eq!(report.rounds, rounds);
+        },
+    );
+
+    bench.measure(
+        &format!("engine/run_programs_sparse_edits n={n} rounds={rounds}"),
+        || {
+            let mut net = Network::new(g.clone());
+            let mut programs: Vec<ToggleNode> = (0..n)
+                .map(|_| ToggleNode {
+                    pending: None,
+                    rounds_left: rounds,
+                })
+                .collect();
+            let report =
+                run_programs(&mut net, &mut programs, &uids, &EngineConfig::default()).unwrap();
+            assert_eq!(report.rounds, rounds);
+        },
+    );
+}
+
 fn bench_sweep(bench: &mut Bench, quick: bool, threads: usize) {
     let cases = if quick { 24 } else { 96 };
     bench.measure(&format!("sweep/serial cases={cases}"), || {
@@ -225,6 +392,132 @@ fn to_json(cfg: &CoreBenchConfig, threads: usize, elapsed_ms: u128, samples: &[S
     )
 }
 
+/// Extracts `(case label, min_ns)` rows from a `BENCH_core.json` document
+/// (the workspace's own hand-rolled format; labels never contain escaped
+/// characters).
+pub fn parse_rows(json: &str) -> Vec<(String, u128)> {
+    let mut rows = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find("{\"case\":\"") {
+        rest = &rest[i + 9..];
+        let Some(label_end) = rest.find('"') else {
+            break;
+        };
+        let label = rest[..label_end].to_string();
+        let Some(j) = rest.find("\"min_ns\":") else {
+            break;
+        };
+        rest = &rest[j + 9..];
+        let digits = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        if let Ok(min_ns) = rest[..digits].parse() {
+            rows.push((label, min_ns));
+        }
+    }
+    rows
+}
+
+/// Cases whose baseline `min_ns` is below this are excluded from the
+/// regression comparison: at the microsecond scale, cross-machine clock
+/// and cache differences dwarf any real signal (the quick-mode
+/// `neighbor_scan` case runs ~1 µs), so comparing them only produces
+/// false alarms. Skipped cases are named in the verdict.
+const MIN_COMPARABLE_NS: u128 = 100_000;
+
+/// Compares a freshly produced `BENCH_core.json` document against a
+/// committed baseline document: every baseline case (matched by exact
+/// label, so mode and sizes must agree) must be present in the current
+/// run and must not regress by more than `factor` on `min_ns`. Baseline
+/// cases *missing* from the current run are an error — a renamed or
+/// deleted bench must be re-baselined, not silently dropped from the
+/// gate — and a run with no matching case at all (e.g. quick-mode
+/// samples checked against a full-mode baseline) fails loudly rather
+/// than passing vacuously. Sub-[`MIN_COMPARABLE_NS`] baseline cases are
+/// skipped as noise.
+pub fn check_against_baseline(
+    baseline_json: &str,
+    current_json: &str,
+    factor: f64,
+) -> Result<String, String> {
+    let baseline = parse_rows(baseline_json);
+    let current = parse_rows(current_json);
+    let mut compared = 0usize;
+    let mut regressions: Vec<String> = Vec::new();
+    let mut missing: Vec<String> = Vec::new();
+    let mut skipped: Vec<String> = Vec::new();
+    let mut report = String::new();
+    for (label, base_min) in &baseline {
+        let Some((_, new_min)) = current.iter().find(|(l, _)| l == label) else {
+            missing.push(label.clone());
+            continue;
+        };
+        if *base_min < MIN_COMPARABLE_NS {
+            skipped.push(label.clone());
+            continue;
+        }
+        compared += 1;
+        let ratio = *new_min as f64 / (*base_min).max(1) as f64;
+        report.push_str(&format!(
+            "{label:<56} baseline {base_min:>12} ns  now {new_min:>12} ns  ratio {ratio:.2}\n"
+        ));
+        if ratio > factor {
+            regressions.push(format!(
+                "{label}: {new_min} ns vs baseline {base_min} ns ({ratio:.2}x > {factor:.1}x)"
+            ));
+        }
+    }
+    if compared == 0 && skipped.is_empty() {
+        return Err(format!(
+            "no baseline case matched any of the {} measured samples — \
+             mode/sizes/threads of the run must match the committed baseline",
+            current.len()
+        ));
+    }
+    if !missing.is_empty() {
+        return Err(format!(
+            "{report}bench check FAILED: {} baseline case(s) missing from this run \
+             (renamed or deleted benches must be re-baselined):\n  {}",
+            missing.len(),
+            missing.join("\n  ")
+        ));
+    }
+    if !skipped.is_empty() {
+        report.push_str(&format!(
+            "skipped {} sub-{MIN_COMPARABLE_NS}ns case(s) as cross-machine noise: {}\n",
+            skipped.len(),
+            skipped.join(", ")
+        ));
+    }
+    // Current cases the baseline does not know yet are not gated — say
+    // so, so a stale baseline is visible in the verdict instead of the
+    // new benches silently running unchecked.
+    let unbaselined: Vec<&str> = current
+        .iter()
+        .filter(|(l, _)| !baseline.iter().any(|(b, _)| b == l))
+        .map(|(l, _)| l.as_str())
+        .collect();
+    if !unbaselined.is_empty() {
+        report.push_str(&format!(
+            "note: {} case(s) not in the baseline (un-gated until it is regenerated): {}\n",
+            unbaselined.len(),
+            unbaselined.join(", ")
+        ));
+    }
+    if regressions.is_empty() {
+        report.push_str(&format!(
+            "bench check: {compared} cases within {factor:.1}x of baseline\n"
+        ));
+        Ok(report)
+    } else {
+        Err(format!(
+            "{report}bench check FAILED: {} regression(s) > {factor:.1}x:\n  {}",
+            regressions.len(),
+            regressions.join("\n  ")
+        ))
+    }
+}
+
 /// Runs the core CPU benchmark and returns `(human_table, json)`.
 pub fn run(cfg: &CoreBenchConfig) -> (String, String) {
     let threads = resolve_threads(cfg.threads);
@@ -233,6 +526,8 @@ pub fn run(cfg: &CoreBenchConfig) -> (String, String) {
     let mut bench = Bench::new("core CPU baseline", iterations);
     bench_graph_ops(&mut bench, cfg.quick);
     bench_commit_round(&mut bench, cfg.quick);
+    bench_committee(&mut bench, cfg.quick);
+    bench_engine(&mut bench, cfg.quick);
     bench_algorithms(&mut bench, cfg.quick);
     bench_sweep(&mut bench, cfg.quick, threads);
     let samples = bench.take_samples();
@@ -267,6 +562,78 @@ mod tests {
         assert!(json.contains("graph/add_remove_stream"));
         assert!(json.contains("network/commit_round"));
         assert!(json.contains("sweep/serial"));
+    }
+
+    #[test]
+    fn baseline_check_compares_and_flags_regressions() {
+        let baseline = "{\"mode\":\"quick\",\"threads\":1,\"elapsed_ms\":1,\"rows\":[\
+                        {\"case\":\"a n=1\",\"min_ns\":500000,\"median_ns\":1,\"mean_ns\":1},\
+                        {\"case\":\"b n=1\",\"min_ns\":500000,\"median_ns\":1,\"mean_ns\":1}]}";
+        assert_eq!(
+            parse_rows(baseline),
+            vec![("a n=1".to_string(), 500000), ("b n=1".to_string(), 500000)]
+        );
+        // Within 2x: passes.
+        let current = baseline.replace(
+            "\"min_ns\":500000,\"median_ns\":1,\"mean_ns\":1}]",
+            "\"min_ns\":700000,\"median_ns\":1,\"mean_ns\":1}]",
+        );
+        let verdict = check_against_baseline(baseline, &current, 2.0).expect("within budget");
+        assert!(verdict.contains("2 cases within 2.0x"), "{verdict}");
+        // A > 2x regression fails and names the case.
+        let bad = baseline.replacen("\"min_ns\":500000", "\"min_ns\":9999999", 1);
+        let failure = check_against_baseline(baseline, &bad, 2.0).unwrap_err();
+        assert!(failure.contains("a n=1"), "{failure}");
+        assert!(failure.contains("regression"), "{failure}");
+        // Disjoint label sets are a loud configuration error, not a pass.
+        let other =
+            "{\"rows\":[{\"case\":\"z n=9\",\"min_ns\":500000,\"median_ns\":5,\"mean_ns\":5}]}";
+        let mismatch = check_against_baseline(baseline, other, 2.0).unwrap_err();
+        assert!(mismatch.contains("no baseline case matched"), "{mismatch}");
+        // A baseline case absent from the current run fails loudly too —
+        // coverage cannot silently shrink.
+        let shrunk =
+            "{\"rows\":[{\"case\":\"a n=1\",\"min_ns\":500000,\"median_ns\":1,\"mean_ns\":1}]}";
+        let lost = check_against_baseline(baseline, shrunk, 2.0).unwrap_err();
+        assert!(lost.contains("missing from this run"), "{lost}");
+        assert!(lost.contains("b n=1"), "{lost}");
+        // Sub-floor baseline cases are excluded from the comparison (and
+        // named), so microsecond noise cannot fail the gate.
+        let tiny = "{\"rows\":[\
+                    {\"case\":\"a n=1\",\"min_ns\":500000,\"median_ns\":1,\"mean_ns\":1},\
+                    {\"case\":\"t n=1\",\"min_ns\":900,\"median_ns\":1,\"mean_ns\":1}]}";
+        let noisy = tiny.replace("\"min_ns\":900", "\"min_ns\":90000");
+        let verdict = check_against_baseline(tiny, &noisy, 2.0).expect("noise is skipped");
+        assert!(verdict.contains("skipped 1"), "{verdict}");
+        assert!(verdict.contains("t n=1"), "{verdict}");
+        // Current cases absent from the baseline pass but are named, so
+        // a stale baseline is visible in the verdict.
+        let grown = "{\"rows\":[\
+                     {\"case\":\"a n=1\",\"min_ns\":500000,\"median_ns\":1,\"mean_ns\":1},\
+                     {\"case\":\"b n=1\",\"min_ns\":500000,\"median_ns\":1,\"mean_ns\":1},\
+                     {\"case\":\"new n=1\",\"min_ns\":500000,\"median_ns\":1,\"mean_ns\":1}]}";
+        let verdict = check_against_baseline(baseline, grown, 2.0).expect("new cases pass");
+        assert!(verdict.contains("not in the baseline"), "{verdict}");
+        assert!(verdict.contains("new n=1"), "{verdict}");
+    }
+
+    #[test]
+    fn committee_and_engine_benches_run() {
+        let mut bench = Bench::new("smoke", 1);
+        bench_committee(&mut bench, true);
+        bench_engine(&mut bench, true);
+        let samples = bench.take_samples();
+        let labels: Vec<&str> = samples.iter().map(|s| s.label.as_str()).collect();
+        assert!(labels.iter().any(|l| l.starts_with("committee/adjacency")));
+        assert!(labels
+            .iter()
+            .any(|l| l.starts_with("committee/merge_cascade")));
+        assert!(labels
+            .iter()
+            .any(|l| l.starts_with("engine/run_programs_gossip")));
+        assert!(labels
+            .iter()
+            .any(|l| l.starts_with("engine/run_programs_sparse_edits")));
     }
 
     #[test]

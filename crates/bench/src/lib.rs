@@ -19,8 +19,10 @@
 //!   replays one stress case from its `u64` seed and verifies the rerun
 //!   is byte-identical.
 //! * `cargo run -p adn-bench --release --bin report -- --bench [--quick]
-//!   [--threads N]` — the CPU-performance baseline of the hot data path;
-//!   writes `BENCH_core.json` (see [`corebench`]).
+//!   [--threads N] [--check <baseline.json>]` — the CPU-performance
+//!   baseline of the hot data path; writes `BENCH_core.json` and, with
+//!   `--check`, fails on a >2x `min_ns` regression against the given
+//!   committed baseline (the CI `bench-smoke` gate, see [`corebench`]).
 
 pub mod corebench;
 pub mod harness;

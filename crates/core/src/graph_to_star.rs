@@ -17,10 +17,10 @@
 //! maximum degree at the star centre.
 
 use crate::algorithm::RunConfig;
+use crate::committee::{CommitteeForest, CommitteeId};
 use crate::{CoreError, TransformationOutcome};
-use adn_graph::{Graph, NodeId, Uid, UidMap};
+use adn_graph::{Graph, NodeId, UidMap};
 use adn_sim::Network;
-use std::collections::{BTreeMap, BTreeSet};
 
 /// The mode a committee executes in during a phase (Section 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,27 +39,14 @@ enum Mode {
     Waiting,
 }
 
-#[derive(Debug, Clone)]
-struct Committee {
-    leader: NodeId,
-    members: Vec<NodeId>,
-    mode: Mode,
-}
-
-impl Committee {
-    fn uid(&self, uids: &UidMap) -> Uid {
-        uids.uid(self.leader)
-    }
-}
-
 /// A pending round-B hop: `(selector leader, target leader, helper edge)`.
 type PendingHop = (NodeId, NodeId, Option<(NodeId, NodeId)>);
 
 /// Result of the selection step of a phase.
 #[derive(Debug, Clone)]
 struct Selection {
-    selector: NodeId,
-    target: NodeId,
+    selector: CommitteeId,
+    target: CommitteeId,
     /// Bridge nodes: `x` in the selector committee adjacent to `y` in the
     /// target committee.
     bridge_x: NodeId,
@@ -117,7 +104,7 @@ pub(crate) fn execute(
     let mut phases = 0usize;
     let phase_limit = 40 * adn_graph::properties::ceil_log2(n.max(2)) + 80;
 
-    while state.committees.len() > 1 {
+    while state.forest.live_count() > 1 {
         phases += 1;
         config.check_round_budget(network)?;
         if phases > phase_limit {
@@ -126,18 +113,13 @@ pub(crate) fn execute(
                 phase_limit,
             });
         }
-        committees_per_phase.push(state.committees.len());
-        network.note_groups_alive(state.committees.len());
+        committees_per_phase.push(state.forest.live_count());
+        network.note_groups_alive(state.forest.live_count());
         state.run_phase(network, uids)?;
     }
 
     // Termination phase: keep only the star edges.
-    let leader = state
-        .committees
-        .values()
-        .next()
-        .map(|c| c.leader)
-        .expect("exactly one committee remains");
+    let leader = state.forest.leader(state.forest.live_ids()[0]);
     if n > 1 {
         config.check_round_budget(network)?;
         network.note_groups_alive(1);
@@ -164,10 +146,13 @@ pub(crate) fn execute(
 }
 
 struct State {
-    /// Committee keyed by its leader.
-    committees: BTreeMap<NodeId, Committee>,
-    /// Leader of the committee each node belongs to.
-    committee_of: Vec<NodeId>,
+    /// The arena-backed committee partition. Leaders never migrate between
+    /// slots in this algorithm (an absorbing committee keeps its leader),
+    /// so ascending slot order is ascending leader order — the iteration
+    /// order the old `BTreeMap<NodeId, Committee>` provided.
+    forest: CommitteeForest,
+    /// Per-slot mode column, parallel to the forest arena.
+    mode: Vec<Mode>,
     /// Edges of the initial network (never deactivated before termination).
     initial_edges: Graph,
 }
@@ -175,95 +160,47 @@ struct State {
 impl State {
     fn new(initial: &Graph) -> Self {
         let n = initial.node_count();
-        let committees = (0..n)
-            .map(|i| {
-                (
-                    NodeId(i),
-                    Committee {
-                        leader: NodeId(i),
-                        members: vec![NodeId(i)],
-                        mode: Mode::Selection,
-                    },
-                )
-            })
-            .collect();
         State {
-            committees,
-            committee_of: (0..n).map(NodeId).collect(),
+            forest: CommitteeForest::singletons(n),
+            mode: vec![Mode::Selection; n],
             initial_edges: initial.clone(),
         }
     }
 
-    /// Committee adjacency over the current network: for each ordered pair
-    /// of distinct neighbouring committees `(a, b)`, the lexicographically
-    /// smallest bridge `(x, y)` with `x ∈ a`, `y ∈ b`.
-    fn committee_adjacency(
-        &self,
-        network: &Network,
-    ) -> BTreeMap<NodeId, BTreeMap<NodeId, (NodeId, NodeId)>> {
-        let mut adj: BTreeMap<NodeId, BTreeMap<NodeId, (NodeId, NodeId)>> = BTreeMap::new();
-        for e in network.graph().edges() {
-            // Nodes beyond the tracked vertex set (joined mid-run by a DST
-            // churn fault) have no committee; their edges are invisible to
-            // the reconfiguration.
-            if e.b.index() >= self.committee_of.len() {
-                continue;
-            }
-            let ca = self.committee_of[e.a.index()];
-            let cb = self.committee_of[e.b.index()];
-            if ca == cb {
-                continue;
-            }
-            let entry = adj.entry(ca).or_default().entry(cb).or_insert((e.a, e.b));
-            if (e.a, e.b) < *entry {
-                *entry = (e.a, e.b);
-            }
-            let entry = adj.entry(cb).or_default().entry(ca).or_insert((e.b, e.a));
-            if (e.b, e.a) < *entry {
-                *entry = (e.b, e.a);
-            }
-        }
-        adj
-    }
-
     fn run_phase(&mut self, network: &mut Network, uids: &UidMap) -> Result<(), CoreError> {
-        let adjacency = self.committee_adjacency(network);
-        let start_modes: BTreeMap<NodeId, Mode> =
-            self.committees.iter().map(|(&l, c)| (l, c.mode)).collect();
+        let adjacency = self.forest.committee_adjacency(network.graph());
+        let start_mode: Vec<Mode> = self.mode.clone();
+        let slots = self.forest.slot_count();
 
         // ------------------------------------------------------------------
         // 1. Selection decisions (no edge operations yet).
         // ------------------------------------------------------------------
-        let mut selections: BTreeMap<NodeId, Selection> = BTreeMap::new();
-        for (&leader, committee) in &self.committees {
-            if committee.mode != Mode::Selection {
+        let mut selections: Vec<Selection> = Vec::new();
+        let mut did_select = vec![false; slots];
+        let mut selected_by = vec![false; slots];
+        for &cid in self.forest.live_ids() {
+            if self.mode[cid.index()] != Mode::Selection {
                 continue;
             }
-            let my_uid = committee.uid(uids);
-            let Some(neighbors) = adjacency.get(&leader) else {
-                continue;
-            };
-            let candidate = neighbors
-                .iter()
-                .filter(|(other, _)| {
-                    let other_mode = start_modes[*other];
-                    uids.uid(**other) > my_uid
-                        && !matches!(other_mode, Mode::Pulling { .. } | Mode::Merging { .. })
-                })
-                .max_by_key(|(other, _)| uids.uid(**other));
-            if let Some((&target, &(x, y))) = candidate {
-                selections.insert(
-                    leader,
-                    Selection {
-                        selector: leader,
-                        target,
-                        bridge_x: x,
-                        bridge_y: y,
-                    },
-                );
+            // Only committees not already committed to a merge or climb
+            // are selectable targets.
+            let candidate = adjacency.select_largest_uid_neighbor(cid, &self.forest, uids, |o| {
+                !matches!(
+                    start_mode[o.index()],
+                    Mode::Pulling { .. } | Mode::Merging { .. }
+                )
+            });
+            if let Some((target, x, y)) = candidate {
+                did_select[cid.index()] = true;
+                selected_by[target.index()] = true;
+                selections.push(Selection {
+                    selector: cid,
+                    target,
+                    bridge_x: x,
+                    bridge_y: y,
+                });
             }
         }
-        let selected_by: BTreeSet<NodeId> = selections.values().map(|s| s.target).collect();
 
         // ------------------------------------------------------------------
         // 2. Edge operations: round A then round B.
@@ -273,9 +210,9 @@ impl State {
         // edge when it is already at distance <= 2). `pending_b` collects
         // the round-B second hops.
         let mut pending_b: Vec<PendingHop> = Vec::new();
-        for sel in selections.values() {
-            let u = sel.selector;
-            let v = sel.target;
+        for sel in &selections {
+            let u = self.forest.leader(sel.selector);
+            let v = self.forest.leader(sel.target);
             let x = sel.bridge_x;
             let y = sel.bridge_y;
             if network.graph().has_edge(u, v) {
@@ -297,11 +234,16 @@ impl State {
         }
 
         // Merging committees: every member joins the target leader's star.
-        let mut merges: Vec<(NodeId, NodeId)> = Vec::new(); // (dying leader, absorbing leader)
-        for (&leader, committee) in &self.committees {
-            if let Mode::Merging { into } = committee.mode {
-                merges.push((leader, into));
-                for &x in &committee.members {
+        let mut merges: Vec<(CommitteeId, CommitteeId)> = Vec::new(); // (dying, absorbing)
+        for &cid in self.forest.live_ids() {
+            if let Mode::Merging { into } = self.mode[cid.index()] {
+                let leader = self.forest.leader(cid);
+                let into_cid = self
+                    .forest
+                    .committee_of(into)
+                    .expect("merge targets are tracked nodes");
+                merges.push((cid, into_cid));
+                for &x in self.forest.members(cid) {
                     if x == leader {
                         continue;
                     }
@@ -319,17 +261,22 @@ impl State {
         // phase: the attach node's committee leader if we are attached to
         // an ordinary member, otherwise whatever our attach leader itself
         // points upwards to (its merge target or its own attach node).
-        let mut climbs: Vec<(NodeId, NodeId)> = Vec::new(); // (leader, new attach node)
-        for (&leader, committee) in &self.committees {
-            if let Mode::Pulling { attach } = committee.mode {
-                let attach_leader = self.committee_of[attach.index()];
+        let mut climbs: Vec<(CommitteeId, NodeId)> = Vec::new(); // (committee, new attach node)
+        for &cid in self.forest.live_ids() {
+            if let Mode::Pulling { attach } = self.mode[cid.index()] {
+                let leader = self.forest.leader(cid);
+                let attach_cid = self
+                    .forest
+                    .committee_of(attach)
+                    .expect("attach nodes are tracked");
+                let attach_leader = self.forest.leader(attach_cid);
                 let target = if attach != attach_leader {
                     // Hop from an ex-leader member to its current leader.
                     attach_leader
                 } else {
-                    match start_modes.get(&attach_leader).copied() {
-                        Some(Mode::Merging { into }) => into,
-                        Some(Mode::Pulling { attach: up }) => up,
+                    match start_mode[attach_cid.index()] {
+                        Mode::Merging { into } => into,
+                        Mode::Pulling { attach: up } => up,
                         // The attach committee is a root (waiting or back in
                         // selection): stay put, we merge into it next phase.
                         _ => attach,
@@ -341,7 +288,7 @@ impl State {
                         network.stage_deactivation(leader, attach)?;
                     }
                 }
-                climbs.push((leader, target));
+                climbs.push((cid, target));
             }
         }
 
@@ -371,19 +318,8 @@ impl State {
         // ------------------------------------------------------------------
         // 3. Apply merges to the committee structure.
         // ------------------------------------------------------------------
-        for (dying, absorbing) in &merges {
-            let dead = self
-                .committees
-                .remove(dying)
-                .expect("merging committee exists");
-            let target = self
-                .committees
-                .get_mut(absorbing)
-                .expect("absorbing committee exists");
-            for &m in &dead.members {
-                self.committee_of[m.index()] = *absorbing;
-            }
-            target.members.extend(dead.members);
+        for &(dying, absorbing) in &merges {
+            self.forest.absorb(dying, absorbing);
         }
 
         // ------------------------------------------------------------------
@@ -393,53 +329,64 @@ impl State {
         // above). If the attach node is now the leader of a root committee
         // (waiting / back in selection), we merge into it next phase;
         // otherwise we keep pulling.
-        for (leader, new_attach) in climbs {
-            let attach_committee = self.committee_of[new_attach.index()];
-            let attach_is_root_leader = new_attach == attach_committee
+        for (cid, new_attach) in climbs {
+            let attach_cid = self
+                .forest
+                .committee_of(new_attach)
+                .expect("attach nodes are tracked");
+            let attach_is_root_leader = new_attach == self.forest.leader(attach_cid)
                 && matches!(
-                    self.committees.get(&attach_committee).map(|c| c.mode),
-                    Some(Mode::Waiting) | Some(Mode::Selection)
+                    self.mode[attach_cid.index()],
+                    Mode::Waiting | Mode::Selection
                 );
-            if let Some(c) = self.committees.get_mut(&leader) {
-                c.mode = if attach_is_root_leader {
-                    Mode::Merging { into: new_attach }
-                } else {
-                    Mode::Pulling { attach: new_attach }
-                };
-            }
+            self.mode[cid.index()] = if attach_is_root_leader {
+                Mode::Merging { into: new_attach }
+            } else {
+                Mode::Pulling { attach: new_attach }
+            };
         }
 
         // Selector committees.
-        for sel in selections.values() {
-            let target_selected = selections.contains_key(&sel.target);
-            if let Some(c) = self.committees.get_mut(&sel.selector) {
-                c.mode = if target_selected {
-                    Mode::Pulling { attach: sel.target }
-                } else {
-                    Mode::Merging { into: sel.target }
-                };
-            }
+        for sel in &selections {
+            let target_selected = did_select[sel.target.index()];
+            let target_leader = self.forest.leader(sel.target);
+            self.mode[sel.selector.index()] = if target_selected {
+                Mode::Pulling {
+                    attach: target_leader,
+                }
+            } else {
+                Mode::Merging {
+                    into: target_leader,
+                }
+            };
         }
 
         // Committees that did not select: Waiting / Selection transitions.
-        let has_children: BTreeSet<NodeId> = self
-            .committees
-            .values()
-            .filter_map(|c| match c.mode {
-                Mode::Merging { into } => Some(self.committee_of[into.index()]),
-                Mode::Pulling { attach } => Some(self.committee_of[attach.index()]),
+        let mut has_children = vec![false; slots];
+        for &cid in self.forest.live_ids() {
+            let parent = match self.mode[cid.index()] {
+                Mode::Merging { into } => Some(into),
+                Mode::Pulling { attach } => Some(attach),
                 _ => None,
-            })
-            .collect();
-        for (&leader, committee) in self.committees.iter_mut() {
-            match committee.mode {
+            };
+            if let Some(p) = parent {
+                let pc = self
+                    .forest
+                    .committee_of(p)
+                    .expect("parents are tracked nodes");
+                has_children[pc.index()] = true;
+            }
+        }
+        for &cid in self.forest.live_ids() {
+            match self.mode[cid.index()] {
                 Mode::Merging { .. } | Mode::Pulling { .. } => {}
                 Mode::Selection | Mode::Waiting => {
-                    if selected_by.contains(&leader) || has_children.contains(&leader) {
-                        committee.mode = Mode::Waiting;
-                    } else {
-                        committee.mode = Mode::Selection;
-                    }
+                    self.mode[cid.index()] =
+                        if selected_by[cid.index()] || has_children[cid.index()] {
+                            Mode::Waiting
+                        } else {
+                            Mode::Selection
+                        };
                 }
             }
         }

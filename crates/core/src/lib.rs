@@ -7,6 +7,10 @@
 //! * [`algorithm`] — the unified entry point: the
 //!   [`ReconfigurationAlgorithm`] trait, the shared [`RunConfig`] and the
 //!   [`registry`] enumerating every strategy below.
+//! * [`committee`] — the shared committee-forest layer: the arena-backed
+//!   partition ([`committee::CommitteeForest`]), the flat committee
+//!   adjacency builder and the per-phase selection forest that all three
+//!   committee algorithms run on.
 //! * [`subroutines`] — the basic building blocks of Section 2.3 and the
 //!   appendix: `TreeToStar`, `LineToCompleteBinaryTree` (synchronous and
 //!   asynchronous wake-up variants) and the complete-`k`-ary-tree
@@ -44,6 +48,7 @@
 pub mod algorithm;
 pub mod baselines;
 pub mod centralized;
+pub mod committee;
 pub mod error;
 pub mod graph_to_star;
 pub mod graph_to_thin_wreath;

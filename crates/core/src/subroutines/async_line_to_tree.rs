@@ -24,6 +24,7 @@
 //! arbitrary wake-up schedules.
 
 use crate::CoreError;
+use adn_graph::edgeset::SortedEdgeSet;
 use adn_graph::{Edge, NodeId, RootedTree};
 use adn_sim::Network;
 use std::collections::BTreeSet;
@@ -34,8 +35,9 @@ pub struct AsyncLineConfig {
     /// Maximum number of children per node in the constructed tree.
     pub arity: usize,
     /// Edges that must never be deactivated (ring edges in the wreath
-    /// algorithms).
-    pub protected_edges: BTreeSet<Edge>,
+    /// algorithms). A flat sorted set: built once per committee merge,
+    /// probed per jump.
+    pub protected_edges: SortedEdgeSet,
     /// Wake-up round (1-based, relative to the start of the subroutine)
     /// for each position of the line. Position `i` refers to `line[i]`.
     pub wake_round: Vec<usize>,
@@ -46,14 +48,14 @@ impl AsyncLineConfig {
     pub fn all_awake(n: usize, arity: usize) -> Self {
         AsyncLineConfig {
             arity,
-            protected_edges: BTreeSet::new(),
+            protected_edges: SortedEdgeSet::new(),
             wake_round: vec![1; n],
         }
     }
 
     /// Builder-style setter for the protected edge set.
-    pub fn with_protected_edges(mut self, edges: BTreeSet<Edge>) -> Self {
-        self.protected_edges = edges;
+    pub fn with_protected_edges<I: IntoIterator<Item = Edge>>(mut self, edges: I) -> Self {
+        self.protected_edges = edges.into_iter().collect();
         self
     }
 }
@@ -290,7 +292,7 @@ mod tests {
         let mut net = Network::new(g);
         let config = LineToTreeConfig {
             arity,
-            protected_edges: BTreeSet::new(),
+            protected_edges: SortedEdgeSet::new(),
         };
         run_line_to_tree(&mut net, &identity_line(n), &config)
             .unwrap()
@@ -318,7 +320,7 @@ mod tests {
             let mut net = Network::new(g);
             let config = AsyncLineConfig {
                 arity: 2,
-                protected_edges: BTreeSet::new(),
+                protected_edges: SortedEdgeSet::new(),
                 wake_round: vec![delay; n],
             };
             let (tree, rounds) =
@@ -339,7 +341,7 @@ mod tests {
             let mut net = Network::new(g);
             let config = AsyncLineConfig {
                 arity: 2,
-                protected_edges: BTreeSet::new(),
+                protected_edges: SortedEdgeSet::new(),
                 wake_round: wake,
             };
             let (tree, rounds) =
@@ -363,7 +365,7 @@ mod tests {
                 let mut net = Network::new(g);
                 let config = AsyncLineConfig {
                     arity: 2,
-                    protected_edges: BTreeSet::new(),
+                    protected_edges: SortedEdgeSet::new(),
                     wake_round: wake.clone(),
                 };
                 let (tree, rounds) =
@@ -386,7 +388,7 @@ mod tests {
         let mut net = Network::new(g);
         let config = AsyncLineConfig {
             arity,
-            protected_edges: BTreeSet::new(),
+            protected_edges: SortedEdgeSet::new(),
             wake_round: wake,
         };
         let (tree, _) = run_async_line_to_tree(&mut net, &identity_line(n), &config).unwrap();
@@ -426,7 +428,7 @@ mod tests {
     fn protected_edges_survive_async_run() {
         let n = 24;
         let g = generators::line(n);
-        let protected: BTreeSet<Edge> = g.edges().collect();
+        let protected: SortedEdgeSet = g.edges().collect();
         let mut net = Network::new(g.clone());
         let config = AsyncLineConfig {
             arity: 2,

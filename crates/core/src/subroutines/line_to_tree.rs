@@ -17,9 +17,9 @@
 //! round. On a line with `k = 2` the rule never triggers.
 
 use crate::CoreError;
+use adn_graph::edgeset::SortedEdgeSet;
 use adn_graph::{Edge, NodeId, RootedTree};
 use adn_sim::Network;
-use std::collections::BTreeSet;
 
 /// Configuration for [`run_line_to_tree`].
 #[derive(Debug, Clone)]
@@ -28,8 +28,9 @@ pub struct LineToTreeConfig {
     /// (2 for the complete binary tree).
     pub arity: usize,
     /// Edges that must never be deactivated (the wreath algorithms protect
-    /// the ring edges so the ring survives the tree construction).
-    pub protected_edges: BTreeSet<Edge>,
+    /// the ring edges so the ring survives the tree construction). A flat
+    /// sorted set: built once per committee merge, probed per jump.
+    pub protected_edges: SortedEdgeSet,
 }
 
 impl LineToTreeConfig {
@@ -37,7 +38,7 @@ impl LineToTreeConfig {
     pub fn binary() -> Self {
         LineToTreeConfig {
             arity: 2,
-            protected_edges: BTreeSet::new(),
+            protected_edges: SortedEdgeSet::new(),
         }
     }
 
@@ -46,13 +47,13 @@ impl LineToTreeConfig {
     pub fn polylog(n: usize) -> Self {
         LineToTreeConfig {
             arity: adn_graph::properties::ceil_log2(n.max(2)).max(2),
-            protected_edges: BTreeSet::new(),
+            protected_edges: SortedEdgeSet::new(),
         }
     }
 
     /// Adds protected edges (builder style).
-    pub fn with_protected_edges(mut self, edges: BTreeSet<Edge>) -> Self {
-        self.protected_edges = edges;
+    pub fn with_protected_edges<I: IntoIterator<Item = Edge>>(mut self, edges: I) -> Self {
+        self.protected_edges = edges.into_iter().collect();
         self
     }
 }
@@ -196,7 +197,7 @@ fn validate_line(
             reason: "arity must be at least 1".into(),
         });
     }
-    let mut seen = BTreeSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     for &u in line {
         if !seen.insert(u) {
             return Err(CoreError::InvalidInput {
@@ -302,7 +303,7 @@ mod tests {
     fn protected_edges_survive() {
         let n = 32;
         let g = generators::line(n);
-        let protected: BTreeSet<Edge> = g.edges().collect();
+        let protected: SortedEdgeSet = g.edges().collect();
         let mut net = Network::new(g.clone());
         let config = LineToTreeConfig::binary().with_protected_edges(protected);
         let (tree, _) = run_line_to_tree(&mut net, &identity_line(n), &config).unwrap();
@@ -382,7 +383,7 @@ mod tests {
                 &[NodeId(0), NodeId(1)],
                 &LineToTreeConfig {
                     arity: 0,
-                    protected_edges: BTreeSet::new()
+                    protected_edges: SortedEdgeSet::new()
                 }
             ),
             Err(CoreError::InvalidInput { .. })

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod edgeset;
 pub mod error;
 pub mod families;
 pub mod generators;
@@ -51,6 +52,7 @@ pub mod uid;
 
 mod ids;
 
+pub use edgeset::SortedEdgeSet;
 pub use error::GraphError;
 pub use families::GraphFamily;
 pub use graph::{Edge, Graph};

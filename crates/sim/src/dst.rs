@@ -19,7 +19,11 @@
 //! * **round skew** — message-delay perturbation, charged as extra
 //!   rounds in which no progress happens;
 //! * **churn** — a brand-new node with a fresh UID joins, attached to an
-//!   existing node.
+//!   existing node;
+//! * **partition/heal** — the environment severs a cut splitting the
+//!   live subgraph roughly in half, then re-inserts the surviving cut
+//!   edges a configurable number of rounds later (connectivity loss
+//!   *and* recovery in one fault).
 //!
 //! A [`Scenario`] declaratively describes the fault mix (budget, timing
 //! window, per-round probability, kind weights, target-selection policy);
@@ -109,6 +113,12 @@ pub struct Scenario {
     pub skew_weight: u32,
     /// Maximum number of rounds a single skew event may charge.
     pub max_skew: usize,
+    /// Relative weight of partition events: the adversary severs a cut
+    /// splitting the live subgraph in half, then heals it (re-inserts the
+    /// surviving cut edges) `heal_delay` rounds later.
+    pub partition_weight: u32,
+    /// Rounds between a partition and its heal (at least 1).
+    pub heal_delay: usize,
     /// How victim nodes are selected.
     pub target: TargetPolicy,
 }
@@ -127,6 +137,8 @@ impl Scenario {
             churn_weight: 0,
             skew_weight: 0,
             max_skew: 3,
+            partition_weight: 0,
+            heal_delay: 4,
             target: TargetPolicy::Random,
         }
     }
@@ -180,7 +192,25 @@ impl Scenario {
         }
     }
 
-    /// Everything at once, aimed at the highest-degree nodes.
+    /// Partition/heal cycles: the adversary severs a cut that splits the
+    /// live subgraph in half, lets the algorithm run partitioned for
+    /// `heal_delay` rounds, then re-inserts the surviving cut edges.
+    /// Exercises committee state across connectivity loss and recovery:
+    /// selection stalls against the missing half, then resumes against
+    /// the healed adjacency.
+    pub fn partition_heal() -> Self {
+        Scenario {
+            fault_budget: 2,
+            partition_weight: 1,
+            heal_delay: 5,
+            per_round_probability: 0.35,
+            window_start: 2,
+            ..Scenario::base("partition_heal")
+        }
+    }
+
+    /// Everything at once — including partition/heal cycles — aimed at
+    /// the highest-degree nodes.
     pub fn mixed() -> Self {
         Scenario {
             fault_budget: 8,
@@ -189,6 +219,7 @@ impl Scenario {
             edge_insert_weight: 2,
             churn_weight: 1,
             skew_weight: 1,
+            partition_weight: 1,
             target: TargetPolicy::MaxDegree,
             ..Scenario::base("mixed")
         }
@@ -219,6 +250,7 @@ impl Scenario {
             + self.edge_insert_weight
             + self.churn_weight
             + self.skew_weight
+            + self.partition_weight
     }
 }
 
@@ -248,6 +280,7 @@ pub fn scenarios() -> Vec<Scenario> {
         Scenario::churn(),
         Scenario::round_skew(),
         Scenario::mixed(),
+        Scenario::partition_heal(),
     ]
 }
 
@@ -297,6 +330,22 @@ pub enum FaultEvent {
         /// Number of rounds charged.
         rounds: usize,
     },
+    /// The adversary severed `cut`, partitioning the live subgraph; a
+    /// matching [`FaultEvent::Heal`] is scheduled `heal_delay` rounds
+    /// later.
+    Partition {
+        /// The severed cut edges, in canonical order.
+        cut: Vec<Edge>,
+    },
+    /// A previously severed cut was re-inserted. Edges whose endpoints
+    /// crash-stopped in between (or that reappeared by other means) are
+    /// dropped rather than restored.
+    Heal {
+        /// Number of cut edges re-inserted.
+        restored: usize,
+        /// Number of cut edges that could not be restored.
+        dropped: usize,
+    },
 }
 
 impl fmt::Display for FaultEvent {
@@ -313,6 +362,16 @@ impl fmt::Display for FaultEvent {
                 uid,
             } => write!(f, "join node {node} (uid {uid}) at {attached_to}"),
             FaultEvent::Skew { rounds } => write!(f, "skew +{rounds} rounds"),
+            FaultEvent::Partition { cut } => {
+                write!(f, "partition (cut {} edges:", cut.len())?;
+                for e in cut {
+                    write!(f, " {{{}, {}}}", e.a, e.b)?;
+                }
+                write!(f, ")")
+            }
+            FaultEvent::Heal { restored, dropped } => {
+                write!(f, "heal cut (restored {restored}, dropped {dropped})")
+            }
         }
     }
 }
@@ -375,6 +434,16 @@ pub struct Adversary {
     seed: u64,
     rng: DetRng,
     budget_left: usize,
+    /// A cut severed by a partition event, waiting to be healed at the
+    /// recorded round boundary.
+    pending_heal: Option<PendingHeal>,
+}
+
+/// A severed cut scheduled for re-insertion.
+#[derive(Debug, Clone)]
+struct PendingHeal {
+    at_round: usize,
+    cut: Vec<Edge>,
 }
 
 impl Adversary {
@@ -386,6 +455,7 @@ impl Adversary {
             seed,
             rng: DetRng::seed_from_u64(seed),
             budget_left,
+            pending_heal: None,
         }
     }
 
@@ -405,9 +475,13 @@ impl Adversary {
     }
 
     /// Attempts one injection at the boundary before `round`. The RNG is
-    /// only consumed while budget remains, so the fault schedule produced
-    /// with budget `b` is a strict prefix of the schedule with budget
-    /// `B > b` — the property the failing-seed minimizer relies on.
+    /// only consumed while budget remains, so the RNG-driven fault
+    /// schedule produced with budget `b` is a strict prefix of the
+    /// schedule with budget `B > b` — the property the failing-seed
+    /// minimizer relies on. The one exception is the deterministic `Heal`
+    /// record of a partition: it consumes neither budget nor RNG (it is
+    /// the second half of the partition fault), so it may interleave
+    /// differently between budgets without desynchronising the RNG stream.
     fn inject(
         &mut self,
         network: &mut Network,
@@ -415,6 +489,16 @@ impl Adversary {
         uids: &mut Vec<u64>,
         round: usize,
     ) -> Option<FaultEvent> {
+        // A due heal fires first, regardless of budget, window or
+        // probability: a severed cut is always eventually re-offered.
+        if self
+            .pending_heal
+            .as_ref()
+            .is_some_and(|p| round >= p.at_round)
+        {
+            let pending = self.pending_heal.take().expect("checked above");
+            return Some(Self::heal(network, pending.cut));
+        }
         if self.budget_left == 0 || self.scenario.total_weight() == 0 {
             return None;
         }
@@ -429,7 +513,7 @@ impl Adversary {
         if !self.rng.gen_bool(self.scenario.per_round_probability) {
             return None;
         }
-        let event = self.pick_event(network, crashed, uids)?;
+        let event = self.pick_event(network, crashed, uids, round)?;
         self.budget_left -= 1;
         Some(event)
     }
@@ -451,6 +535,7 @@ impl Adversary {
         network: &mut Network,
         crashed: &mut BTreeSet<NodeId>,
         uids: &mut Vec<u64>,
+        round: usize,
     ) -> Option<FaultEvent> {
         let s = &self.scenario;
         let total = s.total_weight();
@@ -461,6 +546,7 @@ impl Adversary {
             s.edge_insert_weight,
             s.churn_weight,
             s.skew_weight,
+            s.partition_weight,
         ];
         let mut kind = 0usize;
         for (i, w) in weights.iter().enumerate() {
@@ -475,7 +561,8 @@ impl Adversary {
             1 => self.delete_edge(network),
             2 => self.insert_edge(network),
             3 => self.join(network, uids),
-            _ => self.skew(network),
+            4 => self.skew(network),
+            _ => self.partition(network, round),
         }
     }
 
@@ -545,6 +632,80 @@ impl Adversary {
         let rounds = self.rng.gen_range(1, max + 1);
         network.fault_skew(rounds);
         Some(FaultEvent::Skew { rounds })
+    }
+
+    /// Severs a cut splitting the live subgraph roughly in half: a pivot
+    /// is drawn by the target policy, its BFS ball grows to half the live
+    /// nodes (deterministic sorted-neighbour order), and every edge
+    /// crossing the ball boundary is deleted. The cut is scheduled for
+    /// healing `heal_delay` rounds later. Declined (no budget consumed)
+    /// while a previous cut is still open, or when there is nothing to
+    /// cut.
+    fn partition(&mut self, network: &mut Network, round: usize) -> Option<FaultEvent> {
+        if self.pending_heal.is_some() {
+            return None; // one open cut at a time
+        }
+        let live = Self::live_nodes(network);
+        if live.len() < 4 {
+            return None;
+        }
+        let pivot = self.scenario.target.pick(&mut self.rng, network, &live)?;
+        let crashed = network.crashed_mask();
+        let side_target = live.len().div_ceil(2);
+        let mut in_side = vec![false; network.node_count()];
+        let mut queue = std::collections::VecDeque::from([pivot]);
+        in_side[pivot.index()] = true;
+        let mut side_size = 1usize;
+        while let Some(u) = queue.pop_front() {
+            if side_size >= side_target {
+                break;
+            }
+            for &v in network.graph().neighbors_slice(u) {
+                if side_size >= side_target {
+                    break;
+                }
+                if !in_side[v.index()] && !crashed[v.index()] {
+                    in_side[v.index()] = true;
+                    side_size += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        let cut: Vec<Edge> = network
+            .graph()
+            .edges()
+            .filter(|e| in_side[e.a.index()] != in_side[e.b.index()])
+            .collect();
+        if cut.is_empty() {
+            return None; // already partitioned (or the side swallowed everyone)
+        }
+        for e in &cut {
+            network.fault_remove_edge(e.a, e.b);
+        }
+        self.pending_heal = Some(PendingHeal {
+            at_round: round + self.scenario.heal_delay.max(1),
+            cut: cut.clone(),
+        });
+        Some(FaultEvent::Partition { cut })
+    }
+
+    /// Re-inserts a severed cut. Edges touching a node that crash-stopped
+    /// in the meantime stay severed (a crashed node never comes back), and
+    /// edges that reappeared by other means (adversarial insertions) count
+    /// as dropped too.
+    fn heal(network: &mut Network, cut: Vec<Edge>) -> FaultEvent {
+        let mut restored = 0usize;
+        let mut dropped = 0usize;
+        for e in &cut {
+            let crashed = network.crashed_mask();
+            if !crashed[e.a.index()] && !crashed[e.b.index()] && network.fault_insert_edge(e.a, e.b)
+            {
+                restored += 1;
+            } else {
+                dropped += 1;
+            }
+        }
+        FaultEvent::Heal { restored, dropped }
     }
 }
 
@@ -941,6 +1102,75 @@ mod tests {
             report.faults[0].event,
             FaultEvent::Skew { rounds: 1 }
         ));
+    }
+
+    #[test]
+    fn partition_disconnects_and_heal_reconnects() {
+        let scenario = Scenario {
+            per_round_probability: 1.0,
+            window_start: 1,
+            heal_delay: 3,
+            ..Scenario::partition_heal().with_fault_budget(1)
+        };
+        let mut net = armed_network(10, scenario, 21);
+        let mut disconnected_rounds = 0usize;
+        for _ in 0..12 {
+            net.commit_round();
+            if !super::live_subgraph_connected(&net) {
+                disconnected_rounds += 1;
+            }
+        }
+        assert!(
+            disconnected_rounds >= 2,
+            "the cut must stay open for heal_delay rounds"
+        );
+        assert!(
+            super::live_subgraph_connected(&net),
+            "the heal must restore connectivity"
+        );
+        let report = net.take_dst_report().unwrap();
+        assert_eq!(report.faults.len(), 2, "{}", report.render());
+        let FaultEvent::Partition { cut } = &report.faults[0].event else {
+            panic!("first fault must be the partition: {}", report.render());
+        };
+        assert!(!cut.is_empty());
+        let FaultEvent::Heal { restored, dropped } = report.faults[1].event else {
+            panic!("second fault must be the heal: {}", report.render());
+        };
+        assert_eq!(restored, cut.len(), "no crashes: the whole cut restores");
+        assert_eq!(dropped, 0);
+        assert_eq!(
+            report.faults[1].round - report.faults[0].round,
+            3,
+            "heal fires heal_delay rounds after the partition"
+        );
+        // The connectivity invariant recorded the partitioned rounds.
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "connectivity"));
+    }
+
+    #[test]
+    fn partition_heal_schedule_is_deterministic() {
+        let run = |seed: u64| {
+            let mut net = armed_network(14, Scenario::partition_heal(), seed);
+            for _ in 0..40 {
+                net.commit_round();
+            }
+            net.take_dst_report().unwrap()
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
+        assert!(
+            a.faults
+                .iter()
+                .any(|f| matches!(f.event, FaultEvent::Partition { .. })),
+            "partition_heal should fire within 40 rounds: {}",
+            a.render()
+        );
     }
 
     #[test]

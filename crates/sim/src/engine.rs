@@ -11,7 +11,7 @@ use crate::{ExecutionReport, Network, SimError};
 use adn_graph::{NodeId, Uid, UidMap};
 
 /// A node's read-only view of the world at the beginning of a round.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeView {
     /// This node's index.
     pub id: NodeId,
@@ -103,6 +103,91 @@ fn build_view(network: &Network, uids: &UidMap, id: NodeId) -> NodeView {
     }
 }
 
+/// Incrementally maintained [`NodeView`]s for the first `count` nodes of a
+/// network (the nodes that run programs; churned-in nodes beyond them are
+/// passive and need no view).
+///
+/// The engine used to rebuild every view from scratch each round — an
+/// `O(n)` pass of neighbour copies and `N_2` computations even in rounds
+/// where nothing changed. The cache instead consumes the network's
+/// change-tracking hook ([`Network::take_changed_nodes`]) and recomputes
+/// only the views whose contents can actually have moved: a node's `N_1`
+/// changes only if one of its incident edges changed, and its `N_2` only
+/// if an edge within distance one of it changed — so the affected set is
+/// the changed endpoints plus their current neighbours.
+///
+/// The per-view `round`/`n` scalars are refreshed for everyone each round
+/// by [`ViewCache::begin_round`] (two word writes per node), so the cached
+/// views are field-for-field identical to freshly built ones — the
+/// differential suite pins this under random committed rounds and
+/// adversarial faults.
+#[derive(Debug)]
+pub struct ViewCache {
+    views: Vec<NodeView>,
+    /// Scratch mask for the affected set (reused across rounds).
+    affected: Vec<bool>,
+}
+
+impl ViewCache {
+    /// Builds the initial views of nodes `0..count` from the network's
+    /// current snapshot.
+    pub fn new(network: &Network, uids: &UidMap, count: usize) -> Self {
+        ViewCache {
+            views: (0..count)
+                .map(|i| build_view(network, uids, NodeId(i)))
+                .collect(),
+            affected: Vec::new(),
+        }
+    }
+
+    /// The maintained views (index `i` is node `i`).
+    pub fn views(&self) -> &[NodeView] {
+        &self.views
+    }
+
+    /// Refreshes the per-round scalars (`round`, current `n`) on every
+    /// view. Call at the top of each engine round.
+    pub fn begin_round(&mut self, network: &Network) {
+        let round = network.round();
+        let n = network.node_count();
+        for view in &mut self.views {
+            view.round = round;
+            view.n = n;
+        }
+    }
+
+    /// Recomputes the views invalidated by the drained change set
+    /// `changed` (sorted endpoints of every edge mutation since the last
+    /// drain): the endpoints themselves and their *current* neighbours. A
+    /// former neighbour severed this round is itself an endpoint of the
+    /// severed edge, so the union covers every node whose `N_1` or `N_2`
+    /// can have changed.
+    pub fn refresh_changed(&mut self, network: &Network, uids: &UidMap, changed: &[NodeId]) {
+        if changed.is_empty() {
+            return;
+        }
+        let count = self.views.len();
+        self.affected.clear();
+        self.affected.resize(count, false);
+        let graph = network.graph();
+        for &u in changed {
+            if u.index() < count {
+                self.affected[u.index()] = true;
+            }
+            for &v in graph.neighbors_slice(u) {
+                if v.index() < count {
+                    self.affected[v.index()] = true;
+                }
+            }
+        }
+        for i in 0..count {
+            if self.affected[i] {
+                self.views[i] = build_view(network, uids, NodeId(i));
+            }
+        }
+    }
+}
+
 /// Runs one [`NodeProgram`] per node until all of them terminate.
 ///
 /// # Errors
@@ -132,6 +217,34 @@ pub fn run_programs<P: NodeProgram>(
         network.set_trace_enabled(true);
     }
     let trace_start = network.trace().len();
+
+    // Views are maintained incrementally: full build once, then only the
+    // nodes whose neighbourhood (or 2-neighbourhood) changed in a round —
+    // reported by the network's change-tracking hook, which also covers
+    // adversarial DST faults — are recomputed. The hook is (re-)armed here
+    // and disarmed on every exit path.
+    network.set_change_tracking(true);
+    let result = run_rounds(network, programs, uids, config);
+    network.set_change_tracking(false);
+    result?;
+
+    let trace = network.trace()[trace_start..].to_vec();
+    network.set_trace_enabled(caller_trace);
+    let report = ExecutionReport::new(network.metrics().clone(), network.graph().clone(), 0)
+        .with_trace(trace);
+    Ok(report)
+}
+
+/// The engine's round loop (split out so [`run_programs`] can disarm the
+/// change-tracking hook on error paths too).
+fn run_rounds<P: NodeProgram>(
+    network: &mut Network,
+    programs: &mut [P],
+    uids: &UidMap,
+    config: &EngineConfig,
+) -> Result<(), SimError> {
+    let programs_len = programs.len();
+    let mut view_cache: Option<ViewCache> = None;
     let mut rounds_executed = 0usize;
 
     while !programs.iter().all(|p| p.has_terminated()) {
@@ -142,16 +255,15 @@ pub fn run_programs<P: NodeProgram>(
         }
         rounds_executed += 1;
 
-        // Snapshot views for this round. The node count is re-read every
-        // round: under DST churn faults the network can grow mid-run;
-        // joined nodes have no program (they are passive), but they can
-        // receive messages and appear in neighbourhoods, so the inboxes
-        // must cover the full current vertex set.
-        let programs_len = programs.len();
+        // The node count is re-read every round: under DST churn faults
+        // the network can grow mid-run; joined nodes have no program (they
+        // are passive), but they can receive messages and appear in
+        // neighbourhoods, so the inboxes must cover the full current
+        // vertex set.
         let n_now = network.node_count();
-        let views: Vec<NodeView> = (0..programs_len)
-            .map(|i| build_view(network, uids, NodeId(i)))
-            .collect();
+        let cache = view_cache.get_or_insert_with(|| ViewCache::new(network, uids, programs_len));
+        cache.begin_round(network);
+        let views = cache.views();
 
         // Send phase.
         let mut inboxes: Vec<Vec<(NodeId, P::Message)>> = vec![Vec::new(); n_now];
@@ -180,13 +292,10 @@ pub fn run_programs<P: NodeProgram>(
             }
         }
         network.commit_round();
+        let changed = network.take_changed_nodes();
+        cache.refresh_changed(network, uids, &changed);
     }
-
-    let trace = network.trace()[trace_start..].to_vec();
-    network.set_trace_enabled(caller_trace);
-    let report = ExecutionReport::new(network.metrics().clone(), network.graph().clone(), 0)
-        .with_trace(trace);
-    Ok(report)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -56,6 +56,13 @@ pub struct Network {
     /// edges with a crashed endpoint are dropped at commit in one pass —
     /// a crashed node performs no further edge operations.
     crashed: Vec<bool>,
+    /// Change-tracking hook for incremental consumers (the node-program
+    /// engine's view cache): while enabled, the endpoints of every applied
+    /// edge mutation — committed stages *and* adversarial faults — are
+    /// recorded here until drained with [`Network::take_changed_nodes`].
+    /// Off by default so non-engine executions pay nothing.
+    changed_nodes: Vec<NodeId>,
+    change_tracking: bool,
     /// Optional deterministic-simulation-testing state (adversary +
     /// invariant checker), ticked at every round boundary.
     dst: Option<Box<DstState>>,
@@ -123,8 +130,29 @@ impl Network {
             activated_degree: vec![0; n],
             activated_now: 0,
             crashed: vec![false; n],
+            changed_nodes: Vec::new(),
+            change_tracking: false,
             dst: None,
         }
+    }
+
+    /// Enables or disables the change-tracking hook (disabling clears the
+    /// pending buffer). While enabled, [`Network::take_changed_nodes`]
+    /// reports every node whose incident edge set changed — through
+    /// committed rounds or adversarial faults — since the last drain.
+    pub fn set_change_tracking(&mut self, enabled: bool) {
+        self.change_tracking = enabled;
+        self.changed_nodes.clear();
+    }
+
+    /// Drains the recorded change set: the nodes whose incident edges
+    /// changed since the last drain, sorted ascending and duplicate-free.
+    /// Empty unless [`Network::set_change_tracking`] is on.
+    pub fn take_changed_nodes(&mut self) -> Vec<NodeId> {
+        let mut changed = std::mem::take(&mut self.changed_nodes);
+        changed.sort_unstable();
+        changed.dedup();
+        changed
     }
 
     /// Installs a deterministic-simulation-testing state (seeded
@@ -379,6 +407,15 @@ impl Network {
                 .max_activated_degree
                 .max(self.activated_degree[u.index()]);
         }
+        // After the conflict and crashed-endpoint passes, the two staged
+        // columns are exactly the applied edge sets, so their endpoints
+        // are exactly the nodes whose incident edges changed this commit.
+        if self.change_tracking {
+            for e in staged_activations.iter().chain(staged_deactivations.iter()) {
+                self.changed_nodes.push(e.a);
+                self.changed_nodes.push(e.b);
+            }
+        }
 
         // Metrics bookkeeping. The initiator column records one entry per
         // successful stage (including edges later dropped by the conflict
@@ -492,7 +529,13 @@ impl Network {
         let initial = &self.initial;
         let activated_degree = &mut self.activated_degree;
         let activated_now = &mut self.activated_now;
+        let tracking = self.change_tracking;
+        let changed = &mut self.changed_nodes;
         self.current.remove_incident_edges(node, |e| {
+            if tracking {
+                changed.push(e.a);
+                changed.push(e.b);
+            }
             if !initial.has_edge(e.a, e.b) {
                 *activated_now -= 1;
                 activated_degree[e.a.index()] -= 1;
@@ -511,6 +554,10 @@ impl Network {
     /// Removes an edge adversarially. Returns true if it was present.
     pub(crate) fn fault_remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
         let removed = self.current.remove_edge(u, v).unwrap_or(false);
+        if removed && self.change_tracking {
+            self.changed_nodes.push(u);
+            self.changed_nodes.push(v);
+        }
         if removed && !self.initial.has_edge(u, v) {
             self.activated_now -= 1;
             self.activated_degree[u.index()] -= 1;
@@ -522,6 +569,10 @@ impl Network {
     /// Inserts an edge adversarially. Returns true if it was absent.
     pub(crate) fn fault_insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
         let added = self.current.add_edge(u, v).unwrap_or(false);
+        if added && self.change_tracking {
+            self.changed_nodes.push(u);
+            self.changed_nodes.push(v);
+        }
         if added && !self.initial.has_edge(u, v) {
             self.activated_now += 1;
             self.activated_degree[u.index()] += 1;

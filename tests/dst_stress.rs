@@ -94,6 +94,7 @@ fn faults_do_get_injected_across_the_matrix() {
         Scenario::adversarial_edges(),
         Scenario::churn(),
         Scenario::round_skew(),
+        Scenario::partition_heal(),
     ] {
         let scenario = Scenario {
             per_round_probability: 1.0,
@@ -108,14 +109,20 @@ fn faults_do_get_injected_across_the_matrix() {
                 FaultEvent::InsertEdge { .. } => "insert",
                 FaultEvent::Join { .. } => "join",
                 FaultEvent::Skew { .. } => "skew",
+                FaultEvent::Partition { .. } => "partition",
+                FaultEvent::Heal { .. } => "heal",
             };
             kinds_seen.insert(kind);
         }
     }
     assert!(
-        kinds_seen.len() >= 4,
-        "expected crash, edge ops, churn and skew to all fire, saw {} kinds",
+        kinds_seen.len() >= 5,
+        "expected crash, edge ops, churn, skew and partition/heal to all fire, saw {} kinds: {kinds_seen:?}",
         kinds_seen.len()
+    );
+    assert!(
+        kinds_seen.contains("partition") && kinds_seen.contains("heal"),
+        "partition/heal cycle must fire: {kinds_seen:?}"
     );
 }
 
