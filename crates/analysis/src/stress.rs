@@ -294,28 +294,42 @@ pub struct Minimized {
 /// non-clean. Returns `None` when the case is clean at its original
 /// budget (nothing to minimize).
 ///
-/// The fault schedule under budget `b` is a prefix of the schedule under
-/// any larger budget, but the runs *diverge after the `b`-th fault* — a
-/// later fault can mask an earlier failure (e.g. re-insert a deleted
-/// edge), so non-cleanliness is not necessarily monotone in the budget.
-/// The search therefore scans upward from 0 (budgets are small), which
-/// guarantees the returned budget is exactly minimal: every smaller
-/// budget was probed and ran clean.
+/// The RNG-driven fault schedule under budget `b` is a prefix of the
+/// schedule under any larger budget, but the runs *diverge after the
+/// `b`-th fault* — a later fault can mask an earlier failure (e.g.
+/// re-insert a deleted edge), so non-cleanliness is not necessarily
+/// monotone in the budget. Partition scenarios bend the prefix property
+/// further: the `Heal` half of a partition is budget-free (it consumes
+/// neither budget nor RNG), so truncating the budget between a partition
+/// and its heal still replays the heal — a smaller-budget run is not a
+/// literal schedule prefix. The search therefore never *assumes*
+/// prefix-closure: it scans upward from 0 (budgets are small) and returns
+/// the report of the first budget it actually observed failing, so the
+/// result is failing by construction — for partition/heal scenarios and
+/// any future budget-bending fault alike — and exactly minimal: every
+/// smaller budget was probed and ran clean.
 pub fn minimize(case: &StressCase) -> Option<Minimized> {
     let run_with = |budget: usize| {
         let mut c = case.clone();
         c.scenario.fault_budget = budget;
         run_case(&c)
     };
-    if run_with(case.scenario.fault_budget).is_clean() {
+    let full = run_with(case.scenario.fault_budget);
+    if full.is_clean() {
         return None;
     }
-    let budget = (0..case.scenario.fault_budget)
-        .find(|&b| !run_with(b).is_clean())
-        .unwrap_or(case.scenario.fault_budget);
+    for budget in 0..case.scenario.fault_budget {
+        let report = run_with(budget);
+        if !report.is_clean() {
+            return Some(Minimized {
+                minimal_budget: budget,
+                report,
+            });
+        }
+    }
     Some(Minimized {
-        minimal_budget: budget,
-        report: run_with(budget),
+        minimal_budget: case.scenario.fault_budget,
+        report: full,
     })
 }
 
@@ -587,6 +601,60 @@ mod tests {
         let mut below = case.clone();
         below.scenario.fault_budget = minimized.minimal_budget - 1;
         assert!(run_case(&below).is_clean(), "{}", run_case(&below).render());
+    }
+
+    #[test]
+    fn minimizer_returns_a_failing_budget_for_partition_scenarios() {
+        // Regression guard for the budget-free heal: `partition_heal`
+        // schedules its `Heal` without consuming budget or RNG, so a
+        // smaller-budget run is *not* a literal prefix of the original
+        // schedule. The minimizer must still return a budget whose run it
+        // observed failing — never a "minimal" budget that runs clean.
+        let scenario = Scenario {
+            per_round_probability: 1.0,
+            ..dst::find_scenario("partition_heal")
+                .expect("registered scenario")
+                .with_fault_budget(4)
+        };
+        let mut minimized_some = 0usize;
+        for adversary_seed in 0..40u64 {
+            let case = StressCase::explicit(
+                "graph_to_star",
+                GraphFamily::SparseRandom,
+                18,
+                3,
+                scenario.clone(),
+                adversary_seed,
+            );
+            let full = run_case(&case);
+            if full.is_clean() {
+                continue;
+            }
+            let minimized = minimize(&case).expect("non-clean case must minimize");
+            minimized_some += 1;
+            assert!(
+                !minimized.report.is_clean(),
+                "seed {adversary_seed}: minimize returned a clean \"minimal\" budget {}:\n{}",
+                minimized.minimal_budget,
+                minimized.report.render()
+            );
+            assert!(minimized.minimal_budget <= case.scenario.fault_budget);
+            // Exact minimality: every smaller budget runs clean.
+            for below in 0..minimized.minimal_budget {
+                let mut c = case.clone();
+                c.scenario.fault_budget = below;
+                assert!(
+                    run_case(&c).is_clean(),
+                    "seed {adversary_seed}: budget {below} already fails, {} is not minimal",
+                    minimized.minimal_budget
+                );
+            }
+        }
+        assert!(
+            minimized_some >= 3,
+            "only {minimized_some} of 40 partition cases were non-clean — \
+             the regression guard never exercised the minimizer"
+        );
     }
 
     #[test]

@@ -108,6 +108,18 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        Some("--dump-renders") => {
+            reject_unused("--dump-renders", None, quick, true);
+            reject_check("--dump-renders", &check);
+            let cases: usize = match args.get(1) {
+                Some(raw) => raw.parse().unwrap_or_else(|_| {
+                    panic!("usage: report --dump-renders [case count], got `{raw}`")
+                }),
+                None => adn_bench::DST_DEFAULT_CASES,
+            };
+            let threads = adn_bench::corebench::resolve_threads(threads.unwrap_or(0));
+            print!("{}", adn_bench::dump_renders(cases, threads));
+        }
         Some("--bench") => {
             // Read the baseline *before* running: the run overwrites
             // BENCH_core.json, which is the usual baseline path.

@@ -14,10 +14,11 @@
 use crate::harness::{Bench, Sample};
 use adn_analysis::stress::json_escape;
 use adn_core::algorithm::{self, RunConfig};
-use adn_core::committee::CommitteeForest;
+use adn_core::committee::{CommitteeForest, IncrementalAdjacency};
 use adn_graph::rng::DetRng;
-use adn_graph::{generators, Graph, NodeId, UidAssignment, UidMap};
+use adn_graph::{generators, Edge, Graph, NodeId, UidAssignment, UidMap};
 use adn_sim::engine::{run_programs, EngineConfig, NodeDecision, NodeProgram, NodeView};
+use adn_sim::EdgeDelta;
 use adn_sim::Network;
 use std::time::Instant;
 
@@ -214,6 +215,46 @@ fn bench_committee(bench: &mut Bench, quick: bool) {
         },
     );
 
+    // Steady-state incremental adjacency: the forest is stable and a
+    // trickle of edge deltas arrives per refresh — the delta-driven path
+    // the committee algorithms run between merge phases.
+    let mut delta_graph = scratch_graph(n, 4 * n, 0xC034);
+    let delta_forest = mid_merge_forest(n, committees);
+    let mut tracker = IncrementalAdjacency::new(&delta_forest, &delta_graph);
+    let toggles: Vec<(NodeId, NodeId)> = edge_stream(n, 64, 0x70661E)
+        .into_iter()
+        .filter(|&(u, v)| !delta_graph.has_edge(u, v))
+        .collect();
+    bench.measure(
+        &format!("committee/adjacency_incremental n={n} committees={committees}"),
+        || {
+            for chunk in toggles.chunks(16) {
+                let mut deltas = Vec::with_capacity(chunk.len());
+                for &(u, v) in chunk {
+                    if delta_graph.add_edge(u, v).unwrap_or(false) {
+                        deltas.push(EdgeDelta {
+                            edge: Edge::new(u, v),
+                            added: true,
+                        });
+                    }
+                }
+                let adj = tracker.refresh(&delta_forest, &delta_graph, &deltas);
+                std::hint::black_box(adj.row_count());
+                let mut deltas = Vec::with_capacity(chunk.len());
+                for &(u, v) in chunk {
+                    if delta_graph.remove_edge(u, v).unwrap_or(false) {
+                        deltas.push(EdgeDelta {
+                            edge: Edge::new(u, v),
+                            added: false,
+                        });
+                    }
+                }
+                let adj = tracker.refresh(&delta_forest, &delta_graph, &deltas);
+                std::hint::black_box(adj.row_count());
+            }
+        },
+    );
+
     // A full merge cascade: rebuild the adjacency and halve the committee
     // count until one remains — the structural work of a committee
     // algorithm's phase loop, without the edge operations.
@@ -392,30 +433,180 @@ fn to_json(cfg: &CoreBenchConfig, threads: usize, elapsed_ms: u128, samples: &[S
     )
 }
 
-/// Extracts `(case label, min_ns)` rows from a `BENCH_core.json` document
-/// (the workspace's own hand-rolled format; labels never contain escaped
-/// characters).
+/// Extracts `(case label, min_ns)` rows from a `BENCH_core.json` document.
+///
+/// The artifact is hand-rolled, so the scanner is deliberately tolerant:
+/// keys may come in any order, whitespace may appear anywhere, trailing
+/// (or duplicated) commas are accepted, and string escapes are decoded. A
+/// row counts only when its `case` and `min_ns` fields appear *in the
+/// same object* — the substring scanner this replaces searched forward
+/// for `"min_ns":` from the label and could silently pair a label with
+/// the *next* row's counter when keys were reordered or renamed, dropping
+/// a row from the regression gate without any visible error.
 pub fn parse_rows(json: &str) -> Vec<(String, u128)> {
-    let mut rows = Vec::new();
-    let mut rest = json;
-    while let Some(i) = rest.find("{\"case\":\"") {
-        rest = &rest[i + 9..];
-        let Some(label_end) = rest.find('"') else {
-            break;
-        };
-        let label = rest[..label_end].to_string();
-        let Some(j) = rest.find("\"min_ns\":") else {
-            break;
-        };
-        rest = &rest[j + 9..];
-        let digits = rest
-            .find(|c: char| !c.is_ascii_digit())
-            .unwrap_or(rest.len());
-        if let Ok(min_ns) = rest[..digits].parse() {
-            rows.push((label, min_ns));
+    let mut scanner = RowScanner {
+        bytes: json.as_bytes(),
+        pos: 0,
+        rows: Vec::new(),
+    };
+    scanner.skip_ws();
+    let _ = scanner.value();
+    scanner.rows
+}
+
+/// Minimal recursive-descent scanner behind [`parse_rows`]: walks any
+/// JSON-shaped document and collects every object that carries both a
+/// `"case"` string and a `"min_ns"` integer. Malformed input never
+/// panics — scanning just stops at the first byte that fits nothing.
+struct RowScanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    rows: Vec<(String, u128)>,
+}
+
+impl RowScanner<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
         }
     }
-    rows
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parses any value; returns the integer when the value was a
+    /// nonnegative integer number, `Some(None)` for every other valid
+    /// value, `None` when nothing could be parsed (scan stops there).
+    fn value(&mut self) -> Option<Option<u128>> {
+        self.skip_ws();
+        match self.peek()? {
+            b'{' => self.object().map(|()| None),
+            b'[' => self.array().map(|()| None),
+            b'"' => self.string().map(|_| None),
+            _ => self.scalar(),
+        }
+    }
+
+    fn object(&mut self) -> Option<()> {
+        if !self.eat(b'{') {
+            return None;
+        }
+        let mut case: Option<String> = None;
+        let mut min_ns: Option<u128> = None;
+        loop {
+            // Tolerate trailing and duplicated commas between members.
+            while self.eat(b',') {}
+            if self.eat(b'}') {
+                break;
+            }
+            let key = self.string()?;
+            if !self.eat(b':') {
+                return None;
+            }
+            self.skip_ws();
+            if self.peek() == Some(b'"') {
+                let v = self.string()?;
+                if key == "case" {
+                    case = Some(v);
+                }
+            } else {
+                let v = self.value()?;
+                if key == "min_ns" {
+                    min_ns = v.or(min_ns);
+                }
+            }
+        }
+        if let (Some(label), Some(m)) = (case, min_ns) {
+            self.rows.push((label, m));
+        }
+        Some(())
+    }
+
+    fn array(&mut self) -> Option<()> {
+        if !self.eat(b'[') {
+            return None;
+        }
+        loop {
+            while self.eat(b',') {}
+            if self.eat(b']') {
+                break;
+            }
+            self.value()?;
+        }
+        Some(())
+    }
+
+    fn string(&mut self) -> Option<String> {
+        if !self.eat(b'"') {
+            return None;
+        }
+        let mut out = String::new();
+        loop {
+            match self.peek()? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let escaped = self.peek()?;
+                    self.pos += 1;
+                    match escaped {
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos..self.pos + 4)?;
+                            self.pos += 4;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                        }
+                        c => out.push(c as char),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (labels are ASCII in
+                    // practice, but stay correct for anything).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).ok()?);
+                }
+            }
+        }
+    }
+
+    /// Numbers, booleans and null; only a plain nonnegative integer
+    /// yields a value.
+    fn scalar(&mut self) -> Option<Option<u128>> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E' | b'a'..=b'z' | b'A'..=b'Z')
+        ) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+        Some(text.parse::<u128>().ok())
+    }
 }
 
 /// Cases whose baseline `min_ns` is below this are excluded from the
@@ -618,6 +809,43 @@ mod tests {
     }
 
     #[test]
+    fn parse_rows_tolerates_reordered_keys_whitespace_and_trailing_commas() {
+        // Reordered keys: `min_ns` before `case`. The old substring
+        // scanner paired each label with the *next* row's counter here
+        // and silently dropped the last row.
+        let reordered = "{\"rows\":[\
+                         {\"min_ns\":111,\"case\":\"a n=1\",\"median_ns\":1},\
+                         {\"min_ns\":222,\"case\":\"b n=1\",\"median_ns\":2}]}";
+        assert_eq!(
+            parse_rows(reordered),
+            vec![("a n=1".to_string(), 111), ("b n=1".to_string(), 222)]
+        );
+        // Whitespace everywhere (pretty-printed artifact).
+        let pretty =
+            "{\n  \"rows\": [\n    { \"case\" : \"a n=1\" ,\n      \"min_ns\" : 123 }\n  ]\n}";
+        assert_eq!(parse_rows(pretty), vec![("a n=1".to_string(), 123)]);
+        // Trailing commas after members and elements.
+        let trailing =
+            "{\"rows\":[{\"case\":\"a n=1\",\"min_ns\":7,},{\"case\":\"b n=1\",\"min_ns\":8,},]}";
+        assert_eq!(
+            parse_rows(trailing),
+            vec![("a n=1".to_string(), 7), ("b n=1".to_string(), 8)]
+        );
+        // A row missing `min_ns` is skipped rather than stealing the next
+        // row's counter; the next row still parses.
+        let partial = "{\"rows\":[{\"case\":\"broken n=1\",\"median_ns\":9},\
+                       {\"case\":\"ok n=1\",\"min_ns\":10}]}";
+        assert_eq!(parse_rows(partial), vec![("ok n=1".to_string(), 10)]);
+        // Escaped labels decode; nested values are walked, not tripped on.
+        let escaped =
+            "{\"meta\":{\"notes\":[1,2,{\"x\":true}]},\"rows\":[{\"case\":\"q\\\"uote n=1\",\"min_ns\":5}]}";
+        assert_eq!(parse_rows(escaped), vec![("q\"uote n=1".to_string(), 5)]);
+        // Garbage never panics.
+        assert!(parse_rows("{\"rows\":[{\"case\":\"x").is_empty());
+        assert!(parse_rows("not json at all").is_empty());
+    }
+
+    #[test]
     fn committee_and_engine_benches_run() {
         let mut bench = Bench::new("smoke", 1);
         bench_committee(&mut bench, true);
@@ -625,6 +853,9 @@ mod tests {
         let samples = bench.take_samples();
         let labels: Vec<&str> = samples.iter().map(|s| s.label.as_str()).collect();
         assert!(labels.iter().any(|l| l.starts_with("committee/adjacency")));
+        assert!(labels
+            .iter()
+            .any(|l| l.starts_with("committee/adjacency_incremental")));
         assert!(labels
             .iter()
             .any(|l| l.starts_with("committee/merge_cascade")));

@@ -47,6 +47,20 @@ pub fn dst_suite(cases: usize, threads: usize) -> (String, String, usize) {
     (summary.summary_text(), summary.to_json(), failures)
 }
 
+/// Renders every per-case report of the stress sweep into one string —
+/// the byte-identity artifact perf refactors diff against (`report --
+/// --dump-renders [cases]`). The concatenation is byte-identical for
+/// every thread count, like the sweep summary itself.
+pub fn dump_renders(cases: usize, threads: usize) -> String {
+    let summary = adn_analysis::stress::sweep_with_threads(DST_MASTER_SEED, cases, threads);
+    let mut out = String::new();
+    for report in &summary.reports {
+        out.push_str(&report.render());
+        out.push_str("----\n");
+    }
+    out
+}
+
 /// Replays one stress case from its seed, twice, and reports whether the
 /// two runs rendered byte-identically.
 pub fn replay_report(seed: u64) -> String {

@@ -21,6 +21,7 @@
 //! gate (`report -- --replay <seed>`) checks end to end.
 
 use adn_graph::{Graph, NodeId, Uid, UidMap};
+use adn_sim::EdgeDelta;
 
 /// Dense index of a committee slot in a [`CommitteeForest`] arena.
 ///
@@ -270,7 +271,7 @@ pub struct CommitteeNeighbor {
 /// The committee-level adjacency of one network snapshot: a flat,
 /// row-sorted columnar structure (rows ordered by committee, then by
 /// neighbouring committee) with per-slot offsets.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommitteeAdjacency {
     rows: Vec<CommitteeNeighbor>,
     /// `rows[offsets[c]..offsets[c + 1]]` are the neighbours of slot `c`,
@@ -318,6 +319,262 @@ impl CommitteeAdjacency {
             }
         }
         best.map(|(_, target, x, y)| (target, x, y))
+    }
+}
+
+/// One directed cross-committee bridge: `(committee, other committee,
+/// local endpoint, remote endpoint)`. Sorted order puts the smallest
+/// bridge of every ordered committee pair first — the same invariant the
+/// from-scratch builder sorts into existence per phase.
+type BridgeRow = (usize, usize, NodeId, NodeId);
+
+/// The incrementally maintained committee adjacency.
+///
+/// The from-scratch builder ([`CommitteeForest::committee_adjacency`])
+/// rescans every edge of the graph once per phase. This tracker instead
+/// consumes the edge deltas recorded by the network's edge-delta hook
+/// ([`adn_sim::Network::set_edge_delta_tracking`]) plus the forest's merge
+/// events — discovered by diffing a committee snapshot against the forest
+/// — so a phase pays for what *changed* rather than for the whole edge
+/// set.
+///
+/// The state is one flat sorted row vector holding **every**
+/// cross-committee bridge (not just the smallest per pair), so deleting a
+/// recorded bridge reveals the runner-up without a rescan; deltas are
+/// applied as a sort-plus-one-merge-pass batch, the `adn_graph::Graph`
+/// adjacency discipline. Materialized rows are identical to the
+/// from-scratch builder's; the algorithms debug-assert that differential
+/// every phase ([`IncrementalAdjacency::refresh`]) and
+/// `tests/committee_model.rs` pins it under adversarial fault sequences.
+#[derive(Debug, Clone)]
+pub struct IncrementalAdjacency {
+    /// The tracker's snapshot of every tracked node's committee; diffed
+    /// against the forest at sync time to discover re-homed nodes.
+    committee_of: Vec<CommitteeId>,
+    /// Every cross-committee bridge, both directions, sorted.
+    rows: Vec<BridgeRow>,
+    /// Batch staging and merge scratch, reused across syncs.
+    adds: Vec<BridgeRow>,
+    dels: Vec<BridgeRow>,
+    merge_scratch: Vec<BridgeRow>,
+    rehomed_mask: Vec<bool>,
+}
+
+impl IncrementalAdjacency {
+    /// Builds the tracker from scratch over the current graph (the one
+    /// full edge scan of the run; every later phase syncs deltas).
+    pub fn new(forest: &CommitteeForest, graph: &Graph) -> Self {
+        let committee_of = forest.committee_of.clone();
+        let tracked = committee_of.len();
+        let mut tracker = IncrementalAdjacency {
+            rehomed_mask: vec![false; tracked],
+            committee_of,
+            rows: Vec::new(),
+            adds: Vec::new(),
+            dels: Vec::new(),
+            merge_scratch: Vec::new(),
+        };
+        tracker.rebuild(forest, graph);
+        tracker
+    }
+
+    /// Stages both directed rows of `{u, v}` under the given committee
+    /// snapshot into `out`, unless the edge is invisible to the adjacency
+    /// (an untracked churned-in endpoint, or an intra-committee edge).
+    fn stage(committee_of: &[CommitteeId], out: &mut Vec<BridgeRow>, u: NodeId, v: NodeId) {
+        let tracked = committee_of.len();
+        if u.index() >= tracked || v.index() >= tracked {
+            return;
+        }
+        let cu = committee_of[u.index()].index();
+        let cv = committee_of[v.index()].index();
+        if cu == cv {
+            return;
+        }
+        out.push((cu, cv, u, v));
+        out.push((cv, cu, v, u));
+    }
+
+    /// Applies everything that changed since the last sync: the edge
+    /// deltas, classified under the *old* committee snapshot (the
+    /// partition the stored rows were classified under — forest updates
+    /// and edge operations may interleave arbitrarily between syncs), and
+    /// the merge events, discovered by diffing the snapshot against the
+    /// forest and re-classifying every current edge incident to a
+    /// re-homed node. The staged additions and removals are then applied
+    /// in one counting merge pass over the sorted row vector.
+    ///
+    /// When the pending change volume rivals the edge count — a
+    /// mass-merge phase on a sparse graph re-homes most nodes — patching
+    /// costs more than scanning, so the tracker falls back to a from-
+    /// scratch row rebuild for that sync. Both paths produce identical
+    /// rows; the cutover only picks the cheaper one.
+    pub fn sync(&mut self, forest: &CommitteeForest, graph: &Graph, deltas: &[EdgeDelta]) {
+        let tracked = self.committee_of.len();
+        let mut any_rehomed = false;
+        let mut rehomed_degree = 0usize;
+        for i in 0..tracked {
+            let moved = forest.committee_of[i] != self.committee_of[i];
+            self.rehomed_mask[i] = moved;
+            if moved {
+                any_rehomed = true;
+                rehomed_degree += graph.degree(NodeId(i));
+            }
+        }
+        if deltas.len() + rehomed_degree >= graph.edge_count() / 2 {
+            self.rebuild(forest, graph);
+            return;
+        }
+        for d in deltas {
+            let out = if d.added {
+                &mut self.adds
+            } else {
+                &mut self.dels
+            };
+            Self::stage(&self.committee_of, out, d.edge.a, d.edge.b);
+        }
+        // Re-homed nodes: remove their incident rows under the old
+        // snapshot, re-add them under the new one. An edge with both
+        // endpoints re-homed is processed only at its lower-index
+        // endpoint; the snapshot advances only after staging, so every
+        // staged row sees a consistent classification for both endpoints.
+        if any_rehomed {
+            for i in 0..tracked {
+                if !self.rehomed_mask[i] {
+                    continue;
+                }
+                let u = NodeId(i);
+                for &v in graph.neighbors_slice(u) {
+                    if v.index() < tracked && self.rehomed_mask[v.index()] && v.index() < i {
+                        continue; // staged when v was processed
+                    }
+                    Self::stage(&self.committee_of, &mut self.dels, u, v);
+                    Self::stage(&forest.committee_of, &mut self.adds, u, v);
+                }
+            }
+            for i in 0..tracked {
+                if self.rehomed_mask[i] {
+                    self.committee_of[i] = forest.committee_of[i];
+                }
+            }
+        }
+        if self.adds.is_empty() && self.dels.is_empty() {
+            return;
+        }
+        self.adds.sort_unstable();
+        self.dels.sort_unstable();
+        // Counting three-way merge: per distinct row, presence is
+        // `current + additions - removals` (an edge toggled within the
+        // window stages matching rows in both columns and cancels out).
+        self.merge_scratch.clear();
+        let (rows, adds, dels) = (&self.rows, &self.adds, &self.dels);
+        let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+        while i < rows.len() || j < adds.len() || k < dels.len() {
+            let mut key: Option<BridgeRow> = None;
+            for candidate in [rows.get(i), adds.get(j), dels.get(k)]
+                .into_iter()
+                .flatten()
+            {
+                key = Some(match key {
+                    Some(best) if best <= *candidate => best,
+                    _ => *candidate,
+                });
+            }
+            let key = key.expect("at least one column is non-empty");
+            let mut count = 0isize;
+            while rows.get(i) == Some(&key) {
+                count += 1;
+                i += 1;
+            }
+            while adds.get(j) == Some(&key) {
+                count += 1;
+                j += 1;
+            }
+            while dels.get(k) == Some(&key) {
+                count -= 1;
+                k += 1;
+            }
+            debug_assert!(
+                (0..=1).contains(&count),
+                "bridge row {key:?} has net multiplicity {count}"
+            );
+            if count > 0 {
+                self.merge_scratch.push(key);
+            }
+        }
+        self.adds.clear();
+        self.dels.clear();
+        std::mem::swap(&mut self.rows, &mut self.merge_scratch);
+    }
+
+    /// From-scratch row rebuild under the forest's current partition (the
+    /// cutover path of [`IncrementalAdjacency::sync`] for phases where
+    /// most of the edge set changed classification).
+    fn rebuild(&mut self, forest: &CommitteeForest, graph: &Graph) {
+        let tracked = self.committee_of.len();
+        self.committee_of.copy_from_slice(&forest.committee_of);
+        self.rows.clear();
+        for e in graph.edges() {
+            // `e.b` is the larger endpoint, so checking it covers both.
+            if e.b.index() >= tracked {
+                continue;
+            }
+            let cu = self.committee_of[e.a.index()].index();
+            let cv = self.committee_of[e.b.index()].index();
+            if cu == cv {
+                continue;
+            }
+            self.rows.push((cu, cv, e.a, e.b));
+            self.rows.push((cv, cu, e.b, e.a));
+        }
+        self.rows.sort_unstable();
+    }
+
+    /// Materializes the current committee adjacency — one pass over the
+    /// bridge rows (the first row of every ordered pair group is its
+    /// smallest bridge), with rows and offsets identical to
+    /// [`CommitteeForest::committee_adjacency`].
+    pub fn rows(&self, forest: &CommitteeForest) -> CommitteeAdjacency {
+        let slots = forest.slot_count();
+        let mut offsets = vec![0usize; slots + 1];
+        let mut out: Vec<CommitteeNeighbor> = Vec::new();
+        let mut idx = 0usize;
+        while idx < self.rows.len() {
+            let (c, other, x, y) = self.rows[idx];
+            offsets[c + 1] += 1;
+            out.push(CommitteeNeighbor {
+                other: CommitteeId(other),
+                bridge_local: x,
+                bridge_remote: y,
+            });
+            idx += 1;
+            while idx < self.rows.len() && self.rows[idx].0 == c && self.rows[idx].1 == other {
+                idx += 1;
+            }
+        }
+        for i in 0..slots {
+            offsets[i + 1] += offsets[i];
+        }
+        CommitteeAdjacency { rows: out, offsets }
+    }
+
+    /// Syncs and materializes in one step, debug-asserting the
+    /// differential against the from-scratch builder (debug builds pay
+    /// the rebuild, release builds trust the tracker).
+    pub fn refresh(
+        &mut self,
+        forest: &CommitteeForest,
+        graph: &Graph,
+        deltas: &[EdgeDelta],
+    ) -> CommitteeAdjacency {
+        self.sync(forest, graph, deltas);
+        let adjacency = self.rows(forest);
+        debug_assert_eq!(
+            adjacency,
+            forest.committee_adjacency(graph),
+            "incremental committee adjacency diverged from the from-scratch builder"
+        );
+        adjacency
     }
 }
 

@@ -26,6 +26,17 @@ pub enum CoreError {
         /// The phase budget that was exhausted.
         phase_limit: usize,
     },
+    /// An internal structural invariant did not hold (a committee scan or
+    /// ring lookup came up empty). Unreachable in the fault-free model;
+    /// under out-of-model perturbation it is surfaced as a clean error so
+    /// adversarial stress runs record a `Failed` outcome rather than a
+    /// panic.
+    BrokenInvariant {
+        /// Name of the algorithm.
+        algorithm: &'static str,
+        /// Which invariant was violated.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -40,6 +51,9 @@ impl fmt::Display for CoreError {
                 f,
                 "{algorithm} did not converge within {phase_limit} phases"
             ),
+            CoreError::BrokenInvariant { algorithm, detail } => {
+                write!(f, "{algorithm} structural invariant violated: {detail}")
+            }
         }
     }
 }
@@ -80,5 +94,12 @@ mod tests {
         };
         assert!(e.to_string().contains("GraphToStar"));
         assert!(e.to_string().contains("42"));
+        let e = CoreError::BrokenInvariant {
+            algorithm: "GraphToWreath",
+            detail: "attach node n3 is not on the merged ring".into(),
+        };
+        assert!(e.to_string().contains("structural invariant"));
+        assert!(e.to_string().contains("n3"));
+        assert!(Error::source(&e).is_none());
     }
 }

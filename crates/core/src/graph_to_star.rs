@@ -17,7 +17,7 @@
 //! maximum degree at the star centre.
 
 use crate::algorithm::RunConfig;
-use crate::committee::{CommitteeForest, CommitteeId};
+use crate::committee::{CommitteeForest, CommitteeId, IncrementalAdjacency};
 use crate::{CoreError, TransformationOutcome};
 use adn_graph::{Graph, NodeId, UidMap};
 use adn_sim::Network;
@@ -41,6 +41,18 @@ enum Mode {
 
 /// A pending round-B hop: `(selector leader, target leader, helper edge)`.
 type PendingHop = (NodeId, NodeId, Option<(NodeId, NodeId)>);
+
+/// A structural committee invariant did not hold (a merge target or
+/// attach node fell outside the tracked vertex set). Unreachable in the
+/// fault-free model; surfaced as a clean error (instead of the `expect`
+/// panics this engine used to carry) so adversarial stress runs record a
+/// `Failed` outcome rather than a `Panicked` one.
+fn invariant_error(detail: String) -> CoreError {
+    CoreError::BrokenInvariant {
+        algorithm: "GraphToStar",
+        detail,
+    }
+}
 
 /// Result of the selection step of a phase.
 #[derive(Debug, Clone)]
@@ -99,7 +111,27 @@ pub(crate) fn execute(
     }
 
     network.set_trace_enabled(config.trace.is_per_round());
-    let mut state = State::new(&initial);
+    // The incremental adjacency consumes the network's edge deltas (and
+    // the forest's merges) instead of rebuilding from the edge set every
+    // phase. The hook is armed before the first operation so no delta is
+    // missed, and disarmed on *every* exit path — error returns included
+    // — so a caller's network is never left accumulating deltas.
+    network.set_edge_delta_tracking(true);
+    let result = run_phases(network, uids, config, &initial, n);
+    network.set_edge_delta_tracking(false);
+    result
+}
+
+/// The phase loop of [`execute`], split out so the edge-delta hook is
+/// disarmed on every exit path (the engine's `run_rounds` discipline).
+fn run_phases(
+    network: &mut Network,
+    uids: &UidMap,
+    config: &RunConfig,
+    initial: &Graph,
+    n: usize,
+) -> Result<TransformationOutcome, CoreError> {
+    let mut state = State::new(initial);
     let mut committees_per_phase = Vec::new();
     let mut phases = 0usize;
     let phase_limit = 40 * adn_graph::properties::ceil_log2(n.max(2)) + 80;
@@ -151,6 +183,9 @@ struct State {
     /// so ascending slot order is ascending leader order — the iteration
     /// order the old `BTreeMap<NodeId, Committee>` provided.
     forest: CommitteeForest,
+    /// Delta-driven committee adjacency, synced at every phase start from
+    /// the network's edge deltas and the forest's merges.
+    adjacency: IncrementalAdjacency,
     /// Per-slot mode column, parallel to the forest arena.
     mode: Vec<Mode>,
     /// Edges of the initial network (never deactivated before termination).
@@ -160,15 +195,21 @@ struct State {
 impl State {
     fn new(initial: &Graph) -> Self {
         let n = initial.node_count();
+        let forest = CommitteeForest::singletons(n);
+        let adjacency = IncrementalAdjacency::new(&forest, initial);
         State {
-            forest: CommitteeForest::singletons(n),
+            forest,
+            adjacency,
             mode: vec![Mode::Selection; n],
             initial_edges: initial.clone(),
         }
     }
 
     fn run_phase(&mut self, network: &mut Network, uids: &UidMap) -> Result<(), CoreError> {
-        let adjacency = self.forest.committee_adjacency(network.graph());
+        let deltas = network.take_edge_deltas();
+        let adjacency = self
+            .adjacency
+            .refresh(&self.forest, network.graph(), &deltas);
         let start_mode: Vec<Mode> = self.mode.clone();
         let slots = self.forest.slot_count();
 
@@ -241,7 +282,7 @@ impl State {
                 let into_cid = self
                     .forest
                     .committee_of(into)
-                    .expect("merge targets are tracked nodes");
+                    .ok_or_else(|| invariant_error(format!("merge target {into} is untracked")))?;
                 merges.push((cid, into_cid));
                 for &x in self.forest.members(cid) {
                     if x == leader {
@@ -268,7 +309,7 @@ impl State {
                 let attach_cid = self
                     .forest
                     .committee_of(attach)
-                    .expect("attach nodes are tracked");
+                    .ok_or_else(|| invariant_error(format!("attach node {attach} is untracked")))?;
                 let attach_leader = self.forest.leader(attach_cid);
                 let target = if attach != attach_leader {
                     // Hop from an ex-leader member to its current leader.
@@ -333,7 +374,7 @@ impl State {
             let attach_cid = self
                 .forest
                 .committee_of(new_attach)
-                .expect("attach nodes are tracked");
+                .ok_or_else(|| invariant_error(format!("attach node {new_attach} is untracked")))?;
             let attach_is_root_leader = new_attach == self.forest.leader(attach_cid)
                 && matches!(
                     self.mode[attach_cid.index()],
@@ -373,7 +414,7 @@ impl State {
                 let pc = self
                     .forest
                     .committee_of(p)
-                    .expect("parents are tracked nodes");
+                    .ok_or_else(|| invariant_error(format!("parent node {p} is untracked")))?;
                 has_children[pc.index()] = true;
             }
         }

@@ -23,11 +23,11 @@
 //! result is bit-for-bit the synchronous tree, which the tests assert for
 //! arbitrary wake-up schedules.
 
+use crate::subroutines::LineScratch;
 use crate::CoreError;
 use adn_graph::edgeset::SortedEdgeSet;
 use adn_graph::{Edge, NodeId, RootedTree};
 use adn_sim::Network;
-use std::collections::BTreeSet;
 
 /// Configuration for [`run_async_line_to_tree`].
 #[derive(Debug, Clone)]
@@ -129,6 +129,26 @@ pub fn run_async_line_to_tree(
     line: &[NodeId],
     config: &AsyncLineConfig,
 ) -> Result<(RootedTree, usize), CoreError> {
+    let mut scratch = LineScratch::new();
+    run_async_line_to_tree_with_scratch(network, line, config, &mut scratch)
+}
+
+/// [`run_async_line_to_tree`] with caller-owned scratch state: the
+/// synchronous jump schedule is memoised per (length, arity) and the
+/// positional vectors are recycled, so a caller performing many merges
+/// (the wreath engine: one tree rebuild per root per phase) pays the
+/// planning and allocation cost once per distinct ring size instead of
+/// once per merge. Behaviourally identical to the plain entry point.
+///
+/// # Errors
+///
+/// As [`run_async_line_to_tree`].
+pub fn run_async_line_to_tree_with_scratch(
+    network: &mut Network,
+    line: &[NodeId],
+    config: &AsyncLineConfig,
+    scratch: &mut LineScratch,
+) -> Result<(RootedTree, usize), CoreError> {
     let n = line.len();
     if n == 0 {
         return Err(CoreError::InvalidInput {
@@ -149,11 +169,13 @@ pub fn run_async_line_to_tree(
             ),
         });
     }
-    let mut seen = BTreeSet::new();
-    for &u in line {
-        if !seen.insert(u) {
+    scratch.seen.clear();
+    scratch.seen.extend_from_slice(line);
+    scratch.seen.sort_unstable();
+    for w in scratch.seen.windows(2) {
+        if w[0] == w[1] {
             return Err(CoreError::InvalidInput {
-                reason: format!("node {u} appears twice in the line"),
+                reason: format!("node {} appears twice in the line", w[0]),
             });
         }
     }
@@ -172,18 +194,31 @@ pub fn run_async_line_to_tree(
         return Ok((tree, 0));
     }
 
-    let schedule = plan_sync_schedule(n, config.arity);
-    let mut parent_pos: Vec<usize> = (0..n).map(|i| i.saturating_sub(1)).collect();
-    let mut children: Vec<BTreeSet<usize>> = (0..n)
-        .map(|i| {
-            if i + 1 < n {
-                [i + 1].into_iter().collect()
-            } else {
-                BTreeSet::new()
-            }
-        })
-        .collect();
-    let mut jumps_done: Vec<usize> = vec![0; n];
+    let LineScratch {
+        schedules,
+        parent_pos,
+        children,
+        jumps_done,
+        will_jump,
+        movers,
+        ..
+    } = scratch;
+    let schedule: &[Vec<usize>] = schedules
+        .entry((n, config.arity))
+        .or_insert_with(|| plan_sync_schedule(n, config.arity));
+    parent_pos.clear();
+    parent_pos.extend((0..n).map(|i| i.saturating_sub(1)));
+    if children.len() < n {
+        children.resize_with(n, Vec::new);
+    }
+    for list in children[..n].iter_mut() {
+        list.clear();
+    }
+    for (i, list) in children[..n.saturating_sub(1)].iter_mut().enumerate() {
+        list.push(i + 1);
+    }
+    jumps_done.clear();
+    jumps_done.resize(n, 0);
 
     let is_done = |jumps_done: &[usize], pos: usize| jumps_done[pos] >= schedule[pos].len();
 
@@ -191,7 +226,7 @@ pub fn run_async_line_to_tree(
     let round_limit = max_wake + 8 * adn_graph::properties::ceil_log2(n.max(2)) + 32;
     let mut rounds = 0usize;
 
-    while !(1..n).all(|pos| is_done(&jumps_done, pos)) {
+    while !(1..n).all(|pos| is_done(jumps_done, pos)) {
         rounds += 1;
         if rounds > round_limit {
             return Err(CoreError::DidNotConverge {
@@ -204,11 +239,12 @@ pub fn run_async_line_to_tree(
         // Fixpoint marking of the jumps performed this round: a node may
         // jump if its children either finished, are already ahead, or jump
         // simultaneously (the synchronous-simultaneity case).
-        let mut will_jump = vec![false; n];
+        will_jump.clear();
+        will_jump.resize(n, false);
         loop {
             let mut changed = false;
             for pos in (1..n).rev() {
-                if will_jump[pos] || is_done(&jumps_done, pos) || !awake(pos) {
+                if will_jump[pos] || is_done(jumps_done, pos) || !awake(pos) {
                     continue;
                 }
                 let cp = parent_pos[pos];
@@ -224,7 +260,7 @@ pub fn run_async_line_to_tree(
                 // Children that still need the (pos, cp) edge must move in
                 // the same round.
                 let children_ok = children[pos].iter().all(|&c| {
-                    is_done(&jumps_done, c) || jumps_done[c] > jumps_done[pos] || will_jump[c]
+                    is_done(jumps_done, c) || jumps_done[c] > jumps_done[pos] || will_jump[c]
                 });
                 if !children_ok {
                     continue;
@@ -237,12 +273,13 @@ pub fn run_async_line_to_tree(
             }
         }
 
-        let movers: Vec<usize> = (1..n).filter(|&p| will_jump[p]).collect();
+        movers.clear();
+        movers.extend((1..n).filter(|&p| will_jump[p]));
         if movers.is_empty() {
             network.advance_idle_rounds(1);
             continue;
         }
-        for &pos in &movers {
+        for &pos in movers.iter() {
             let cp = parent_pos[pos];
             let gp = schedule[pos][jumps_done[pos]];
             network.stage_activation(line[pos], line[gp])?;
@@ -252,12 +289,14 @@ pub fn run_async_line_to_tree(
             }
         }
         network.commit_round();
-        for pos in movers {
+        for &pos in movers.iter() {
             let cp = parent_pos[pos];
             let gp = schedule[pos][jumps_done[pos]];
             parent_pos[pos] = gp;
-            children[cp].remove(&pos);
-            children[gp].insert(pos);
+            if let Some(at) = children[cp].iter().position(|&c| c == pos) {
+                children[cp].swap_remove(at);
+            }
+            children[gp].push(pos);
             jumps_done[pos] += 1;
         }
     }

@@ -16,6 +16,7 @@
 //! candidates are admitted first and the rest simply retry in the next
 //! round. On a line with `k = 2` the rule never triggers.
 
+use crate::subroutines::LineScratch;
 use crate::CoreError;
 use adn_graph::edgeset::SortedEdgeSet;
 use adn_graph::{Edge, NodeId, RootedTree};
@@ -82,6 +83,24 @@ pub fn run_line_to_tree(
     line: &[NodeId],
     config: &LineToTreeConfig,
 ) -> Result<(RootedTree, usize), CoreError> {
+    let mut scratch = LineScratch::new();
+    run_line_to_tree_with_scratch(network, line, config, &mut scratch)
+}
+
+/// [`run_line_to_tree`] with caller-owned scratch state: the positional
+/// vectors are recycled across calls, so a caller running the subroutine
+/// once per committee merge allocates them once. Behaviourally identical
+/// to the plain entry point.
+///
+/// # Errors
+///
+/// As [`run_line_to_tree`].
+pub fn run_line_to_tree_with_scratch(
+    network: &mut Network,
+    line: &[NodeId],
+    config: &LineToTreeConfig,
+    scratch: &mut LineScratch,
+) -> Result<(RootedTree, usize), CoreError> {
     validate_line(network, line, config)?;
     let n = line.len();
     if n == 1 {
@@ -92,9 +111,18 @@ pub fn run_line_to_tree(
     }
 
     // All state is positional: position 0 is the root.
-    let mut parent_pos: Vec<usize> = (0..n).map(|i| i.saturating_sub(1)).collect();
-    let mut child_count: Vec<usize> = (0..n).map(|i| usize::from(i + 1 < n)).collect();
-    let mut terminated: Vec<bool> = vec![false; n];
+    let LineScratch {
+        parent_pos,
+        child_count,
+        terminated,
+        ..
+    } = scratch;
+    parent_pos.clear();
+    parent_pos.extend((0..n).map(|i| i.saturating_sub(1)));
+    child_count.clear();
+    child_count.extend((0..n).map(|i| usize::from(i + 1 < n)));
+    terminated.clear();
+    terminated.resize(n, false);
     terminated[0] = true; // the root never moves
 
     let mut rounds = 0usize;

@@ -13,6 +13,51 @@ pub mod async_line_to_tree;
 pub mod line_to_tree;
 pub mod tree_to_star;
 
-pub use async_line_to_tree::{run_async_line_to_tree, AsyncLineConfig};
-pub use line_to_tree::{run_line_to_tree, LineToTreeConfig};
+pub use async_line_to_tree::{
+    run_async_line_to_tree, run_async_line_to_tree_with_scratch, AsyncLineConfig,
+};
+pub use line_to_tree::{run_line_to_tree, run_line_to_tree_with_scratch, LineToTreeConfig};
 pub use tree_to_star::run_tree_to_star;
+
+use std::collections::BTreeMap;
+
+/// Reusable scratch state for repeated line-to-tree runs.
+///
+/// The wreath engine rebuilds a tree over every merged ring, once per
+/// selection-tree root per phase; before this scratch existed, every such
+/// rebuild re-planned the synchronous jump schedule from nothing and
+/// allocated fresh positional state. One `LineScratch` threaded through a
+/// whole execution memoises the schedules — they are pure functions of
+/// `(line length, arity)`, and early phases merge many same-sized rings —
+/// and recycles the positional vectors across merges.
+///
+/// Purely an allocation/memoisation cache: runs with and without a shared
+/// scratch are behaviourally identical.
+#[derive(Debug, Default)]
+pub struct LineScratch {
+    /// Memoised synchronous jump schedules, keyed by (line length, arity).
+    pub(crate) schedules: BTreeMap<(usize, usize), Vec<Vec<usize>>>,
+    /// Current parent of every position.
+    pub(crate) parent_pos: Vec<usize>,
+    /// Children of every position (order-insensitive membership lists).
+    pub(crate) children: Vec<Vec<usize>>,
+    /// Number of schedule jumps each position has performed.
+    pub(crate) jumps_done: Vec<usize>,
+    /// Per-round jump marks (async fixpoint pass).
+    pub(crate) will_jump: Vec<bool>,
+    /// Per-round mover list (async commit pass).
+    pub(crate) movers: Vec<usize>,
+    /// Line-validation scratch (duplicate detection by sort).
+    pub(crate) seen: Vec<adn_graph::NodeId>,
+    /// Child counts (synchronous variant).
+    pub(crate) child_count: Vec<usize>,
+    /// Termination flags (synchronous variant).
+    pub(crate) terminated: Vec<bool>,
+}
+
+impl LineScratch {
+    /// A fresh, empty scratch.
+    pub fn new() -> Self {
+        LineScratch::default()
+    }
+}

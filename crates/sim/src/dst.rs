@@ -496,8 +496,9 @@ impl Adversary {
             .as_ref()
             .is_some_and(|p| round >= p.at_round)
         {
-            let pending = self.pending_heal.take().expect("checked above");
-            return Some(Self::heal(network, pending.cut));
+            if let Some(pending) = self.pending_heal.take() {
+                return Some(Self::heal(network, pending.cut));
+            }
         }
         if self.budget_left == 0 || self.scenario.total_weight() == 0 {
             return None;
@@ -539,6 +540,13 @@ impl Adversary {
     ) -> Option<FaultEvent> {
         let s = &self.scenario;
         let total = s.total_weight();
+        if total == 0 {
+            // Structurally unreachable (inject() declines first), but
+            // `gen_range` panics on an empty range — decline instead so a
+            // future caller cannot turn a zero-weight scenario into a
+            // panic on a fault path.
+            return None;
+        }
         let mut x = self.rng.gen_range(0, total as usize) as u32;
         let weights = [
             s.crash_weight,
@@ -1171,6 +1179,96 @@ mod tests {
             "partition_heal should fire within 40 rounds: {}",
             a.render()
         );
+    }
+
+    #[test]
+    fn starved_fault_pools_decline_instead_of_panicking() {
+        // Every targeted pool can run dry under enough pressure: edges to
+        // delete run out, the live-node floor stops crashes, a zero total
+        // weight offers nothing to draw. Each starved path must decline
+        // (returning no event, consuming no budget) — never panic.
+        //
+        // Edge deletions on a 3-node line: only 2 edges exist; with the
+        // budget far above that, every later round hits the empty pool.
+        let delete_only = Scenario {
+            per_round_probability: 1.0,
+            edge_delete_weight: 1,
+            edge_insert_weight: 0,
+            ..Scenario::adversarial_edges().with_fault_budget(20)
+        };
+        for seed in 0..8u64 {
+            let mut net = armed_network(3, delete_only.clone(), seed);
+            for _ in 0..25 {
+                net.commit_round();
+            }
+            let report = net.take_dst_report().unwrap();
+            assert!(
+                report.faults.len() <= 2,
+                "only 2 edges existed to delete:\n{}",
+                report.render()
+            );
+            assert_eq!(net.graph().edge_count(), 0, "seed {seed}");
+        }
+        // Crash-stop floor: at most n - 2 nodes may ever crash.
+        let crash_all = Scenario {
+            per_round_probability: 1.0,
+            ..Scenario::crash_stop().with_fault_budget(20)
+        };
+        for seed in 0..8u64 {
+            let mut net = armed_network(5, crash_all.clone(), seed);
+            for _ in 0..25 {
+                net.commit_round();
+            }
+            let report = net.take_dst_report().unwrap();
+            assert!(
+                report.crashed.len() <= 3,
+                "the live floor keeps two nodes alive:\n{}",
+                report.render()
+            );
+        }
+        // Zero total weight with budget left: nothing to draw, no panic.
+        let zero_weight = Scenario::base("zero_weight").with_fault_budget(5);
+        let mut net = armed_network(4, zero_weight, 9);
+        for _ in 0..10 {
+            net.commit_round();
+        }
+        assert!(net.take_dst_report().unwrap().faults.is_empty());
+    }
+
+    #[test]
+    fn heavy_churn_crash_mix_is_panic_free_and_deterministic() {
+        // Regression guard for the fault-path audit: a saturating mix of
+        // churn, crashes, rewiring, skew and partitions on a tiny network
+        // exercises every pool-starvation branch at once. Completing (and
+        // replaying byte-identically) is the assertion.
+        let scenario = Scenario {
+            per_round_probability: 1.0,
+            crash_weight: 2,
+            churn_weight: 3,
+            edge_delete_weight: 2,
+            edge_insert_weight: 1,
+            skew_weight: 1,
+            partition_weight: 1,
+            target: TargetPolicy::MaxDegree,
+            ..Scenario::base("heavy_mix").with_fault_budget(40)
+        };
+        for seed in 0..10u64 {
+            let run = |seed: u64| {
+                let mut net = armed_network(6, scenario.clone(), seed);
+                for _ in 0..60 {
+                    net.commit_round();
+                }
+                net.take_dst_report().unwrap()
+            };
+            let report = run(seed);
+            let budgeted = report
+                .faults
+                .iter()
+                .filter(|f| !matches!(f.event, FaultEvent::Heal { .. }))
+                .count();
+            assert!(budgeted <= 40, "heals are budget-free; the rest are not");
+            assert_eq!(report.render(), run(seed).render(), "seed {seed}");
+        }
     }
 
     #[test]

@@ -4,6 +4,46 @@ use crate::dst::{DstReport, DstState};
 use crate::{EdgeMetrics, RoundStats, SimError};
 use adn_graph::{Edge, Graph, NodeId};
 
+/// Deterministic multiply-rotate hasher for the staged-set guards: an
+/// [`Edge`] hashes as two `usize` writes, each folded in with a fixed odd
+/// multiplier. The guards are only probed and inserted — never iterated —
+/// so hash order cannot affect execution, and the fixed seed keeps the
+/// structure independent of process state (std's default hasher seeds per
+/// process and costs several times more per probe on these tiny keys).
+#[derive(Default, Clone)]
+struct EdgeKeyHasher(u64);
+
+impl std::hash::Hasher for EdgeKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        }
+    }
+
+    fn write_usize(&mut self, x: usize) {
+        self.0 = (self.0.rotate_left(32) ^ x as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type StagedEdgeSet = std::collections::HashSet<Edge, std::hash::BuildHasherDefault<EdgeKeyHasher>>;
+
+/// One applied edge mutation, recorded by the opt-in edge-delta hook
+/// ([`Network::set_edge_delta_tracking`]). Deltas are recorded in
+/// application order — committed stages and adversarial faults alike — so
+/// replaying them over a snapshot of the graph at the last drain
+/// reproduces the current edge set exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeDelta {
+    /// The mutated edge (canonical endpoint order).
+    pub edge: Edge,
+    /// True for an insertion, false for a removal.
+    pub added: bool,
+}
+
 /// Summary of a committed round, returned by [`Network::commit_round`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RoundSummary {
@@ -34,14 +74,22 @@ pub struct Network {
     current: Graph,
     round: usize,
     metrics: EdgeMetrics,
-    /// Columnar round staging: the staged activation edges, kept sorted
-    /// and duplicate-free (set semantics via binary search), with the
-    /// *initiator* of every successful stage in a parallel column —
-    /// per-node activation counts are reduced from it at commit time.
+    /// Columnar round staging: the staged activation edges in stage
+    /// order, duplicate-free (set semantics via the hash guards below),
+    /// with the *initiator* of every successful stage in a parallel
+    /// column — per-node activation counts are reduced from it at commit
+    /// time. The columns are sorted once at commit instead of kept sorted
+    /// per stage: a round staging `k` edges pays one `k log k` sort
+    /// rather than `k` shifting inserts into a sorted vector.
     staged_activations: Vec<Edge>,
     staged_initiators: Vec<NodeId>,
-    /// Staged deactivations, sorted and duplicate-free.
+    /// Staged deactivations, in stage order, duplicate-free.
     staged_deactivations: Vec<Edge>,
+    /// Membership guards for the two staged columns (duplicate staging
+    /// must stay an observable no-op). Only probed and inserted — never
+    /// iterated — so hash order cannot leak into execution.
+    staged_activation_set: StagedEdgeSet,
+    staged_deactivation_set: StagedEdgeSet,
     trace_enabled: bool,
     groups_alive: usize,
     trace: Vec<RoundStats>,
@@ -56,6 +104,13 @@ pub struct Network {
     /// edges with a crashed endpoint are dropped at commit in one pass —
     /// a crashed node performs no further edge operations.
     crashed: Vec<bool>,
+    /// True once any node has crashed; lets the fault-free fast path skip
+    /// the per-commit crashed-endpoint scans entirely.
+    any_crashed: bool,
+    /// Per-commit scratch (touched / grown endpoints), reused so the hot
+    /// commit path allocates nothing.
+    commit_touched: Vec<NodeId>,
+    commit_grew: Vec<NodeId>,
     /// Change-tracking hook for incremental consumers (the node-program
     /// engine's view cache): while enabled, the endpoints of every applied
     /// edge mutation — committed stages *and* adversarial faults — are
@@ -63,6 +118,14 @@ pub struct Network {
     /// Off by default so non-engine executions pay nothing.
     changed_nodes: Vec<NodeId>,
     change_tracking: bool,
+    /// Edge-delta hook for incremental consumers that need the mutations
+    /// themselves rather than the touched nodes (the committee layer's
+    /// incremental adjacency): while enabled, every applied edge mutation
+    /// — committed stages *and* adversarial faults — is recorded in
+    /// application order until drained with [`Network::take_edge_deltas`].
+    /// Off by default so non-committee executions pay nothing.
+    edge_deltas: Vec<EdgeDelta>,
+    edge_delta_tracking: bool,
     /// Optional deterministic-simulation-testing state (adversary +
     /// invariant checker), ticked at every round boundary.
     dst: Option<Box<DstState>>,
@@ -124,20 +187,50 @@ impl Network {
             staged_activations: Vec::new(),
             staged_initiators: Vec::new(),
             staged_deactivations: Vec::new(),
+            staged_activation_set: StagedEdgeSet::default(),
+            staged_deactivation_set: StagedEdgeSet::default(),
             trace_enabled: false,
             groups_alive: 0,
             trace: Vec::new(),
             activated_degree: vec![0; n],
             activated_now: 0,
             crashed: vec![false; n],
+            any_crashed: false,
+            commit_touched: Vec::new(),
+            commit_grew: Vec::new(),
             changed_nodes: Vec::new(),
             change_tracking: false,
+            edge_deltas: Vec::new(),
+            edge_delta_tracking: false,
             dst: None,
         }
     }
 
-    /// Enables or disables the change-tracking hook (disabling clears the
-    /// pending buffer). While enabled, [`Network::take_changed_nodes`]
+    /// Enables or disables the edge-delta hook (either transition clears
+    /// the pending buffer). While enabled, [`Network::take_edge_deltas`]
+    /// reports every applied edge mutation — through committed rounds or
+    /// adversarial faults — since the last drain, in application order.
+    ///
+    /// The hook is **single-consumer**, like the node-change hook: there
+    /// is one buffer and one drain. The committee algorithms arm it for
+    /// the duration of a run and disarm it on every exit path, so any
+    /// tracking an outer caller had enabled on the same network is reset
+    /// (re-arm and rebuild from the graph afterwards if needed).
+    pub fn set_edge_delta_tracking(&mut self, enabled: bool) {
+        self.edge_delta_tracking = enabled;
+        self.edge_deltas.clear();
+    }
+
+    /// Drains the recorded edge deltas, in application order. Empty
+    /// unless [`Network::set_edge_delta_tracking`] is on.
+    pub fn take_edge_deltas(&mut self) -> Vec<EdgeDelta> {
+        std::mem::take(&mut self.edge_deltas)
+    }
+
+    /// Enables or disables the change-tracking hook (either transition
+    /// clears the pending buffer; the hook is single-consumer — see
+    /// [`Network::set_edge_delta_tracking`]). While enabled,
+    /// [`Network::take_changed_nodes`]
     /// reports every node whose incident edge set changed — through
     /// committed rounds or adversarial faults — since the last drain.
     pub fn set_change_tracking(&mut self, enabled: bool) {
@@ -292,7 +385,9 @@ impl Network {
         if self.current.has_edge(u, v) {
             return Ok(false);
         }
-        if !self.current.at_distance_two(u, v) {
+        // Distance-2 rule: `u != v` and non-adjacency are already
+        // established, so the common-neighbour probe alone decides it.
+        if self.current.common_neighbor(u, v).is_none() {
             return Err(SimError::NotPotentialNeighbors {
                 u,
                 v,
@@ -300,13 +395,12 @@ impl Network {
             });
         }
         let e = Edge::new(u, v);
-        match self.staged_activations.binary_search(&e) {
-            Ok(_) => Ok(false),
-            Err(pos) => {
-                self.staged_activations.insert(pos, e);
-                self.staged_initiators.push(u);
-                Ok(true)
-            }
+        if self.staged_activation_set.insert(e) {
+            self.staged_activations.push(e);
+            self.staged_initiators.push(u);
+            Ok(true)
+        } else {
+            Ok(false)
         }
     }
 
@@ -329,12 +423,11 @@ impl Network {
             return Ok(false);
         }
         let e = Edge::new(u, v);
-        match self.staged_deactivations.binary_search(&e) {
-            Ok(_) => Ok(false),
-            Err(pos) => {
-                self.staged_deactivations.insert(pos, e);
-                Ok(true)
-            }
+        if self.staged_deactivation_set.insert(e) {
+            self.staged_deactivations.push(e);
+            Ok(true)
+        } else {
+            Ok(false)
         }
     }
 
@@ -352,18 +445,28 @@ impl Network {
     /// have no effect"); with the staging preconditions above this can only
     /// arise from racy higher-level logic and is resolved conservatively.
     pub fn commit_round(&mut self) -> RoundSummary {
+        // The columns were filled in stage order (duplicate-free by the
+        // hash guards); one sort each restores the canonical order every
+        // downstream pass relies on.
+        self.staged_activations.sort_unstable();
+        self.staged_deactivations.sort_unstable();
+        self.staged_activation_set.clear();
+        self.staged_deactivation_set.clear();
         // Conflict rule: both columns are sorted, so dropping the common
         // edges is one two-pointer pass over each.
         drop_common_sorted(&mut self.staged_activations, &mut self.staged_deactivations);
 
         // Validate staged edges against crashed endpoints in one pass: a
         // node crash-stopped mid-round performs no further edge
-        // operations, so its staged edges are dropped, not applied.
-        let crashed = &self.crashed;
-        self.staged_activations
-            .retain(|e| !crashed[e.a.index()] && !crashed[e.b.index()]);
-        self.staged_deactivations
-            .retain(|e| !crashed[e.a.index()] && !crashed[e.b.index()]);
+        // operations, so its staged edges are dropped, not applied. The
+        // scan is skipped entirely while no node has crashed.
+        if self.any_crashed {
+            let crashed = &self.crashed;
+            self.staged_activations
+                .retain(|e| !crashed[e.a.index()] && !crashed[e.b.index()]);
+            self.staged_deactivations
+                .retain(|e| !crashed[e.a.index()] && !crashed[e.b.index()]);
+        }
 
         let activations = self.staged_activations.len();
         let deactivations = self.staged_deactivations.len();
@@ -376,13 +479,23 @@ impl Network {
         // degree, exactly like the old whole-graph scan.
         let staged_activations = std::mem::take(&mut self.staged_activations);
         let staged_deactivations = std::mem::take(&mut self.staged_deactivations);
-        let mut touched: Vec<NodeId> = Vec::with_capacity(2 * activations);
-        let mut grew: Vec<NodeId> = Vec::with_capacity(2 * activations);
+        let mut touched = std::mem::take(&mut self.commit_touched);
+        let mut grew = std::mem::take(&mut self.commit_grew);
+        touched.clear();
+        grew.clear();
         {
             let initial = &self.initial;
             let activated_degree = &mut self.activated_degree;
             let activated_now = &mut self.activated_now;
+            let delta_tracking = self.edge_delta_tracking;
+            let edge_deltas = &mut self.edge_deltas;
             self.current.add_edges_batch(&staged_activations, |e| {
+                if delta_tracking {
+                    edge_deltas.push(EdgeDelta {
+                        edge: e,
+                        added: true,
+                    });
+                }
                 grew.push(e.a);
                 grew.push(e.b);
                 if !initial.has_edge(e.a, e.b) {
@@ -394,6 +507,12 @@ impl Network {
                 }
             });
             self.current.remove_edges_batch(&staged_deactivations, |e| {
+                if delta_tracking {
+                    edge_deltas.push(EdgeDelta {
+                        edge: e,
+                        added: false,
+                    });
+                }
                 if !initial.has_edge(e.a, e.b) {
                     *activated_now -= 1;
                     activated_degree[e.a.index()] -= 1;
@@ -401,7 +520,7 @@ impl Network {
                 }
             });
         }
-        for u in touched {
+        for &u in &touched {
             self.metrics.max_activated_degree = self
                 .metrics
                 .max_activated_degree
@@ -457,10 +576,12 @@ impl Network {
         // endpoints that gained an edge this round can raise it, so the
         // full O(n) scan is needed solely for the per-round trace value
         // (which may decrease round over round).
-        for u in grew {
+        for &u in &grew {
             self.metrics.max_total_degree =
                 self.metrics.max_total_degree.max(self.current.degree(u));
         }
+        self.commit_touched = touched;
+        self.commit_grew = grew;
         let max_degree = if self.trace_enabled {
             self.current.max_degree()
         } else {
@@ -526,15 +647,24 @@ impl Network {
     /// commit. Returns the number of severed edges.
     pub(crate) fn fault_crash_node(&mut self, node: NodeId) -> usize {
         self.crashed[node.index()] = true;
+        self.any_crashed = true;
         let initial = &self.initial;
         let activated_degree = &mut self.activated_degree;
         let activated_now = &mut self.activated_now;
         let tracking = self.change_tracking;
         let changed = &mut self.changed_nodes;
+        let delta_tracking = self.edge_delta_tracking;
+        let edge_deltas = &mut self.edge_deltas;
         self.current.remove_incident_edges(node, |e| {
             if tracking {
                 changed.push(e.a);
                 changed.push(e.b);
+            }
+            if delta_tracking {
+                edge_deltas.push(EdgeDelta {
+                    edge: e,
+                    added: false,
+                });
             }
             if !initial.has_edge(e.a, e.b) {
                 *activated_now -= 1;
@@ -558,6 +688,12 @@ impl Network {
             self.changed_nodes.push(u);
             self.changed_nodes.push(v);
         }
+        if removed && self.edge_delta_tracking {
+            self.edge_deltas.push(EdgeDelta {
+                edge: Edge::new(u, v),
+                added: false,
+            });
+        }
         if removed && !self.initial.has_edge(u, v) {
             self.activated_now -= 1;
             self.activated_degree[u.index()] -= 1;
@@ -572,6 +708,12 @@ impl Network {
         if added && self.change_tracking {
             self.changed_nodes.push(u);
             self.changed_nodes.push(v);
+        }
+        if added && self.edge_delta_tracking {
+            self.edge_deltas.push(EdgeDelta {
+                edge: Edge::new(u, v),
+                added: true,
+            });
         }
         if added && !self.initial.has_edge(u, v) {
             self.activated_now += 1;
@@ -811,6 +953,59 @@ mod tests {
         assert_eq!(net.activated_edge_count(), 1);
         assert_eq!(net.activated_degree(nid(2)), 0);
         assert_eq!(net.activated_degree(nid(3)), 1);
+    }
+
+    #[test]
+    fn edge_delta_hook_records_commits_and_faults_in_order() {
+        let mut net = Network::new(generators::line(5));
+        assert!(
+            net.take_edge_deltas().is_empty(),
+            "hook off by default: nothing recorded"
+        );
+        net.stage_activation(nid(0), nid(2)).unwrap();
+        net.commit_round();
+        assert!(net.take_edge_deltas().is_empty(), "still off");
+
+        net.set_edge_delta_tracking(true);
+        net.stage_activation(nid(2), nid(4)).unwrap();
+        net.stage_deactivation(nid(0), nid(1)).unwrap();
+        net.commit_round();
+        net.fault_insert_edge(nid(0), nid(1));
+        net.fault_remove_edge(nid(0), nid(1));
+        let deltas = net.take_edge_deltas();
+        let expect = |u: usize, v: usize, added: bool| EdgeDelta {
+            edge: Edge::new(nid(u), nid(v)),
+            added,
+        };
+        assert_eq!(
+            deltas,
+            vec![
+                expect(2, 4, true),
+                expect(0, 1, false),
+                expect(0, 1, true),
+                expect(0, 1, false),
+            ],
+            "application order: committed adds, committed removes, faults"
+        );
+        assert!(
+            net.take_edge_deltas().is_empty(),
+            "drain empties the buffer"
+        );
+
+        // A crash records one removal per severed edge.
+        net.fault_crash_node(nid(2));
+        let deltas = net.take_edge_deltas();
+        assert!(deltas.iter().all(|d| !d.added && d.edge.touches(nid(2))));
+        assert_eq!(
+            deltas.len(),
+            4,
+            "line edges 1-2, 2-3 and activated 0-2, 2-4"
+        );
+
+        // Disabling clears any pending deltas.
+        net.fault_insert_edge(nid(0), nid(1));
+        net.set_edge_delta_tracking(false);
+        assert!(net.take_edge_deltas().is_empty());
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! the seed that reproduces it (the `tests/flat_structures_model.rs`
 //! pattern, one layer up).
 
-use actively_dynamic_networks::core::committee::{CommitteeForest, CommitteeId, SelectionForest};
+use actively_dynamic_networks::core::committee::{
+    CommitteeForest, CommitteeId, IncrementalAdjacency, SelectionForest,
+};
 use actively_dynamic_networks::graph::rng::DetRng;
 use actively_dynamic_networks::graph::{generators, Graph, NodeId, UidAssignment, UidMap};
 use actively_dynamic_networks::sim::dst::{Adversary, InvariantPolicy, Scenario};
@@ -330,6 +332,101 @@ fn selection_forest_matches_pointer_chasing_reference() {
                 selected.get(&leader).copied(),
                 "seed {seed}: parent of {leader}"
             );
+        }
+    }
+}
+
+/// Drives a DST-armed network with random staged operations, adversarial
+/// faults and random forest merges (both the absorb and the ring-style
+/// replace/retire discipline), syncing one [`IncrementalAdjacency`] from
+/// the network's edge deltas across rounds and comparing its
+/// materialization against the from-scratch builder every round — the
+/// differential the committee algorithms debug-assert per phase, pinned
+/// here under the full fault mix (including release builds, where the
+/// debug assert is compiled out).
+#[test]
+fn incremental_adjacency_matches_rebuild_under_fault_sequences() {
+    let scenarios = [
+        Scenario::failure_free(),
+        Scenario::mixed().with_fault_budget(10),
+        Scenario {
+            per_round_probability: 0.6,
+            ..Scenario::partition_heal().with_fault_budget(3)
+        },
+        Scenario {
+            per_round_probability: 0.8,
+            ..Scenario::churn().with_fault_budget(6)
+        },
+    ];
+    for (which, scenario) in scenarios.into_iter().enumerate() {
+        for seed in 0u64..6 {
+            let mut rng = DetRng::seed_from_u64(0xAD1 ^ seed.wrapping_mul(131) ^ (which as u64));
+            let n = 8 + rng.gen_range(0, 17);
+            let initial = generators::random_line_with_chords(n, n / 2, seed);
+            let mut net = Network::new(initial);
+            net.install_dst(DstState::new(
+                Adversary::new(scenario.clone(), seed.wrapping_mul(13) + 3),
+                InvariantPolicy::default(),
+                (1..=n as u64).collect(),
+            ));
+            net.set_edge_delta_tracking(true);
+            let mut forest = CommitteeForest::singletons(n);
+            let mut tracker = IncrementalAdjacency::new(&forest, net.graph());
+            for round in 0..50 {
+                // Node-driven edge operations (validated staging).
+                for _ in 0..rng.gen_range(0, 6) {
+                    let n_now = net.node_count();
+                    let u = NodeId(rng.gen_range(0, n_now));
+                    let v = NodeId(rng.gen_range(0, n_now));
+                    if u == v {
+                        continue;
+                    }
+                    if rng.gen_bool(0.7) {
+                        let _ = net.stage_activation(u, v);
+                    } else {
+                        let _ = net.stage_deactivation(u, v);
+                    }
+                }
+                net.commit_round();
+                // Forest merges, interleaved with the edge traffic the way
+                // the algorithms interleave them: absorb (GraphToStar) or
+                // ring-style replace/retire (the wreath engine).
+                match rng.gen_range(0, 4) {
+                    0 if forest.live_count() >= 2 => {
+                        let live = forest.live_ids();
+                        let a = live[rng.gen_range(0, live.len())];
+                        let b = live[rng.gen_range(0, live.len())];
+                        if a != b {
+                            forest.absorb(a, b);
+                        }
+                    }
+                    1 if forest.live_count() >= 2 => {
+                        let live = forest.live_ids().to_vec();
+                        let root = live[rng.gen_range(0, live.len())];
+                        let child = live[rng.gen_range(0, live.len())];
+                        if root != child {
+                            let mut ring = forest.members(root).to_vec();
+                            let cut = rng.gen_range(0, ring.len());
+                            let members = forest.members(child).to_vec();
+                            let mut spliced = ring[..=cut].to_vec();
+                            spliced.extend_from_slice(&members);
+                            spliced.extend_from_slice(&ring[cut + 1..]);
+                            ring = spliced;
+                            forest.replace_members(root, ring);
+                            forest.retire(child);
+                        }
+                    }
+                    _ => {}
+                }
+                let deltas = net.take_edge_deltas();
+                let got = tracker.refresh(&forest, net.graph(), &deltas);
+                let want = forest.committee_adjacency(net.graph());
+                assert_eq!(
+                    got, want,
+                    "scenario {} seed {seed} round {round}: incremental adjacency diverged",
+                    scenario.name
+                );
+            }
         }
     }
 }
