@@ -1,0 +1,414 @@
+//! Deterministic seed sweep for the asynchronous actor runtime.
+//!
+//! The synchronous stress suite ([`crate::stress`]) derives a whole
+//! adversarial execution from one `u64`; this module applies the same
+//! recipe to the `adn-runtime` schedulers. A [`RuntimeCase`] names a
+//! program (flooding actors or the line-to-tree actors), a workload, an
+//! *asynchronous* scenario (delivery reorder window, per-link delay,
+//! asymmetric latency) and a scheduler seed — all drawn from a single
+//! case seed, so any divergence found by a sweep is one replayable
+//! number.
+//!
+//! Every case runs on the [`SeededScheduler`]: its delivery order is a
+//! pure function of the scheduler seed, so [`RuntimeCaseReport::render`]
+//! is byte-identical across reruns and thread counts — exactly the
+//! replay contract the synchronous suite gives, extended to executions
+//! with no round structure at all.
+//!
+//! [`SeededScheduler`]: adn_runtime::SeededScheduler
+
+use adn_core::algorithm::{self, DstConfig, EngineMode, RunConfig};
+use adn_core::subroutines::{run_runtime_line_to_tree_seeded, LineToTreeConfig};
+use adn_graph::rng::DetRng;
+use adn_graph::{GraphFamily, NodeId, UidAssignment, UidMap};
+use adn_runtime::AsyncKnobs;
+use adn_sim::dst::{self, Scenario};
+use adn_sim::Network;
+
+/// The actor program a runtime case exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeProgram {
+    /// Delta-forwarding token flooding (through the `flooding` registry
+    /// entry, i.e. the full `EngineMode` dispatch path).
+    Flooding,
+    /// The message-driven line-to-tree actors
+    /// ([`adn_core::subroutines::runtime_line_to_tree`]).
+    LineToTree,
+}
+
+impl RuntimeProgram {
+    fn name(&self) -> &'static str {
+        match self {
+            RuntimeProgram::Flooding => "flooding",
+            RuntimeProgram::LineToTree => "line_to_tree",
+        }
+    }
+}
+
+/// Workload families used for flooding cases — the connected subset, so
+/// a clean run is always possible (flooding rejects disconnected
+/// inputs).
+const FLOOD_FAMILIES: [GraphFamily; 8] = [
+    GraphFamily::Line,
+    GraphFamily::Ring,
+    GraphFamily::Star,
+    GraphFamily::CompleteBinaryTree,
+    GraphFamily::Grid,
+    GraphFamily::RandomTree,
+    GraphFamily::Caterpillar,
+    GraphFamily::Hypercube,
+];
+
+/// One fully specified asynchronous execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeCase {
+    /// The single seed this case was derived from (0 for explicit cases).
+    pub seed: u64,
+    /// The actor program under test.
+    pub program: RuntimeProgram,
+    /// Workload family of the initial network (always `Line` for
+    /// [`RuntimeProgram::LineToTree`]).
+    pub family: GraphFamily,
+    /// Requested node count (families may round it).
+    pub n: usize,
+    /// Seed for instance generation and the UID permutation.
+    pub uid_seed: u64,
+    /// The asynchronous scenario supplying the delivery knobs.
+    pub scenario: Scenario,
+    /// The scheduler seed (delivery order, delay jitter).
+    pub sched_seed: u64,
+    /// Tree arity for line-to-tree cases (ignored by flooding).
+    pub arity: usize,
+}
+
+impl RuntimeCase {
+    /// Derives a complete case from one `u64` — the unit of replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario registry contains no asynchronous
+    /// scenarios (a registry regression).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let program = if rng.gen_range(0, 2) == 0 {
+            RuntimeProgram::Flooding
+        } else {
+            RuntimeProgram::LineToTree
+        };
+        let family = match program {
+            RuntimeProgram::Flooding => FLOOD_FAMILIES[rng.gen_range(0, FLOOD_FAMILIES.len())],
+            RuntimeProgram::LineToTree => GraphFamily::Line,
+        };
+        let n = rng.gen_range(8, 65);
+        let uid_seed = (rng.next_u64() % 100_000) + 1;
+        let pool: Vec<Scenario> = dst::scenarios()
+            .into_iter()
+            .filter(|s| s.is_async())
+            .collect();
+        assert!(!pool.is_empty(), "no asynchronous scenarios registered");
+        let scenario = pool[rng.gen_range(0, pool.len())].clone();
+        let sched_seed = rng.next_u64();
+        let arity = 2 + rng.gen_range(0, 3);
+        RuntimeCase {
+            seed,
+            program,
+            family,
+            n,
+            uid_seed,
+            scenario,
+            sched_seed,
+            arity,
+        }
+    }
+}
+
+/// The result of running one [`RuntimeCase`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeCaseReport {
+    /// The case that was run.
+    pub case: RuntimeCase,
+    /// Actual node count of the generated instance.
+    pub n_actual: usize,
+    /// A stable one-line digest of the program outcome (`completed …` or
+    /// `failed: …`).
+    pub outcome: String,
+    /// Render of the scheduler's [`adn_runtime::RuntimeReport`] (empty
+    /// when the run failed before the scheduler finished).
+    pub runtime: String,
+    /// Whether the run completed.
+    pub completed: bool,
+}
+
+impl RuntimeCaseReport {
+    /// Renders the full report to a stable string; replay equality is
+    /// checked byte-for-byte on exactly this.
+    pub fn render(&self) -> String {
+        let knobs = AsyncKnobs::from_scenario(&self.case.scenario);
+        let mut s = String::new();
+        s.push_str(&format!(
+            "runtime case seed={} program={} family={} n={} (actual {}) uid_seed={} \
+             scenario={} sched_seed={} arity={}\n",
+            self.case.seed,
+            self.case.program.name(),
+            self.case.family,
+            self.case.n,
+            self.n_actual,
+            self.case.uid_seed,
+            self.case.scenario.name,
+            self.case.sched_seed,
+            self.case.arity,
+        ));
+        s.push_str(&format!(
+            "knobs: reorder_window={} max_link_delay={} asymmetric={}\n",
+            knobs.reorder_window, knobs.max_link_delay, knobs.asymmetric_delay,
+        ));
+        s.push_str(&format!("outcome: {}\n", self.outcome));
+        s.push_str(&self.runtime);
+        s
+    }
+}
+
+/// Runs one case on the seeded scheduler.
+pub fn run_case(case: &RuntimeCase) -> RuntimeCaseReport {
+    let graph = case.family.generate(case.n, case.uid_seed);
+    let n_actual = graph.node_count();
+    let uids = UidMap::new(
+        n_actual,
+        UidAssignment::RandomPermutation {
+            seed: case.uid_seed,
+        },
+    );
+    let mut network = Network::new(graph);
+    let (outcome, runtime, completed) = match case.program {
+        RuntimeProgram::Flooding => {
+            let a = algorithm::find("flooding").expect("flooding is registered");
+            let mut config = RunConfig::default().with_engine(EngineMode::Seeded {
+                seed: case.sched_seed,
+            });
+            // The scenario is knob transport only: the network is *not*
+            // armed, so no synchronous adversary competes with the
+            // scheduler — `async_knobs` lifts the delivery knobs.
+            config.dst = Some(DstConfig {
+                scenario: case.scenario.clone(),
+                seed: case.sched_seed,
+            });
+            match a.execute(&mut network, &uids, &config) {
+                Ok(o) => {
+                    let full = o.tokens_per_node.iter().filter(|&&t| t == n_actual).count();
+                    let report = o.runtime.expect("async flooding reports its runtime");
+                    (
+                        format!(
+                            "completed (leader {}, {}/{} nodes hold all tokens)",
+                            o.leader, full, n_actual
+                        ),
+                        report.render(),
+                        true,
+                    )
+                }
+                Err(e) => (format!("failed: {e}"), String::new(), false),
+            }
+        }
+        RuntimeProgram::LineToTree => {
+            let line: Vec<NodeId> = (0..n_actual).map(NodeId).collect();
+            let config = LineToTreeConfig {
+                arity: case.arity,
+                protected_edges: Default::default(),
+            };
+            let knobs = AsyncKnobs::from_scenario(&case.scenario);
+            match run_runtime_line_to_tree_seeded(
+                &mut network,
+                &line,
+                &config,
+                case.sched_seed,
+                knobs,
+            ) {
+                Ok((tree, report)) => (
+                    format!(
+                        "completed (tree depth {}, root {})",
+                        tree.depth(),
+                        tree.root()
+                    ),
+                    report.render(),
+                    true,
+                ),
+                Err(e) => (format!("failed: {e}"), String::new(), false),
+            }
+        }
+    };
+    RuntimeCaseReport {
+        case: case.clone(),
+        n_actual,
+        outcome,
+        runtime,
+        completed,
+    }
+}
+
+/// Replays a seed-derived case; two calls with the same seed render
+/// byte-identically.
+pub fn replay(seed: u64) -> RuntimeCaseReport {
+    run_case(&RuntimeCase::from_seed(seed))
+}
+
+/// Runs a seed twice and checks the two renders for byte equality.
+pub fn verify_replay(seed: u64) -> (RuntimeCaseReport, bool) {
+    let first = replay(seed);
+    let second = replay(seed);
+    let identical = first.render() == second.render();
+    (first, identical)
+}
+
+/// Summary of a runtime seed sweep.
+#[derive(Debug, Clone)]
+pub struct RuntimeSweepSummary {
+    /// The master seed the case seeds were derived from.
+    pub master_seed: u64,
+    /// All reports, in case order.
+    pub reports: Vec<RuntimeCaseReport>,
+}
+
+impl RuntimeSweepSummary {
+    /// Number of completed runs.
+    pub fn completed(&self) -> usize {
+        self.reports.iter().filter(|r| r.completed).count()
+    }
+
+    /// The failed reports.
+    pub fn failures(&self) -> Vec<&RuntimeCaseReport> {
+        self.reports.iter().filter(|r| !r.completed).collect()
+    }
+
+    /// A short human-readable summary.
+    pub fn summary_text(&self) -> String {
+        let mut s = format!(
+            "runtime sweep: master_seed={} cases={} completed={} failed={}\n",
+            self.master_seed,
+            self.reports.len(),
+            self.completed(),
+            self.failures().len(),
+        );
+        for r in self.failures() {
+            s.push_str(&format!(
+                "  FAILURE seed={} ({} on {} under {}): {}\n",
+                r.case.seed,
+                r.case.program.name(),
+                r.case.family,
+                r.case.scenario.name,
+                r.outcome,
+            ));
+        }
+        s
+    }
+}
+
+/// Runs `cases` seed-derived runtime cases with seeds drawn from
+/// `master_seed`. Equivalent to [`sweep_with_threads`] with one thread.
+pub fn sweep(master_seed: u64, cases: usize) -> RuntimeSweepSummary {
+    sweep_with_threads(master_seed, cases, 1)
+}
+
+/// Runs a runtime seed sweep on `threads` worker threads. Case seeds are
+/// derived up-front, workers claim indices from a shared atomic counter,
+/// and reports are reassembled in case order — so the summary and every
+/// per-case render are byte-identical for every thread count.
+pub fn sweep_with_threads(master_seed: u64, cases: usize, threads: usize) -> RuntimeSweepSummary {
+    let mut rng = DetRng::seed_from_u64(master_seed);
+    let seeds: Vec<u64> = (0..cases).map(|_| rng.next_u64()).collect();
+    let threads = threads.clamp(1, cases.max(1));
+    if threads <= 1 {
+        let reports = seeds
+            .iter()
+            .map(|&s| run_case(&RuntimeCase::from_seed(s)))
+            .collect();
+        return RuntimeSweepSummary {
+            master_seed,
+            reports,
+        };
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let next = AtomicUsize::new(0);
+    let seeds = &seeds;
+    let next = &next;
+    let mut indexed: Vec<(usize, RuntimeCaseReport)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= seeds.len() {
+                            break;
+                        }
+                        out.push((i, run_case(&RuntimeCase::from_seed(seeds[i]))));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("runtime sweep worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(indexed.len(), cases);
+    RuntimeSweepSummary {
+        master_seed,
+        reports: indexed.into_iter().map(|(_, r)| r).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_derivation_is_deterministic_and_async_only() {
+        for seed in 0..32u64 {
+            let a = RuntimeCase::from_seed(seed);
+            let b = RuntimeCase::from_seed(seed);
+            assert_eq!(a, b);
+            assert!(a.scenario.is_async(), "seed {seed} drew a sync scenario");
+        }
+    }
+
+    #[test]
+    fn replay_is_byte_identical() {
+        for seed in [1u64, 2, 3, 58, 59] {
+            let (report, identical) = verify_replay(seed);
+            assert!(identical, "seed {seed} diverged:\n{}", report.render());
+        }
+    }
+
+    #[test]
+    fn sweep_completes_and_is_thread_count_invariant() {
+        let serial = sweep_with_threads(0xCAFE, 8, 1);
+        assert_eq!(serial.completed(), 8, "{}", serial.summary_text());
+        for threads in [2usize, 4] {
+            let parallel = sweep_with_threads(0xCAFE, 8, threads);
+            assert_eq!(parallel.summary_text(), serial.summary_text());
+            for (a, b) in serial.reports.iter().zip(&parallel.reports) {
+                assert_eq!(
+                    a.render(),
+                    b.render(),
+                    "case seed {} diverged at {threads} threads",
+                    a.case.seed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn completed_reports_embed_a_quiesced_runtime_report() {
+        let summary = sweep(0x51EE7, 6);
+        for r in &summary.reports {
+            assert!(r.completed, "{}", r.render());
+            assert!(
+                r.runtime.contains("termination: detected"),
+                "{}",
+                r.render()
+            );
+            assert!(r.runtime.contains("in flight 0"), "{}", r.render());
+        }
+    }
+}

@@ -284,10 +284,80 @@ pub fn verify_replay(seed: u64) -> (StressReport, bool) {
 /// Result of [`minimize`].
 #[derive(Debug, Clone)]
 pub struct Minimized {
+    /// The seed of the minimized case — paste it into [`replay`] (for
+    /// seed-derived cases) or re-derive the case and shrink its budget to
+    /// [`Minimized::minimal_budget`] to reproduce.
+    pub seed: u64,
     /// Smallest fault budget that still reproduces a non-clean run.
     pub minimal_budget: usize,
+    /// The fault budget the case originally carried.
+    pub original_budget: usize,
     /// The report of the minimized run.
     pub report: StressReport,
+}
+
+/// Counts the minimized run's injected faults by kind, in a stable
+/// order. Empty entries are omitted.
+fn fault_histogram(faults: &[dst::FaultRecord]) -> Vec<(&'static str, usize)> {
+    use adn_sim::dst::FaultEvent;
+    let kinds = [
+        "crash",
+        "delete_edge",
+        "insert_edge",
+        "join",
+        "skew",
+        "partition",
+        "heal",
+    ];
+    let mut counts = [0usize; 7];
+    for f in faults {
+        let k = match f.event {
+            FaultEvent::CrashNode { .. } => 0,
+            FaultEvent::DeleteEdge { .. } => 1,
+            FaultEvent::InsertEdge { .. } => 2,
+            FaultEvent::Join { .. } => 3,
+            FaultEvent::Skew { .. } => 4,
+            FaultEvent::Partition { .. } => 5,
+            FaultEvent::Heal { .. } => 6,
+        };
+        counts[k] += 1;
+    }
+    kinds
+        .into_iter()
+        .zip(counts)
+        .filter(|&(_, c)| c > 0)
+        .collect()
+}
+
+impl Minimized {
+    /// Renders the minimization result to a stable string: the minimized
+    /// seed and budget, a histogram of the faults the minimal schedule
+    /// actually injected, and the full minimized-run report. Suitable for
+    /// pasting into a bug report — the first line alone reproduces the
+    /// run.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "minimized: seed={} budget {} of {} ({} on {} under {})\n",
+            self.seed,
+            self.minimal_budget,
+            self.original_budget,
+            self.report.case.algorithm,
+            self.report.case.family,
+            self.report.case.scenario.name,
+        );
+        let histogram = fault_histogram(&self.report.dst.faults);
+        if histogram.is_empty() {
+            s.push_str("faults injected: none\n");
+        } else {
+            s.push_str("faults injected:");
+            for (kind, count) in histogram {
+                s.push_str(&format!(" {kind}={count}"));
+            }
+            s.push('\n');
+        }
+        s.push_str(&self.report.render());
+        s
+    }
 }
 
 /// Shrinks a failing case to the smallest fault budget whose run is
@@ -322,13 +392,17 @@ pub fn minimize(case: &StressCase) -> Option<Minimized> {
         let report = run_with(budget);
         if !report.is_clean() {
             return Some(Minimized {
+                seed: case.seed,
                 minimal_budget: budget,
+                original_budget: case.scenario.fault_budget,
                 report,
             });
         }
     }
     Some(Minimized {
+        seed: case.seed,
         minimal_budget: case.scenario.fault_budget,
+        original_budget: case.scenario.fault_budget,
         report: full,
     })
 }
@@ -597,6 +671,19 @@ mod tests {
         assert!(minimized.minimal_budget >= 1, "budget 0 is failure-free");
         assert!(minimized.minimal_budget <= 6);
         assert!(!minimized.report.is_clean());
+        // The render leads with the reproduction line and histograms the
+        // injected faults (a pure-crash scenario injects only crashes).
+        let rendered = minimized.render();
+        assert!(
+            rendered.starts_with(&format!(
+                "minimized: seed=0 budget {} of 6",
+                minimized.minimal_budget
+            )),
+            "{rendered}"
+        );
+        assert!(rendered.contains("faults injected: crash="), "{rendered}");
+        assert!(!rendered.contains("delete_edge="), "{rendered}");
+        assert!(rendered.contains("outcome:"), "{rendered}");
         // The minimal budget really is minimal: one less fault is clean.
         let mut below = case.clone();
         below.scenario.fault_budget = minimized.minimal_budget - 1;

@@ -12,6 +12,12 @@
 //!   `BENCH_dst.json`;
 //! * `... report -- --replay <seed>` — replay one stress case from its
 //!   `u64` seed and verify byte-identical reproduction;
+//! * `... report -- --minimize <seed>` — shrink a stress case to the
+//!   smallest fault budget that still fails and print the minimized
+//!   seed, budget and fault-kind histogram;
+//! * `... report -- --runtime [cases] [--threads N]` — run the
+//!   asynchronous-runtime seed sweep (seeded scheduler, async scenarios)
+//!   and verify byte-identical replay on a subset;
 //! * `... report -- --bench [--quick] [--threads N]` — run the CPU-perf
 //!   baseline of the hot data path and write `BENCH_core.json`
 //!   (`--quick` is the reduced CI smoke pass).
@@ -83,6 +89,33 @@ fn main() {
             let report = adn_bench::replay_report(seed);
             print!("{report}");
             if !report.contains("replay byte-identical: yes") {
+                std::process::exit(1);
+            }
+        }
+        Some("--minimize") => {
+            reject_unused("--minimize", threads, quick, false);
+            reject_check("--minimize", &check);
+            let seed: u64 = args
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .expect("usage: report --minimize <u64 seed>");
+            let (report, _was_failing) = adn_bench::minimize_report(seed);
+            print!("{report}");
+        }
+        Some("--runtime") => {
+            reject_unused("--runtime", None, quick, true);
+            reject_check("--runtime", &check);
+            let cases: usize = match args.get(1) {
+                Some(raw) => raw.parse().unwrap_or_else(|_| {
+                    panic!("usage: report --runtime [case count], got `{raw}`")
+                }),
+                None => 96,
+            };
+            let threads = adn_bench::corebench::resolve_threads(threads.unwrap_or(0));
+            let (summary, failures) = adn_bench::runtime_suite(cases, threads);
+            print!("{summary}");
+            // A non-zero exit makes the CI runtime-smoke job a gate.
+            if failures > 0 {
                 std::process::exit(1);
             }
         }

@@ -15,8 +15,13 @@ use crate::harness::{Bench, Sample};
 use adn_analysis::stress::json_escape;
 use adn_core::algorithm::{self, RunConfig};
 use adn_core::committee::{CommitteeForest, IncrementalAdjacency};
+use adn_core::subroutines::{
+    run_runtime_line_to_tree_free, run_runtime_line_to_tree_seeded, LineToTreeConfig,
+};
 use adn_graph::rng::DetRng;
 use adn_graph::{generators, Edge, Graph, NodeId, UidAssignment, UidMap};
+use adn_runtime::flood::flood_actors;
+use adn_runtime::{AsyncKnobs, FreeScheduler, SeededScheduler};
 use adn_sim::engine::{run_programs, EngineConfig, NodeDecision, NodeProgram, NodeView};
 use adn_sim::EdgeDelta;
 use adn_sim::Network;
@@ -395,6 +400,64 @@ fn bench_engine(bench: &mut Bench, quick: bool) {
     );
 }
 
+/// The asynchronous actor runtime: flooding and line-to-tree actors on
+/// both schedulers. The seeded cases exercise the adversarial knobs
+/// (reorder window, per-link delay, asymmetric latency); the free cases
+/// pin the thread count so the label — and therefore the regression
+/// gate — is machine-independent.
+fn bench_runtime(bench: &mut Bench, quick: bool) {
+    let n = if quick { 128 } else { 512 };
+    let knobs = AsyncKnobs {
+        reorder_window: 4,
+        max_link_delay: 2,
+        asymmetric_delay: true,
+    };
+    let free_threads = 4;
+
+    let ring = generators::ring(n);
+    let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed: 11 });
+    bench.measure(&format!("runtime/flood_seeded n={n}"), || {
+        let mut net = Network::new(ring.clone());
+        let mut actors = flood_actors(&ring, &uids);
+        let report = SeededScheduler::new(42)
+            .with_knobs(knobs)
+            .run(&mut net, &mut actors)
+            .expect("seeded flood quiesces");
+        assert_eq!(report.in_flight_at_detection, 0);
+    });
+    bench.measure(
+        &format!("runtime/flood_free n={n} threads={free_threads}"),
+        || {
+            let mut net = Network::new(ring.clone());
+            let mut actors = flood_actors(&ring, &uids);
+            FreeScheduler::new(free_threads)
+                .run(&mut net, &mut actors)
+                .expect("free flood quiesces");
+            assert!(actors.iter().all(|a| a.known().len() == n));
+        },
+    );
+
+    let line_graph = generators::line(n);
+    let line: Vec<NodeId> = (0..n).map(NodeId).collect();
+    let config = LineToTreeConfig::binary();
+    bench.measure(&format!("runtime/line_to_tree_seeded n={n}"), || {
+        let mut net = Network::new(line_graph.clone());
+        let (tree, report) = run_runtime_line_to_tree_seeded(&mut net, &line, &config, 42, knobs)
+            .expect("seeded tree build quiesces");
+        assert_eq!(report.in_flight_at_detection, 0);
+        std::hint::black_box(tree.depth());
+    });
+    bench.measure(
+        &format!("runtime/line_to_tree_free n={n} threads={free_threads}"),
+        || {
+            let mut net = Network::new(line_graph.clone());
+            let (tree, _) = run_runtime_line_to_tree_free(&mut net, &line, &config, free_threads)
+                .expect("free tree build quiesces");
+            std::hint::black_box(tree.depth());
+        },
+    );
+}
+
 fn bench_sweep(bench: &mut Bench, quick: bool, threads: usize) {
     let cases = if quick { 24 } else { 96 };
     bench.measure(&format!("sweep/serial cases={cases}"), || {
@@ -720,6 +783,7 @@ pub fn run(cfg: &CoreBenchConfig) -> (String, String) {
     bench_committee(&mut bench, cfg.quick);
     bench_engine(&mut bench, cfg.quick);
     bench_algorithms(&mut bench, cfg.quick);
+    bench_runtime(&mut bench, cfg.quick);
     bench_sweep(&mut bench, cfg.quick, threads);
     let samples = bench.take_samples();
     let elapsed_ms = started.elapsed().as_millis();
@@ -865,6 +929,22 @@ mod tests {
         assert!(labels
             .iter()
             .any(|l| l.starts_with("engine/run_programs_sparse_edits")));
+    }
+
+    #[test]
+    fn runtime_benches_run() {
+        let mut bench = Bench::new("smoke", 1);
+        bench_runtime(&mut bench, true);
+        let samples = bench.take_samples();
+        let labels: Vec<&str> = samples.iter().map(|s| s.label.as_str()).collect();
+        assert!(labels.iter().any(|l| l.starts_with("runtime/flood_seeded")));
+        assert!(labels.iter().any(|l| l.starts_with("runtime/flood_free")));
+        assert!(labels
+            .iter()
+            .any(|l| l.starts_with("runtime/line_to_tree_seeded")));
+        assert!(labels
+            .iter()
+            .any(|l| l.starts_with("runtime/line_to_tree_free")));
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //! * `cargo run -p adn-bench --release --bin report -- --replay <seed>` —
 //!   replays one stress case from its `u64` seed and verifies the rerun
 //!   is byte-identical.
+//! * `cargo run -p adn-bench --release --bin report -- --minimize
+//!   <seed>` — shrinks a stress case to the smallest failing fault
+//!   budget (minimized seed + fault-kind histogram).
+//! * `cargo run -p adn-bench --release --bin report -- --runtime [cases]
+//!   [--threads N]` — the asynchronous-runtime seed sweep with replay
+//!   verification (the CI `runtime-smoke` gate).
 //! * `cargo run -p adn-bench --release --bin report -- --bench [--quick]
 //!   [--threads N] [--check <baseline.json>]` — the CPU-performance
 //!   baseline of the hot data path; writes `BENCH_core.json` and, with
@@ -59,6 +65,59 @@ pub fn dump_renders(cases: usize, threads: usize) -> String {
         out.push_str("----\n");
     }
     out
+}
+
+/// Master seed of the asynchronous-runtime sweep (fixed for comparable
+/// CI artifacts, like [`DST_MASTER_SEED`]).
+pub const RUNTIME_MASTER_SEED: u64 = 0xA5_15EED;
+
+/// Runs the asynchronous-runtime seed sweep on `threads` worker threads
+/// and verifies byte-identical replay on a subset of its cases. Returns
+/// `(summary_text, failure_count)`: failures are runs that did not
+/// complete plus replays that diverged — a non-zero count should fail
+/// the caller (the CI `runtime-smoke` gate).
+pub fn runtime_suite(cases: usize, threads: usize) -> (String, usize) {
+    use adn_analysis::runtime_sweep;
+    let summary = runtime_sweep::sweep_with_threads(RUNTIME_MASTER_SEED, cases, threads);
+    let mut failures = summary.failures().len();
+    let mut text = summary.summary_text();
+    let verified = summary.reports.len().min(8);
+    let mut diverged = 0usize;
+    for report in summary.reports.iter().take(verified) {
+        let (again, identical) = runtime_sweep::verify_replay(report.case.seed);
+        if !identical || again.render() != report.render() {
+            diverged += 1;
+            text.push_str(&format!(
+                "  REPLAY DIVERGED seed={} — determinism bug, please report\n",
+                report.case.seed
+            ));
+        }
+    }
+    failures += diverged;
+    text.push_str(&format!(
+        "replay verified on {verified} case(s): {}\n",
+        if diverged == 0 {
+            "byte-identical".to_string()
+        } else {
+            format!("{diverged} DIVERGED")
+        }
+    ));
+    (text, failures)
+}
+
+/// Minimizes a seed-derived stress case: shrinks its fault budget to the
+/// smallest count that still reproduces a non-clean run, and renders the
+/// minimized seed, budget and fault-kind histogram. Returns the verdict
+/// text and whether the case was non-clean at all.
+pub fn minimize_report(seed: u64) -> (String, bool) {
+    let case = adn_analysis::stress::StressCase::from_seed(seed);
+    match adn_analysis::stress::minimize(&case) {
+        Some(minimized) => (minimized.render(), true),
+        None => (
+            format!("case seed={seed} is clean at its full fault budget — nothing to minimize\n"),
+            false,
+        ),
+    }
 }
 
 /// Replays one stress case from its seed, twice, and reports whether the
@@ -117,5 +176,16 @@ mod tests {
     fn replay_report_confirms_determinism() {
         let s = replay_report(7);
         assert!(s.contains("replay byte-identical: yes"), "{s}");
+    }
+
+    #[test]
+    fn runtime_suite_completes_and_verifies_replay() {
+        let (summary, failures) = runtime_suite(6, 2);
+        assert_eq!(failures, 0, "{summary}");
+        assert!(summary.contains("cases=6"), "{summary}");
+        assert!(summary.contains("byte-identical"), "{summary}");
+        // The artifact is thread-count invariant.
+        let (serial, _) = runtime_suite(6, 1);
+        assert_eq!(summary, serial);
     }
 }

@@ -66,6 +66,42 @@ pub enum CentralizedConfig {
     PruneToTree,
 }
 
+/// Which execution engine drives an algorithm.
+///
+/// The paper's model is synchronous and every algorithm runs there; the
+/// asynchronous modes execute on the `adn-runtime` actor layer instead,
+/// with no round barrier and Dijkstra–Scholten quiescence detection.
+/// Only the algorithms with an actor implementation (currently flooding
+/// and the line-to-tree subroutine) accept the asynchronous modes; the
+/// rest fail with [`CoreError::InvalidInput`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// The lock-step round engine of `adn-sim` (the default).
+    #[default]
+    Synchronous,
+    /// The deterministic single-threaded asynchronous scheduler: delivery
+    /// order derives from one seed, runs replay byte-identically. Delay
+    /// and reorder knobs are lifted from [`RunConfig::dst`]'s scenario
+    /// when one is armed.
+    Seeded {
+        /// Scheduler seed.
+        seed: u64,
+    },
+    /// The free-running multi-threaded asynchronous scheduler (real
+    /// threads, OS-determined order; not reproducible).
+    Free {
+        /// Worker threads (clamped to at least 1).
+        threads: usize,
+    },
+}
+
+impl EngineMode {
+    /// True for the synchronous round engine.
+    pub fn is_synchronous(&self) -> bool {
+        matches!(self, EngineMode::Synchronous)
+    }
+}
+
 /// A deterministic-simulation-testing request travelling with the run
 /// configuration: which adversarial [`Scenario`] to execute under and the
 /// seed that makes the whole fault schedule reproducible.
@@ -103,6 +139,9 @@ pub struct RunConfig {
     /// callers invoking [`ReconfigurationAlgorithm::execute`] on their own
     /// network arm it themselves via [`arm_network_for_dst`].
     pub dst: Option<DstConfig>,
+    /// Which execution engine drives the run (synchronous rounds by
+    /// default; see [`EngineMode`]).
+    pub engine: EngineMode,
 }
 
 impl RunConfig {
@@ -143,6 +182,42 @@ impl RunConfig {
     pub fn with_dst(mut self, scenario: Scenario, seed: u64) -> Self {
         self.dst = Some(DstConfig { scenario, seed });
         self
+    }
+
+    /// Selects the execution engine (builder style).
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Guard for algorithms without an asynchronous actor implementation:
+    /// fails with [`CoreError::InvalidInput`] unless the configured engine
+    /// is the synchronous one.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidInput`] when an asynchronous engine mode is
+    /// configured.
+    pub fn require_sync_engine(&self, algorithm: &'static str) -> Result<(), CoreError> {
+        if self.engine.is_synchronous() {
+            Ok(())
+        } else {
+            Err(CoreError::InvalidInput {
+                reason: format!(
+                    "{algorithm} has no asynchronous implementation; \
+                     use EngineMode::Synchronous"
+                ),
+            })
+        }
+    }
+
+    /// The asynchronous delivery knobs implied by this configuration: the
+    /// armed DST scenario's knobs when present, defaults otherwise.
+    pub fn async_knobs(&self) -> adn_runtime::AsyncKnobs {
+        match &self.dst {
+            Some(dst) => adn_runtime::AsyncKnobs::from_scenario(&dst.scenario),
+            None => adn_runtime::AsyncKnobs::default(),
+        }
     }
 
     /// Fails with [`SimError::RoundLimitExceeded`] once the metered rounds

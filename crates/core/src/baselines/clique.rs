@@ -73,6 +73,7 @@ pub(crate) fn execute(
     uids: &UidMap,
     config: &RunConfig,
 ) -> Result<TransformationOutcome, CoreError> {
+    config.require_sync_engine("CliqueFormation")?;
     if !adn_graph::traversal::is_connected(network.graph()) {
         return Err(CoreError::InvalidInput {
             reason: "clique formation requires a connected initial network".into(),

@@ -8,9 +8,11 @@
 //! This is the "strategies that do not modify the input network" baseline
 //! of Section 1.2, used by experiment T8.
 
-use crate::algorithm::RunConfig;
+use crate::algorithm::{EngineMode, RunConfig};
 use crate::{CoreError, TransformationOutcome};
 use adn_graph::{Graph, NodeId, Uid, UidMap};
+use adn_runtime::flood::flood_actors;
+use adn_runtime::{FreeScheduler, SeededScheduler};
 use adn_sim::engine::{run_programs, EngineConfig, NodeDecision, NodeProgram, NodeView};
 use adn_sim::Network;
 
@@ -133,6 +135,9 @@ pub(crate) fn execute(
             reason: "one UID per node is required".into(),
         });
     }
+    if !config.engine.is_synchronous() {
+        return execute_async(network, uids, config);
+    }
     network.set_trace_enabled(config.trace.is_per_round());
     let mut programs: Vec<FloodNode> = (0..n)
         .map(|i| FloodNode {
@@ -152,6 +157,41 @@ pub(crate) fn execute(
     })?;
     let mut outcome = TransformationOutcome::from_network(leader, network);
     outcome.tokens_per_node = programs.iter().map(|p| p.known.len()).collect();
+    Ok(outcome)
+}
+
+/// Flooding on the asynchronous actor runtime: delta-forwarding actors
+/// (each token hop carries only newly learned tokens) driven by the
+/// scheduler selected in [`RunConfig::engine`]. The outcome's token sets
+/// equal the synchronous ones — token merging is confluent, so the final
+/// state is delivery-order independent — while `rounds` stays 0 (no edge
+/// operations, no round counter) and the runtime report lands in
+/// [`TransformationOutcome::runtime`].
+fn execute_async(
+    network: &mut Network,
+    uids: &UidMap,
+    config: &RunConfig,
+) -> Result<TransformationOutcome, CoreError> {
+    let mut actors = flood_actors(network.graph(), uids);
+    let report = match config.engine {
+        EngineMode::Seeded { seed } => SeededScheduler::new(seed)
+            .with_knobs(config.async_knobs())
+            .run(network, &mut actors),
+        EngineMode::Free { threads } => FreeScheduler::new(threads).run(network, &mut actors),
+        EngineMode::Synchronous => unreachable!("dispatched from execute"),
+    }
+    .map_err(|e| match e {
+        adn_runtime::RuntimeError::Sim(sim) => CoreError::Sim(sim),
+        other => CoreError::InvalidInput {
+            reason: format!("asynchronous flooding failed: {other}"),
+        },
+    })?;
+    let leader = uids.max_uid_node().ok_or_else(|| CoreError::InvalidInput {
+        reason: "empty network".into(),
+    })?;
+    let mut outcome = TransformationOutcome::from_network(leader, network);
+    outcome.tokens_per_node = actors.iter().map(|a| a.known().len()).collect();
+    outcome.runtime = Some(report);
     Ok(outcome)
 }
 

@@ -67,6 +67,7 @@ pub(crate) fn execute_cut_in_half(
     uids: &UidMap,
     config: &RunConfig,
 ) -> Result<TransformationOutcome, CoreError> {
+    config.require_sync_engine("Centralized CutInHalf")?;
     let graph = network.graph().clone();
     let n = graph.node_count();
     if n == 0 {
@@ -191,6 +192,7 @@ pub(crate) fn execute_general(
     target: CentralizedConfig,
     config: &RunConfig,
 ) -> Result<TransformationOutcome, CoreError> {
+    config.require_sync_engine("Centralized (Euler + CutInHalf)")?;
     let initial = network.graph().clone();
     let n = initial.node_count();
     if n == 0 {

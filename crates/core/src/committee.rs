@@ -401,8 +401,9 @@ impl IncrementalAdjacency {
     /// and edge operations may interleave arbitrarily between syncs), and
     /// the merge events, discovered by diffing the snapshot against the
     /// forest and re-classifying every current edge incident to a
-    /// re-homed node. The staged additions and removals are then applied
-    /// in one counting merge pass over the sorted row vector.
+    /// re-homed node. The staged additions and removals are then spliced
+    /// into the sorted row vector with one counting merge that touches
+    /// only the staged keys (untouched runs are bulk-copied).
     ///
     /// When the pending change volume rivals the edge count — a
     /// mass-merge phase on a sparse graph re-homes most nodes — patching
@@ -463,24 +464,30 @@ impl IncrementalAdjacency {
         }
         self.adds.sort_unstable();
         self.dels.sort_unstable();
-        // Counting three-way merge: per distinct row, presence is
+        // Counting splice merge: per distinct *staged* row, presence is
         // `current + additions - removals` (an edge toggled within the
         // window stages matching rows in both columns and cancels out).
+        // Only the staged keys are resolved element-by-element; the
+        // untouched runs between them — the overwhelming majority on a
+        // steady-state sync of a handful of deltas — are located with a
+        // binary search and bulk-copied, so a sync costs
+        // O(changes · log rows) plus one memcpy of the row vector instead
+        // of an element-wise walk of every row.
         self.merge_scratch.clear();
+        self.merge_scratch
+            .reserve(self.rows.len() + self.adds.len());
         let (rows, adds, dels) = (&self.rows, &self.adds, &self.dels);
         let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
-        while i < rows.len() || j < adds.len() || k < dels.len() {
-            let mut key: Option<BridgeRow> = None;
-            for candidate in [rows.get(i), adds.get(j), dels.get(k)]
-                .into_iter()
-                .flatten()
-            {
-                key = Some(match key {
-                    Some(best) if best <= *candidate => best,
-                    _ => *candidate,
-                });
-            }
-            let key = key.expect("at least one column is non-empty");
+        while j < adds.len() || k < dels.len() {
+            let key = match (adds.get(j), dels.get(k)) {
+                (Some(&a), Some(&d)) => a.min(d),
+                (Some(&a), None) => a,
+                (None, Some(&d)) => d,
+                (None, None) => unreachable!("loop condition"),
+            };
+            let run = rows[i..].partition_point(|r| *r < key);
+            self.merge_scratch.extend_from_slice(&rows[i..i + run]);
+            i += run;
             let mut count = 0isize;
             while rows.get(i) == Some(&key) {
                 count += 1;
@@ -502,6 +509,7 @@ impl IncrementalAdjacency {
                 self.merge_scratch.push(key);
             }
         }
+        self.merge_scratch.extend_from_slice(&rows[i..]);
         self.adds.clear();
         self.dels.clear();
         std::mem::swap(&mut self.rows, &mut self.merge_scratch);

@@ -92,6 +92,7 @@ pub(crate) fn execute(
     uids: &UidMap,
     config: &RunConfig,
 ) -> Result<TransformationOutcome, CoreError> {
+    config.require_sync_engine("GraphToStar")?;
     let initial = network.graph().clone();
     let n = initial.node_count();
     if n == 0 {

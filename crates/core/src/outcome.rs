@@ -1,6 +1,7 @@
 //! Common result type for the transformation algorithms.
 
 use adn_graph::{Graph, NodeId};
+use adn_runtime::RuntimeReport;
 use adn_sim::{DstReport, EdgeMetrics, Network, RoundStats};
 
 /// Outcome of any registered algorithm (`GraphToStar`, `GraphToWreath`,
@@ -38,6 +39,12 @@ pub struct TransformationOutcome {
     /// schedule + invariant violations), harvested automatically when the
     /// execution ran on a DST-armed network; `None` otherwise.
     pub dst: Option<DstReport>,
+    /// Report of the asynchronous runtime (delivery steps, message and
+    /// ack counts, termination detection), populated when the run used an
+    /// asynchronous [`crate::algorithm::EngineMode`]; `None` for
+    /// synchronous executions. Asynchronous runs have no round counter,
+    /// so `rounds` then reflects only committed reconfiguration rounds.
+    pub runtime: Option<RuntimeReport>,
 }
 
 impl TransformationOutcome {
@@ -59,6 +66,7 @@ impl TransformationOutcome {
             trace: network.take_trace(),
             tokens_per_node: Vec::new(),
             dst: network.take_dst_report(),
+            runtime: None,
         }
     }
 
@@ -91,6 +99,7 @@ mod tests {
             trace: Vec::new(),
             tokens_per_node: Vec::new(),
             dst: None,
+            runtime: None,
         };
         assert_eq!(outcome.final_diameter(), Some(2));
         assert_eq!(outcome.final_max_degree(), 7);

@@ -62,8 +62,9 @@ impl AsyncLineConfig {
 
 /// The synchronous jump schedule: for every position, the ordered list of
 /// grandparent positions it hops to. Computed by replaying the synchronous
-/// subroutine purely on positions (no network).
-fn plan_sync_schedule(n: usize, arity: usize) -> Vec<Vec<usize>> {
+/// subroutine purely on positions (no network). Shared with the actor
+/// implementation in [`crate::subroutines::runtime_line_to_tree`].
+pub(crate) fn plan_sync_schedule(n: usize, arity: usize) -> Vec<Vec<usize>> {
     let mut schedule: Vec<Vec<usize>> = vec![Vec::new(); n];
     if n <= 1 {
         return schedule;

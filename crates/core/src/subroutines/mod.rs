@@ -8,15 +8,21 @@
 //!   `LineToCompletePolylogarithmicTree` used by `GraphToThinWreath`.
 //! * [`async_line_to_tree`] — the asynchronous wake-up variant
 //!   (Appendix B), which the wreath algorithms run after merging rings.
+//! * [`runtime_line_to_tree`] — the same subroutine as message-driven
+//!   actors on the `adn-runtime` schedulers (no round loop at all).
 
 pub mod async_line_to_tree;
 pub mod line_to_tree;
+pub mod runtime_line_to_tree;
 pub mod tree_to_star;
 
 pub use async_line_to_tree::{
     run_async_line_to_tree, run_async_line_to_tree_with_scratch, AsyncLineConfig,
 };
 pub use line_to_tree::{run_line_to_tree, run_line_to_tree_with_scratch, LineToTreeConfig};
+pub use runtime_line_to_tree::{
+    run_runtime_line_to_tree_free, run_runtime_line_to_tree_seeded, TreeActor, TreeMsg,
+};
 pub use tree_to_star::run_tree_to_star;
 
 use std::collections::BTreeMap;

@@ -1,0 +1,671 @@
+//! `LineToTree` on the asynchronous actor runtime.
+//!
+//! The wake-up variant in [`super::async_line_to_tree`] is still driven
+//! by a global round loop; this module removes the loop entirely. Every
+//! line position is an [`AsyncProgram`] actor that follows the same
+//! per-position jump schedule as the synchronous subroutine
+//! ([`super::async_line_to_tree::plan_sync_schedule`]) but learns about
+//! the world exclusively through messages:
+//!
+//! * `Attach`/`Detach` maintain each node's child set (with a tombstone
+//!   for a detach that overtakes the matching attach in flight);
+//! * `ParentIs` propagates a node's current parent to its children — the
+//!   children's next jump target — tagged with the sender's jump count
+//!   so that reordered reports from the same parent are ignored when
+//!   stale.
+//!
+//! Because the plan is shared knowledge, the handshake can be made
+//! *exact* instead of heuristic. For every jump `(p, j)` the plan
+//! determines (a) the jump-count tag `k` its parent `q` carries when
+//! `q`'s parent equals `p`'s target — `p` jumps only on the report
+//! `ParentIs { jd: k }` — and (b) the precise set of child jumps that
+//! use the edge `p`–`parent(p)` as their distance-2 witness — `p` holds
+//! its own jump until each of those children confirmed with a tagged
+//! `Detach`. Rule (b) is what keeps rule (a) stable: a parent cannot
+//! abandon the grandparent a still-attached child is waiting to hop to,
+//! so the needed report value cannot be overwritten by a later one.
+//! (A frozen attach-time jump count is *not* a sound substitute: the
+//! synchronous schedule is arity-gated, so jump counts are not
+//! synchronized clocks — a gate based on them both deadlocks and lets
+//! witnesses vanish at larger `n`.)
+//!
+//! Each jump stages its activation/deactivation pair through the
+//! validated network (one atomic commit), so the distance-2 rule is
+//! enforced exactly as in the round-based implementations. Because every
+//! node follows the same fixed target sequence, the final tree equals
+//! the synchronous tree under **any** delivery order — the tests pin
+//! this across seeds, reorder windows and asymmetric delays, and the
+//! differential suite (`tests/runtime_model.rs`) rechecks it against the
+//! synchronous subroutine.
+
+use crate::subroutines::async_line_to_tree::plan_sync_schedule;
+use crate::subroutines::LineToTreeConfig;
+use crate::CoreError;
+use adn_graph::{Edge, NodeId, RootedTree};
+use adn_runtime::{
+    AsyncKnobs, AsyncProgram, Context, FreeScheduler, RuntimeReport, SeededScheduler,
+};
+use adn_sim::Network;
+use std::sync::Arc;
+
+/// Protocol messages; `pos` is always the sender's line position.
+#[derive(Debug, Clone)]
+pub enum TreeMsg {
+    /// "I am now your child, having completed `jd` jumps."
+    Attach {
+        /// Sender position.
+        pos: usize,
+        /// Sender's jump count at attach time (constant while attached).
+        jd: usize,
+    },
+    /// "I am no longer your child, having completed `jd` jumps."
+    Detach {
+        /// Sender position.
+        pos: usize,
+        /// Sender's jump count right after the jump that detached it —
+        /// the receiver matches `(pos, jd)` against its precomputed
+        /// witness dependencies.
+        jd: usize,
+    },
+    /// "My current parent is `parent`" — sent to children on every jump
+    /// and as the reply to an `Attach`.
+    ParentIs {
+        /// Sender position (must match the receiver's current parent).
+        pos: usize,
+        /// The sender's current parent position.
+        parent: usize,
+        /// The sender's jump count when reporting (stale reports from the
+        /// same parent carry a smaller count and are discarded).
+        jd: usize,
+    },
+}
+
+/// Immutable data shared by all actors of one run.
+struct SharedPlan {
+    schedule: Vec<Vec<usize>>,
+    /// `report_tag[p][j]`: the jump-count tag the `ParentIs` report
+    /// enabling jump `(p, j)` must carry — the index of `schedule[p][j]`
+    /// in the old parent's own parent history.
+    report_tag: Vec<Vec<usize>>,
+    /// `detach_deps[q][k]`: the child jumps `(x, jd)` whose activations
+    /// use the edge `q`–`parent(q)` as distance-2 witness and must
+    /// therefore confirm (via `Detach { x, jd }`) before `q`'s `k`-th
+    /// jump abandons that parent.
+    detach_deps: Vec<Vec<Vec<(usize, usize)>>>,
+    line: Vec<NodeId>,
+    protected: adn_graph::edgeset::SortedEdgeSet,
+}
+
+impl SharedPlan {
+    fn new(n: usize, config: &LineToTreeConfig, line: &[NodeId]) -> Self {
+        let schedule = plan_sync_schedule(n, config.arity);
+        // parent_history[q] = q's parent position after 0, 1, … jumps.
+        let parent_history: Vec<Vec<usize>> = (0..n)
+            .map(|q| {
+                let mut h = Vec::with_capacity(schedule[q].len() + 1);
+                h.push(q.saturating_sub(1));
+                h.extend(schedule[q].iter().copied());
+                h
+            })
+            .collect();
+        let mut report_tag: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut detach_deps: Vec<Vec<Vec<(usize, usize)>>> = (0..n)
+            .map(|q| vec![Vec::new(); schedule[q].len()])
+            .collect();
+        for x in 1..n {
+            for (jx, &target) in schedule[x].iter().enumerate() {
+                let old_parent = parent_history[x][jx];
+                // Parent sequences never revisit a position, so the
+                // target appears exactly once in the old parent's
+                // history; its index is the enabling report's tag.
+                let k = parent_history[old_parent]
+                    .iter()
+                    .position(|&v| v == target)
+                    .expect("jump target must appear in the old parent's parent history");
+                report_tag[x].push(k);
+                if k < schedule[old_parent].len() {
+                    // The old parent's k-th jump abandons exactly this
+                    // target — it must wait for x's tagged detach.
+                    detach_deps[old_parent][k].push((x, jx + 1));
+                }
+            }
+        }
+        SharedPlan {
+            schedule,
+            report_tag,
+            detach_deps,
+            line: line.to_vec(),
+            protected: config.protected_edges.clone(),
+        }
+    }
+}
+
+/// Mutable per-position protocol state.
+struct PositionState {
+    pos: usize,
+    parent_pos: usize,
+    jumps_done: usize,
+    /// `(child position, jump count at attach)` — maintained for the
+    /// `ParentIs` broadcasts; gating uses `detaches` instead.
+    children: Vec<(usize, usize)>,
+    /// Positions whose `Detach` overtook their `Attach`.
+    tombstones: Vec<usize>,
+    /// Tagged detach confirmations received so far, matched against
+    /// [`SharedPlan::detach_deps`].
+    detaches: Vec<(usize, usize)>,
+    /// Believed parent-of-parent (the next jump's support), if any.
+    belief: Option<usize>,
+    /// Jump-count tag of the accepted `ParentIs` report; `None` right
+    /// after a jump (any report from the new parent is fresher).
+    belief_jd: Option<usize>,
+}
+
+/// One line-to-tree actor. Network nodes that are not on the line get an
+/// inert actor (no state, no messages).
+pub struct TreeActor {
+    shared: Arc<SharedPlan>,
+    state: Option<PositionState>,
+}
+
+impl TreeActor {
+    fn try_jump(&mut self, ctx: &mut Context<TreeMsg>) {
+        let Some(st) = &mut self.state else {
+            return;
+        };
+        let schedule = &self.shared.schedule;
+        let targets = &schedule[st.pos];
+        if st.jumps_done >= targets.len() {
+            return;
+        }
+        let target = targets[st.jumps_done];
+        // The enabling report must carry the exact planned tag: the
+        // parent is at the planned point of its own history (it cannot
+        // be past it — our detach is in its dependency set).
+        let tag = self.shared.report_tag[st.pos][st.jumps_done];
+        if st.belief_jd != Some(tag) {
+            return;
+        }
+        debug_assert_eq!(
+            st.belief,
+            Some(target),
+            "tagged report disagrees with the plan"
+        );
+        // Hold until every child whose hop uses our parent edge as its
+        // distance-2 witness has confirmed with a tagged detach.
+        let deps = &self.shared.detach_deps[st.pos][st.jumps_done];
+        if !deps.iter().all(|d| st.detaches.contains(d)) {
+            return;
+        }
+        let line = &self.shared.line;
+        let cp = st.parent_pos;
+        ctx.activate(line[target]);
+        if !self
+            .shared
+            .protected
+            .contains(&Edge::new(line[st.pos], line[cp]))
+        {
+            ctx.deactivate(line[cp]);
+        }
+        st.parent_pos = target;
+        st.jumps_done += 1;
+        st.belief = None;
+        st.belief_jd = None;
+        ctx.send(
+            line[cp],
+            TreeMsg::Detach {
+                pos: st.pos,
+                jd: st.jumps_done,
+            },
+        );
+        ctx.send(
+            line[target],
+            TreeMsg::Attach {
+                pos: st.pos,
+                jd: st.jumps_done,
+            },
+        );
+        for &(c, _) in &st.children {
+            ctx.send(
+                line[c],
+                TreeMsg::ParentIs {
+                    pos: st.pos,
+                    parent: st.parent_pos,
+                    jd: st.jumps_done,
+                },
+            );
+        }
+    }
+}
+
+impl AsyncProgram for TreeActor {
+    type Message = TreeMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<TreeMsg>) {
+        // Initial knowledge is static (parent `pos-1`, grandparent
+        // `pos-2`, child `pos+1`), so a first jump may already be enabled.
+        self.try_jump(ctx);
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: TreeMsg, ctx: &mut Context<TreeMsg>) {
+        let Some(st) = &mut self.state else {
+            return;
+        };
+        match msg {
+            TreeMsg::Attach { pos, jd } => {
+                if let Some(i) = st.tombstones.iter().position(|&t| t == pos) {
+                    // The child already jumped onward; drop the stale
+                    // attach (a position never re-attaches — parent
+                    // target sequences do not revisit).
+                    st.tombstones.swap_remove(i);
+                    return;
+                }
+                st.children.push((pos, jd));
+                // The reply carries this node's *current* parent, so a
+                // child attaching just after we jumped still learns the
+                // fresh support.
+                let reply = TreeMsg::ParentIs {
+                    pos: st.pos,
+                    parent: st.parent_pos,
+                    jd: st.jumps_done,
+                };
+                ctx.send(self.shared.line[pos], reply);
+            }
+            TreeMsg::Detach { pos, jd } => {
+                // Record the confirmation even when the matching attach
+                // is still in flight — the gate must be able to clear.
+                st.detaches.push((pos, jd));
+                if let Some(i) = st.children.iter().position(|&(c, _)| c == pos) {
+                    st.children.swap_remove(i);
+                } else {
+                    st.tombstones.push(pos);
+                }
+            }
+            TreeMsg::ParentIs { pos, parent, jd } => {
+                if pos == st.parent_pos && st.belief_jd.is_none_or(|b| jd > b) {
+                    st.belief = Some(parent);
+                    st.belief_jd = Some(jd);
+                }
+            }
+        }
+        self.try_jump(ctx);
+    }
+}
+
+fn validate_line(network: &Network, line: &[NodeId], arity: usize) -> Result<(), CoreError> {
+    if line.is_empty() {
+        return Err(CoreError::InvalidInput {
+            reason: "line must contain at least one node".into(),
+        });
+    }
+    if arity == 0 {
+        return Err(CoreError::InvalidInput {
+            reason: "arity must be at least 1".into(),
+        });
+    }
+    let mut seen = line.to_vec();
+    seen.sort_unstable();
+    for w in seen.windows(2) {
+        if w[0] == w[1] {
+            return Err(CoreError::InvalidInput {
+                reason: format!("node {} appears twice in the line", w[0]),
+            });
+        }
+    }
+    if line.iter().any(|u| u.index() >= network.node_count()) {
+        return Err(CoreError::InvalidInput {
+            reason: "line refers to nodes outside the network".into(),
+        });
+    }
+    for w in line.windows(2) {
+        if !network.graph().has_edge(w[0], w[1]) {
+            return Err(CoreError::InvalidInput {
+                reason: format!(
+                    "consecutive line nodes {} and {} are not adjacent",
+                    w[0], w[1]
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Builds one actor per network node; nodes off the line are inert.
+fn build_actors(network: &Network, line: &[NodeId], config: &LineToTreeConfig) -> Vec<TreeActor> {
+    let n = line.len();
+    let shared = Arc::new(SharedPlan::new(n, config, line));
+    let mut pos_of: Vec<Option<usize>> = vec![None; network.node_count()];
+    for (pos, &node) in line.iter().enumerate() {
+        pos_of[node.index()] = Some(pos);
+    }
+    (0..network.node_count())
+        .map(|i| TreeActor {
+            shared: Arc::clone(&shared),
+            state: pos_of[i].map(|pos| PositionState {
+                pos,
+                parent_pos: pos.saturating_sub(1),
+                jumps_done: 0,
+                children: if pos + 1 < n {
+                    vec![(pos + 1, 0)]
+                } else {
+                    Vec::new()
+                },
+                tombstones: Vec::new(),
+                detaches: Vec::new(),
+                // Static initial knowledge: the grandparent is `pos - 2`,
+                // as reported by a parent that has not jumped yet.
+                belief: if pos >= 2 { Some(pos - 2) } else { None },
+                belief_jd: if pos >= 2 { Some(0) } else { None },
+            }),
+        })
+        .collect()
+}
+
+/// Harvests the final tree (in position space, vertex `i` = `line[i]`).
+fn harvest(actors: &[TreeActor], n: usize) -> Result<RootedTree, CoreError> {
+    let mut parents: Vec<Option<NodeId>> = vec![None; n];
+    for actor in actors {
+        let Some(st) = &actor.state else { continue };
+        if st.jumps_done < actor.shared.schedule[st.pos].len() {
+            return Err(CoreError::DidNotConverge {
+                algorithm: "RuntimeLineToTree",
+                phase_limit: actor.shared.schedule[st.pos].len(),
+            });
+        }
+        if st.pos > 0 {
+            parents[st.pos] = Some(NodeId(st.parent_pos));
+        }
+    }
+    RootedTree::from_parents(NodeId(0), parents).map_err(|e| CoreError::BrokenInvariant {
+        algorithm: "RuntimeLineToTree",
+        detail: format!("final parent pointers do not form a tree: {e}"),
+    })
+}
+
+fn map_runtime_err(e: adn_runtime::RuntimeError) -> CoreError {
+    match e {
+        adn_runtime::RuntimeError::Sim(sim) => CoreError::Sim(sim),
+        other => CoreError::BrokenInvariant {
+            algorithm: "RuntimeLineToTree",
+            detail: other.to_string(),
+        },
+    }
+}
+
+/// Runs line-to-tree as actors under the deterministic seeded scheduler.
+/// Returns the final tree in position space plus the runtime report; the
+/// tree equals the synchronous subroutine's for every `(seed, knobs)`.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidInput`] on malformed lines or zero arity.
+/// * [`CoreError::Sim`] if an edge operation is rejected (a protocol bug).
+/// * [`CoreError::DidNotConverge`] if the run quiesced with unfinished
+///   schedules (a protocol bug).
+pub fn run_runtime_line_to_tree_seeded(
+    network: &mut Network,
+    line: &[NodeId],
+    config: &LineToTreeConfig,
+    seed: u64,
+    knobs: AsyncKnobs,
+) -> Result<(RootedTree, RuntimeReport), CoreError> {
+    validate_line(network, line, config.arity)?;
+    let mut actors = build_actors(network, line, config);
+    let report = SeededScheduler::new(seed)
+        .with_knobs(knobs)
+        .run(network, &mut actors)
+        .map_err(map_runtime_err)?;
+    Ok((harvest(&actors, line.len())?, report))
+}
+
+/// Runs line-to-tree as actors under the free-running scheduler.
+///
+/// # Errors
+///
+/// As [`run_runtime_line_to_tree_seeded`], plus
+/// [`CoreError::BrokenInvariant`] on a wall-clock timeout.
+pub fn run_runtime_line_to_tree_free(
+    network: &mut Network,
+    line: &[NodeId],
+    config: &LineToTreeConfig,
+    threads: usize,
+) -> Result<(RootedTree, RuntimeReport), CoreError> {
+    validate_line(network, line, config.arity)?;
+    let mut actors = build_actors(network, line, config);
+    let report = FreeScheduler::new(threads)
+        .run(network, &mut actors)
+        .map_err(map_runtime_err)?;
+    Ok((harvest(&actors, line.len())?, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subroutines::line_to_tree::run_line_to_tree;
+    use adn_graph::edgeset::SortedEdgeSet;
+    use adn_graph::generators;
+
+    fn identity_line(n: usize) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    fn sync_tree(n: usize, arity: usize) -> RootedTree {
+        let mut net = Network::new(generators::line(n));
+        let config = LineToTreeConfig {
+            arity,
+            protected_edges: SortedEdgeSet::new(),
+        };
+        run_line_to_tree(&mut net, &identity_line(n), &config)
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn seeded_actors_build_the_synchronous_tree() {
+        for &n in &[2usize, 5, 8, 16, 33, 64] {
+            let config = LineToTreeConfig {
+                arity: 2,
+                protected_edges: SortedEdgeSet::new(),
+            };
+            let expected = sync_tree(n, 2);
+            for seed in [0u64, 7, 1234] {
+                let mut net = Network::new(generators::line(n));
+                let (tree, report) = run_runtime_line_to_tree_seeded(
+                    &mut net,
+                    &identity_line(n),
+                    &config,
+                    seed,
+                    AsyncKnobs::default(),
+                )
+                .unwrap();
+                assert_eq!(tree, expected, "n={n} seed={seed}");
+                assert_eq!(report.in_flight_at_detection, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_delivery_still_matches_the_synchronous_tree() {
+        let knob_sets = [
+            AsyncKnobs {
+                reorder_window: 4,
+                max_link_delay: 0,
+                asymmetric_delay: false,
+            },
+            AsyncKnobs {
+                reorder_window: 2,
+                max_link_delay: 3,
+                asymmetric_delay: false,
+            },
+            AsyncKnobs {
+                reorder_window: 3,
+                max_link_delay: 2,
+                asymmetric_delay: true,
+            },
+        ];
+        for &n in &[16usize, 40, 64] {
+            let expected = sync_tree(n, 2);
+            let config = LineToTreeConfig {
+                arity: 2,
+                protected_edges: SortedEdgeSet::new(),
+            };
+            for (k, knobs) in knob_sets.iter().enumerate() {
+                for seed in [1u64, 99, 4096] {
+                    let mut net = Network::new(generators::line(n));
+                    let (tree, _) = run_runtime_line_to_tree_seeded(
+                        &mut net,
+                        &identity_line(n),
+                        &config,
+                        seed,
+                        *knobs,
+                    )
+                    .unwrap();
+                    assert_eq!(tree, expected, "n={n} knobs#{k} seed={seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn free_actors_build_the_synchronous_tree() {
+        let n = 48;
+        let expected = sync_tree(n, 2);
+        let config = LineToTreeConfig {
+            arity: 2,
+            protected_edges: SortedEdgeSet::new(),
+        };
+        for threads in [1usize, 4] {
+            let mut net = Network::new(generators::line(n));
+            let (tree, report) =
+                run_runtime_line_to_tree_free(&mut net, &identity_line(n), &config, threads)
+                    .unwrap();
+            assert_eq!(tree, expected, "threads={threads}");
+            assert_eq!(report.in_flight_at_detection, 0);
+        }
+    }
+
+    #[test]
+    fn large_lines_converge_on_both_schedulers() {
+        // Regression: with the old frozen-attach-count gate, n=128 lines
+        // quiesced with unfinished schedules (a parent could advance past
+        // the grandparent a still-attached child was waiting to hop to).
+        // The arity-gated schedule makes jump counts drift apart only at
+        // larger n, which is why n=48 never caught it.
+        let n = 128;
+        let expected = sync_tree(n, 2);
+        let config = LineToTreeConfig {
+            arity: 2,
+            protected_edges: SortedEdgeSet::new(),
+        };
+        for seed in [0u64, 9, 77] {
+            let mut net = Network::new(generators::line(n));
+            let (tree, _) = run_runtime_line_to_tree_seeded(
+                &mut net,
+                &identity_line(n),
+                &config,
+                seed,
+                AsyncKnobs {
+                    reorder_window: 6,
+                    max_link_delay: 3,
+                    asymmetric_delay: true,
+                },
+            )
+            .unwrap();
+            assert_eq!(tree, expected, "seed={seed}");
+        }
+        for threads in [2usize, 8] {
+            let mut net = Network::new(generators::line(n));
+            let (tree, _) =
+                run_runtime_line_to_tree_free(&mut net, &identity_line(n), &config, threads)
+                    .unwrap();
+            assert_eq!(tree, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn polylog_arity_matches_sync() {
+        let n = 128;
+        let arity = adn_graph::properties::ceil_log2(n);
+        let config = LineToTreeConfig {
+            arity,
+            protected_edges: SortedEdgeSet::new(),
+        };
+        let expected = sync_tree(n, arity);
+        let mut net = Network::new(generators::line(n));
+        let (tree, _) = run_runtime_line_to_tree_seeded(
+            &mut net,
+            &identity_line(n),
+            &config,
+            5,
+            AsyncKnobs {
+                reorder_window: 3,
+                max_link_delay: 1,
+                asymmetric_delay: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(tree, expected);
+        for u in (0..n).map(NodeId) {
+            assert!(tree.child_count(u) <= arity);
+        }
+    }
+
+    #[test]
+    fn protected_edges_survive() {
+        let n = 24;
+        let g = generators::line(n);
+        let config = LineToTreeConfig {
+            arity: 2,
+            protected_edges: g.edges().collect(),
+        };
+        let mut net = Network::new(g.clone());
+        let _ = run_runtime_line_to_tree_seeded(
+            &mut net,
+            &identity_line(n),
+            &config,
+            3,
+            AsyncKnobs::default(),
+        )
+        .unwrap();
+        for e in g.edges() {
+            assert!(net.graph().has_edge(e.a, e.b));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut net = Network::new(generators::line(4));
+        let config = LineToTreeConfig {
+            arity: 2,
+            protected_edges: SortedEdgeSet::new(),
+        };
+        assert!(matches!(
+            run_runtime_line_to_tree_seeded(&mut net, &[], &config, 0, AsyncKnobs::default()),
+            Err(CoreError::InvalidInput { .. })
+        ));
+        let zero_arity = LineToTreeConfig {
+            arity: 0,
+            protected_edges: SortedEdgeSet::new(),
+        };
+        assert!(matches!(
+            run_runtime_line_to_tree_seeded(
+                &mut net,
+                &identity_line(4),
+                &zero_arity,
+                0,
+                AsyncKnobs::default()
+            ),
+            Err(CoreError::InvalidInput { .. })
+        ));
+        let duplicated = vec![NodeId(0), NodeId(1), NodeId(1)];
+        assert!(matches!(
+            run_runtime_line_to_tree_seeded(
+                &mut net,
+                &duplicated,
+                &config,
+                0,
+                AsyncKnobs::default()
+            ),
+            Err(CoreError::InvalidInput { .. })
+        ));
+    }
+}

@@ -1,0 +1,273 @@
+//! Running unmodified synchronous [`NodeProgram`]s on the asynchronous
+//! runtime.
+//!
+//! The adapter simulates lock-step rounds with plain messages: every
+//! node sends exactly one envelope per neighbour per round (an empty
+//! one if the program addressed that neighbour nothing), buffers
+//! out-of-order envelopes, and steps round `r` only once all round-`r`
+//! envelopes have arrived. Under *any* delivery order — including the
+//! reordering and delay knobs — the per-round inboxes are exactly the
+//! synchronous engine's (sender-ascending, per-sender order preserved),
+//! so the wrapped program's outcome equals its synchronous outcome; the
+//! differential suite in `tests/runtime_model.rs` pins this.
+//!
+//! The adapter runs a **fixed horizon** of `R` rounds rather than
+//! consulting [`NodeProgram::has_terminated`]: a locally-terminated node
+//! that stopped sending envelopes would deadlock neighbours still
+//! waiting for its round marker. Callers pick `R` at least the
+//! synchronous termination round; the engine contract already requires
+//! terminated programs' `send`/`step` to be semantic no-ops, so the
+//! extra rounds do not change the outcome.
+//!
+//! Node views are frozen at construction (the `round` scalar is the only
+//! field updated), so wrapped programs must not rely on seeing their own
+//! edge operations reflected back — suitable for the message-passing
+//! algorithms (flooding, counting, election), not for the
+//! reconfiguration subroutines, which get native actors instead.
+
+use crate::actor::{AsyncProgram, Context};
+use adn_graph::NodeId;
+use adn_sim::engine::{NodeProgram, NodeView};
+
+/// One lock-step round's worth of payloads from one neighbour.
+#[derive(Debug, Clone)]
+pub struct RoundEnvelope<M> {
+    /// 1-based round this envelope belongs to.
+    pub round: usize,
+    /// Payloads, in the sender's emission order (possibly empty — the
+    /// envelope then only marks the sender as done with this round).
+    pub msgs: Vec<M>,
+}
+
+/// Wraps a synchronous [`NodeProgram`] as an [`AsyncProgram`] executing a
+/// fixed horizon of lock-step rounds.
+pub struct SyncAdapter<P: NodeProgram> {
+    program: P,
+    view: NodeView,
+    horizon: usize,
+    /// Next round to step (1-based); `horizon + 1` once done.
+    round: usize,
+    started: bool,
+    /// Per-round arrival buffers: `(sender, payloads)` in arrival order.
+    buffers: Vec<Vec<(NodeId, Vec<P::Message>)>>,
+}
+
+impl<P: NodeProgram> SyncAdapter<P> {
+    /// Wraps `program` with its (frozen) `view`; the adapter will run
+    /// `horizon` lock-step rounds.
+    pub fn new(program: P, view: NodeView, horizon: usize) -> Self {
+        SyncAdapter {
+            program,
+            view,
+            horizon,
+            round: 1,
+            started: false,
+            buffers: vec![Vec::new(); horizon],
+        }
+    }
+
+    /// The wrapped program (for extracting outcomes after the run).
+    pub fn program(&self) -> &P {
+        &self.program
+    }
+
+    /// Consumes the adapter, returning the wrapped program.
+    pub fn into_program(self) -> P {
+        self.program
+    }
+
+    /// Whether all `horizon` rounds have been stepped.
+    pub fn done(&self) -> bool {
+        self.round > self.horizon
+    }
+
+    /// Emits this node's round-`round` envelopes: one per neighbour,
+    /// empty for neighbours the program did not address.
+    fn emit_round(&mut self, ctx: &mut Context<RoundEnvelope<P::Message>>) {
+        self.view.round = self.round;
+        let outbox = self.program.send(&self.view);
+        let mut per_neighbor: Vec<(NodeId, Vec<P::Message>)> = self
+            .view
+            .neighbors
+            .iter()
+            .map(|&nb| (nb, Vec::new()))
+            .collect();
+        for (to, msg) in outbox {
+            match per_neighbor.iter_mut().find(|(nb, _)| *nb == to) {
+                Some((_, msgs)) => msgs.push(msg),
+                None => debug_assert!(false, "message addressed to non-neighbour {to:?}"),
+            }
+        }
+        let round = self.round;
+        for (nb, msgs) in per_neighbor {
+            ctx.send(nb, RoundEnvelope { round, msgs });
+        }
+    }
+
+    /// Steps every round whose envelopes are complete, in order.
+    fn drain_ready(&mut self, ctx: &mut Context<RoundEnvelope<P::Message>>) {
+        let degree = self.view.neighbors.len();
+        while self.round <= self.horizon && self.buffers[self.round - 1].len() == degree {
+            let mut arrivals = std::mem::take(&mut self.buffers[self.round - 1]);
+            arrivals.sort_by_key(|(sender, _)| *sender);
+            let inbox: Vec<(NodeId, P::Message)> = arrivals
+                .into_iter()
+                .flat_map(|(sender, msgs)| msgs.into_iter().map(move |m| (sender, m)))
+                .collect();
+            self.view.round = self.round;
+            let decision = self.program.step(&self.view, &inbox);
+            for peer in decision.activate {
+                ctx.activate(peer);
+            }
+            for peer in decision.deactivate {
+                ctx.deactivate(peer);
+            }
+            self.round += 1;
+            if self.round <= self.horizon {
+                self.emit_round(ctx);
+            }
+        }
+    }
+}
+
+impl<P> AsyncProgram for SyncAdapter<P>
+where
+    P: NodeProgram + Send,
+    P::Message: Send,
+{
+    type Message = RoundEnvelope<P::Message>;
+
+    fn on_start(&mut self, ctx: &mut Context<Self::Message>) {
+        self.started = true;
+        if self.horizon == 0 {
+            return;
+        }
+        self.emit_round(ctx);
+        // Zero-degree nodes (and any rounds already fully buffered from
+        // neighbours whose start signal overtook ours) can step now.
+        self.drain_ready(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Context<Self::Message>) {
+        debug_assert!(
+            (1..=self.horizon).contains(&msg.round),
+            "round {} outside horizon {}",
+            msg.round,
+            self.horizon
+        );
+        if msg.round >= 1 && msg.round <= self.horizon {
+            self.buffers[msg.round - 1].push((from, msg.msgs));
+        }
+        if self.started {
+            self.drain_ready(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AsyncKnobs, SeededScheduler};
+    use adn_graph::{generators, NodeId, Uid};
+    use adn_sim::engine::NodeDecision;
+    use adn_sim::network::Network;
+
+    /// Synchronous "learn the max UID" gossip: each round every node
+    /// broadcasts the largest UID it has seen.
+    #[derive(Clone)]
+    struct MaxGossip {
+        best: u64,
+        rounds_quiet: usize,
+    }
+
+    impl NodeProgram for MaxGossip {
+        type Message = u64;
+        fn send(&mut self, view: &NodeView) -> Vec<(NodeId, u64)> {
+            view.neighbors.iter().map(|&nb| (nb, self.best)).collect()
+        }
+        fn step(&mut self, _view: &NodeView, inbox: &[(NodeId, u64)]) -> NodeDecision {
+            let before = self.best;
+            for &(_, v) in inbox {
+                self.best = self.best.max(v);
+            }
+            if self.best == before {
+                self.rounds_quiet += 1;
+            } else {
+                self.rounds_quiet = 0;
+            }
+            NodeDecision::none()
+        }
+        fn has_terminated(&self) -> bool {
+            false
+        }
+    }
+
+    fn view_for(graph: &adn_graph::Graph, i: usize) -> NodeView {
+        NodeView {
+            id: NodeId(i),
+            uid: Uid(i as u64 + 1),
+            round: 1,
+            n: graph.node_count(),
+            neighbors: graph.neighbors_slice(NodeId(i)).to_vec(),
+            potential_neighbors: graph.potential_neighbors(NodeId(i)),
+        }
+    }
+
+    #[test]
+    fn lockstep_matches_sync_outcome_under_reordering() {
+        let n = 12;
+        let graph = generators::line(n);
+        let horizon = n; // diameter bound: max reaches everyone
+        for seed in [3u64, 17, 99] {
+            let mut network = Network::new(graph.clone());
+            let mut adapters: Vec<SyncAdapter<MaxGossip>> = (0..n)
+                .map(|i| {
+                    SyncAdapter::new(
+                        MaxGossip {
+                            best: i as u64 + 1,
+                            rounds_quiet: 0,
+                        },
+                        view_for(&graph, i),
+                        horizon,
+                    )
+                })
+                .collect();
+            let knobs = AsyncKnobs {
+                reorder_window: 4,
+                max_link_delay: 3,
+                asymmetric_delay: true,
+            };
+            let report = SeededScheduler::new(seed)
+                .with_knobs(knobs)
+                .run(&mut network, &mut adapters)
+                .expect("run");
+            assert_eq!(report.in_flight_at_detection, 0);
+            for adapter in &adapters {
+                assert!(adapter.done());
+                assert_eq!(adapter.program().best, n as u64, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_horizon_quiesces_immediately() {
+        let graph = generators::line(3);
+        let mut network = Network::new(graph.clone());
+        let mut adapters: Vec<SyncAdapter<MaxGossip>> = (0..3)
+            .map(|i| {
+                SyncAdapter::new(
+                    MaxGossip {
+                        best: 1,
+                        rounds_quiet: 0,
+                    },
+                    view_for(&graph, i),
+                    0,
+                )
+            })
+            .collect();
+        let report = SeededScheduler::new(0)
+            .run(&mut network, &mut adapters)
+            .expect("run");
+        assert_eq!(report.app_messages, 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Native asynchronous flooding (all-to-all token dissemination).
+//!
+//! Unlike the synchronous baseline — which rebroadcasts a node's entire
+//! known set to every neighbour every round, Θ(n³) token-hops on a line —
+//! the actor forwards only **newly learned** tokens, and only to the
+//! neighbours that did not just teach them. Token sets grow
+//! monotonically and merging is commutative, associative and idempotent,
+//! so the final state (every node knows every token) is independent of
+//! delivery order: any scheduler, any knobs, same outcome as the
+//! synchronous baseline. This delta structure is what the free-running
+//! scheduler's throughput numbers measure.
+
+use crate::actor::{AsyncProgram, Context};
+use adn_graph::{NodeId, Uid};
+
+/// Asynchronous flooding actor: learns the multiset of all UIDs in the
+/// network by delta-forwarding.
+#[derive(Debug, Clone)]
+pub struct FloodActor {
+    own: Uid,
+    neighbors: Vec<NodeId>,
+    /// Every token seen so far, ascending.
+    known: Vec<Uid>,
+    /// Scratch for the two-pointer merge.
+    scratch: Vec<Uid>,
+}
+
+impl FloodActor {
+    /// Actor for a node with UID `own` and the given (static) neighbours.
+    pub fn new(own: Uid, neighbors: Vec<NodeId>) -> Self {
+        FloodActor {
+            own,
+            neighbors,
+            known: vec![own],
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Tokens learned so far, ascending.
+    pub fn known(&self) -> &[Uid] {
+        &self.known
+    }
+
+    /// Merges `incoming` (sorted) into `known`, returning the genuinely
+    /// new tokens (sorted).
+    fn absorb(&mut self, incoming: &[Uid]) -> Vec<Uid> {
+        let mut fresh = Vec::new();
+        self.scratch.clear();
+        self.scratch.reserve(self.known.len() + incoming.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.known.len() || j < incoming.len() {
+            match (self.known.get(i), incoming.get(j)) {
+                (Some(&a), Some(&b)) if a == b => {
+                    self.scratch.push(a);
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&a), Some(&b)) if a < b => {
+                    self.scratch.push(a);
+                    i += 1;
+                }
+                (_, Some(&b)) => {
+                    self.scratch.push(b);
+                    fresh.push(b);
+                    j += 1;
+                }
+                (Some(&a), None) => {
+                    self.scratch.push(a);
+                    i += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        std::mem::swap(&mut self.known, &mut self.scratch);
+        fresh
+    }
+}
+
+impl AsyncProgram for FloodActor {
+    type Message = Vec<Uid>;
+
+    fn on_start(&mut self, ctx: &mut Context<Vec<Uid>>) {
+        let token = vec![self.own];
+        for &nb in &self.neighbors {
+            ctx.send(nb, token.clone());
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Vec<Uid>, ctx: &mut Context<Vec<Uid>>) {
+        let fresh = self.absorb(&msg);
+        if fresh.is_empty() {
+            return;
+        }
+        for &nb in &self.neighbors {
+            if nb != from {
+                ctx.send(nb, fresh.clone());
+            }
+        }
+    }
+}
+
+/// Builds one [`FloodActor`] per node from a static graph and UID map.
+pub fn flood_actors(graph: &adn_graph::Graph, uids: &adn_graph::UidMap) -> Vec<FloodActor> {
+    (0..graph.node_count())
+        .map(|i| {
+            let id = NodeId(i);
+            FloodActor::new(uids.uid(id), graph.neighbors_slice(id).to_vec())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AsyncKnobs, FreeScheduler, SeededScheduler};
+    use adn_graph::{generators, UidMap};
+    use adn_sim::network::Network;
+
+    fn uid_map(n: usize, seed: u64) -> UidMap {
+        UidMap::new(n, adn_graph::UidAssignment::RandomPermutation { seed })
+    }
+
+    #[test]
+    fn every_actor_learns_every_token_seeded() {
+        let n = 24;
+        let graph = generators::ring(n);
+        let uids = uid_map(n, 5);
+        let mut expected: Vec<Uid> = (0..n).map(|i| uids.uid(NodeId(i))).collect();
+        expected.sort_unstable();
+        for seed in [1u64, 2, 3] {
+            let mut network = Network::new(graph.clone());
+            let mut actors = flood_actors(&graph, &uids);
+            let knobs = AsyncKnobs {
+                reorder_window: 5,
+                max_link_delay: 2,
+                asymmetric_delay: true,
+            };
+            let report = SeededScheduler::new(seed)
+                .with_knobs(knobs)
+                .run(&mut network, &mut actors)
+                .expect("run");
+            assert_eq!(report.in_flight_at_detection, 0);
+            for actor in &actors {
+                assert_eq!(actor.known(), expected.as_slice(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_actor_learns_every_token_free() {
+        let n = 32;
+        let graph = generators::line(n);
+        let uids = uid_map(n, 9);
+        let mut expected: Vec<Uid> = (0..n).map(|i| uids.uid(NodeId(i))).collect();
+        expected.sort_unstable();
+        let mut network = Network::new(graph.clone());
+        let mut actors = flood_actors(&graph, &uids);
+        let report = FreeScheduler::new(4)
+            .run(&mut network, &mut actors)
+            .expect("run");
+        assert_eq!(report.in_flight_at_detection, 0);
+        for actor in &actors {
+            assert_eq!(actor.known(), expected.as_slice());
+        }
+    }
+
+    #[test]
+    fn absorb_returns_only_fresh_tokens() {
+        let mut actor = FloodActor::new(Uid(5), Vec::new());
+        assert_eq!(
+            actor.absorb(&[Uid(2), Uid(5), Uid(9)]),
+            vec![Uid(2), Uid(9)]
+        );
+        assert_eq!(actor.absorb(&[Uid(2), Uid(9)]), Vec::<Uid>::new());
+        assert_eq!(actor.known(), &[Uid(2), Uid(5), Uid(9)]);
+    }
+}

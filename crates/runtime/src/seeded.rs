@@ -1,0 +1,402 @@
+//! The deterministic single-threaded scheduler.
+//!
+//! Delivery is a discrete-event loop over a priority queue keyed by
+//! `(ready_at, sequence)`. Every source of nondeterminism — reordering
+//! within the window, per-message delay jitter, per-link base latency —
+//! is drawn from one [`DetRng`] seeded with a single `u64`, so a run is
+//! a pure function of `(network, programs, seed, knobs)` and replays
+//! byte-identically.
+
+use crate::actor::{AsyncProgram, Context, Envelope};
+use crate::termination::{DsParent, DsState};
+use crate::{AsyncKnobs, RuntimeError, RuntimeReport};
+use adn_graph::rng::DetRng;
+use adn_graph::NodeId;
+use adn_sim::network::Network;
+use std::collections::BinaryHeap;
+
+/// Delivery-step budget before a seeded run is declared non-quiescent.
+pub const DEFAULT_MAX_STEPS: usize = 50_000_000;
+
+/// An in-flight envelope. Ordered by `(ready_at, seq)` **inverted**, so
+/// the std max-heap pops the earliest-ready, lowest-sequence entry first.
+struct InFlight<M> {
+    ready_at: usize,
+    seq: usize,
+    to: NodeId,
+    env: Envelope<M>,
+}
+
+impl<M> PartialEq for InFlight<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.ready_at == other.ready_at && self.seq == other.seq
+    }
+}
+impl<M> Eq for InFlight<M> {}
+impl<M> PartialOrd for InFlight<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for InFlight<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.ready_at, other.seq).cmp(&(self.ready_at, self.seq))
+    }
+}
+
+/// Single-threaded deterministic scheduler: the whole delivery order
+/// derives from one `u64`.
+#[derive(Debug, Clone)]
+pub struct SeededScheduler {
+    seed: u64,
+    knobs: AsyncKnobs,
+    max_steps: usize,
+}
+
+impl SeededScheduler {
+    /// Scheduler with default knobs (no reordering, no delays) and the
+    /// default step budget.
+    pub fn new(seed: u64) -> Self {
+        SeededScheduler {
+            seed,
+            knobs: AsyncKnobs::default(),
+            max_steps: DEFAULT_MAX_STEPS,
+        }
+    }
+
+    /// Sets the delivery-perturbation knobs.
+    pub fn with_knobs(mut self, knobs: AsyncKnobs) -> Self {
+        self.knobs = knobs;
+        self
+    }
+
+    /// Sets the delivery-step budget.
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// The seed this scheduler replays from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Fixed per-direction base latency for the link `from -> to`
+    /// (asymmetric-delay mode): a SplitMix64-style mix of the seed and
+    /// both endpoints, reduced to `0..=2*max_link_delay`.
+    fn link_base(&self, from: NodeId, to: NodeId) -> usize {
+        if !self.knobs.asymmetric_delay {
+            return 0;
+        }
+        let mut z = self
+            .seed
+            .wrapping_add((from.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((to.index() as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let span = 2 * self.knobs.max_link_delay + 1;
+        (z ^ (z >> 31)) as usize % span
+    }
+
+    /// Runs `programs` (actor `i` is node `i`) to Dijkstra–Scholten
+    /// quiescence on `network`.
+    pub fn run<P: AsyncProgram>(
+        &self,
+        network: &mut Network,
+        programs: &mut [P],
+    ) -> Result<RuntimeReport, RuntimeError> {
+        let n = network.node_count();
+        if programs.len() != n {
+            return Err(RuntimeError::InvalidInput {
+                reason: format!("{} programs for {n} nodes", programs.len()),
+            });
+        }
+        let mut rng = DetRng::seed_from_u64(self.seed);
+        let window = self.knobs.reorder_window.max(1);
+        let mut heap: BinaryHeap<InFlight<P::Message>> = BinaryHeap::new();
+        let mut seq = 0usize;
+        let mut now = 0usize;
+        let mut ds: Vec<DsState> = vec![DsState::default(); n];
+        let mut started = vec![false; n];
+        let mut root_deficit = n;
+        let mut report = RuntimeReport {
+            scheduler: "seeded",
+            seed: Some(self.seed),
+            threads: None,
+            n,
+            steps: 0,
+            app_messages: 0,
+            acks: 0,
+            commits: 0,
+            activations: 0,
+            deactivations: 0,
+            in_flight_at_detection: 0,
+        };
+        let mut ctx: Context<P::Message> = Context::new(NodeId(0));
+
+        let enqueue = |heap: &mut BinaryHeap<InFlight<P::Message>>,
+                       rng: &mut DetRng,
+                       seq: &mut usize,
+                       now: usize,
+                       from: Option<NodeId>,
+                       to: NodeId,
+                       env: Envelope<P::Message>| {
+            let jitter = if self.knobs.max_link_delay > 0 {
+                rng.gen_range(0, self.knobs.max_link_delay + 1)
+            } else {
+                0
+            };
+            let base = from.map_or(0, |f| self.link_base(f, to));
+            heap.push(InFlight {
+                ready_at: now + 1 + base + jitter,
+                seq: *seq,
+                to,
+                env,
+            });
+            *seq += 1;
+        };
+
+        for i in 0..n {
+            enqueue(
+                &mut heap,
+                &mut rng,
+                &mut seq,
+                0,
+                None,
+                NodeId(i),
+                Envelope::Start,
+            );
+        }
+
+        let mut window_buf: Vec<InFlight<P::Message>> = Vec::with_capacity(window);
+        while root_deficit > 0 {
+            if report.steps >= self.max_steps {
+                return Err(RuntimeError::DidNotQuiesce {
+                    steps: report.steps,
+                });
+            }
+            // Pull up to `window` candidates in readiness order and pick
+            // one uniformly; with window 1 no RNG is consumed, so the
+            // default knobs add zero draws to the stream.
+            window_buf.clear();
+            for _ in 0..window {
+                match heap.pop() {
+                    Some(item) => window_buf.push(item),
+                    None => break,
+                }
+            }
+            if window_buf.is_empty() {
+                // Unreachable by the Dijkstra–Scholten invariant (an
+                // engaged node with zero deficit disengages at its last
+                // delivery), kept as a loud failure rather than a hang.
+                return Err(RuntimeError::DidNotQuiesce {
+                    steps: report.steps,
+                });
+            }
+            let pick = if window_buf.len() > 1 {
+                rng.gen_range(0, window_buf.len())
+            } else {
+                0
+            };
+            let delivery = window_buf.swap_remove(pick);
+            for leftover in window_buf.drain(..) {
+                heap.push(leftover);
+            }
+            now = now.max(delivery.ready_at);
+            report.steps += 1;
+            let node = delivery.to;
+
+            ctx.reset(node);
+            let mut immediate_root_ack = false;
+            let mut ack_sender: Option<NodeId> = None;
+            match delivery.env {
+                Envelope::Start => {
+                    let engaged_now = ds[node.index()].on_receive(DsParent::Root);
+                    if !engaged_now {
+                        // An application message overtook the start signal
+                        // and engaged this node first; the root's copy is
+                        // acknowledged on the spot.
+                        immediate_root_ack = true;
+                    }
+                    debug_assert!(!started[node.index()], "duplicate start");
+                    started[node.index()] = true;
+                    programs[node.index()].on_start(&mut ctx);
+                }
+                Envelope::App { from, msg } => {
+                    report.app_messages += 1;
+                    let engaged_now = ds[node.index()].on_receive(DsParent::Node(from));
+                    if !engaged_now {
+                        ack_sender = Some(from);
+                    }
+                    programs[node.index()].on_message(from, msg, &mut ctx);
+                }
+                Envelope::Ack => {
+                    report.acks += 1;
+                    ds[node.index()].on_ack();
+                }
+            }
+
+            // Edge operations first (one atomic commit), then the outbox.
+            if !ctx.activations.is_empty() || !ctx.deactivations.is_empty() {
+                for peer in ctx.activations.drain(..) {
+                    network.stage_activation(node, peer)?;
+                    report.activations += 1;
+                }
+                for peer in ctx.deactivations.drain(..) {
+                    network.stage_deactivation(node, peer)?;
+                    report.deactivations += 1;
+                }
+                network.commit_round();
+                report.commits += 1;
+            }
+            if !ctx.outbox.is_empty() {
+                ds[node.index()].on_sent(ctx.outbox.len());
+                let outbox: Vec<(NodeId, P::Message)> = ctx.outbox.drain(..).collect();
+                for (to, msg) in outbox {
+                    enqueue(
+                        &mut heap,
+                        &mut rng,
+                        &mut seq,
+                        now,
+                        Some(node),
+                        to,
+                        Envelope::App { from: node, msg },
+                    );
+                }
+            }
+            if let Some(sender) = ack_sender {
+                enqueue(
+                    &mut heap,
+                    &mut rng,
+                    &mut seq,
+                    now,
+                    Some(node),
+                    sender,
+                    Envelope::Ack,
+                );
+            }
+            if immediate_root_ack {
+                root_deficit -= 1;
+            }
+            match ds[node.index()].try_disengage() {
+                Some(DsParent::Root) => root_deficit -= 1,
+                Some(DsParent::Node(parent)) => enqueue(
+                    &mut heap,
+                    &mut rng,
+                    &mut seq,
+                    now,
+                    Some(node),
+                    parent,
+                    Envelope::Ack,
+                ),
+                None => {}
+            }
+        }
+        report.in_flight_at_detection = heap.len();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_graph::{generators, Graph};
+
+    /// Ping-pong over one edge: node 0 sends `k` to its neighbours and
+    /// every receiver forwards `k - 1` back until it hits zero.
+    struct Countdown {
+        neighbors: Vec<NodeId>,
+        start: u32,
+        received: u32,
+    }
+
+    impl AsyncProgram for Countdown {
+        type Message = u32;
+        fn on_start(&mut self, ctx: &mut Context<u32>) {
+            if self.start > 0 {
+                for &nb in &self.neighbors {
+                    ctx.send(nb, self.start);
+                }
+            }
+        }
+        fn on_message(&mut self, from: NodeId, msg: u32, ctx: &mut Context<u32>) {
+            self.received += msg;
+            if msg > 1 {
+                ctx.send(from, msg - 1);
+            }
+        }
+    }
+
+    fn countdown_programs(graph: &Graph, start_node: usize, k: u32) -> Vec<Countdown> {
+        (0..graph.node_count())
+            .map(|i| Countdown {
+                neighbors: graph.neighbors_slice(NodeId(i)).to_vec(),
+                start: if i == start_node { k } else { 0 },
+                received: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quiesces_and_counts_messages() {
+        let graph = generators::line(2);
+        let mut network = Network::new(graph.clone());
+        let mut programs = countdown_programs(&graph, 0, 4);
+        let report = SeededScheduler::new(11)
+            .run(&mut network, &mut programs)
+            .expect("run");
+        // Messages 4, 3, 2, 1 bounce across the single edge.
+        assert_eq!(report.app_messages, 4);
+        assert_eq!(report.in_flight_at_detection, 0);
+        assert_eq!(programs[1].received, 4 + 2);
+        assert_eq!(programs[0].received, 3 + 1);
+    }
+
+    #[test]
+    fn replays_byte_identically() {
+        let graph = generators::line(9);
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            let knobs = AsyncKnobs {
+                reorder_window: 3,
+                max_link_delay: 2,
+                asymmetric_delay: true,
+            };
+            let render: Vec<String> = (0..2)
+                .map(|_| {
+                    let mut network = Network::new(graph.clone());
+                    let mut programs = countdown_programs(&graph, 4, 6);
+                    SeededScheduler::new(seed)
+                        .with_knobs(knobs)
+                        .run(&mut network, &mut programs)
+                        .expect("run")
+                        .render()
+                })
+                .collect();
+            assert_eq!(render[0], render[1], "seed {seed} diverged");
+        }
+    }
+
+    #[test]
+    fn program_count_mismatch_is_invalid_input() {
+        let graph = generators::line(3);
+        let mut network = Network::new(graph.clone());
+        let mut programs = countdown_programs(&graph, 0, 1);
+        programs.pop();
+        let err = SeededScheduler::new(0)
+            .run(&mut network, &mut programs)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn step_budget_is_enforced() {
+        let graph = generators::line(2);
+        let mut network = Network::new(graph.clone());
+        let mut programs = countdown_programs(&graph, 0, 1_000_000);
+        let err = SeededScheduler::new(0)
+            .with_max_steps(50)
+            .run(&mut network, &mut programs)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::DidNotQuiesce { steps: 50 }));
+    }
+}

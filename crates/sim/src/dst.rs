@@ -121,6 +121,22 @@ pub struct Scenario {
     pub heal_delay: usize,
     /// How victim nodes are selected.
     pub target: TargetPolicy,
+    /// Asynchronous delivery only: the seeded scheduler picks each
+    /// delivery among the first `max(1, reorder_window)` eligible
+    /// in-flight messages instead of strict readiness order. `0` (the
+    /// default) and `1` both mean no reordering. Inert under the
+    /// synchronous engine (no RNG is consumed for it there), so adding
+    /// the knob changes no synchronous schedule.
+    pub reorder_window: usize,
+    /// Asynchronous delivery only: maximum extra per-message delay, in
+    /// scheduler steps, drawn uniformly per message. `0` (the default)
+    /// delivers at the earliest step. Inert under the synchronous engine.
+    pub max_link_delay: usize,
+    /// Asynchronous delivery only: give every ordered link `(u, v)` a
+    /// fixed base latency derived deterministically from the scheduler
+    /// seed (on top of the per-message draw), modelling asymmetric link
+    /// latency. Inert under the synchronous engine.
+    pub asymmetric_delay: bool,
 }
 
 impl Scenario {
@@ -140,6 +156,9 @@ impl Scenario {
             partition_weight: 0,
             heal_delay: 4,
             target: TargetPolicy::Random,
+            reorder_window: 0,
+            max_link_delay: 0,
+            asymmetric_delay: false,
         }
     }
 
@@ -225,6 +244,64 @@ impl Scenario {
         }
     }
 
+    /// Asynchronous message reordering only: deliveries are picked among
+    /// a window of eligible in-flight messages, so causally unrelated
+    /// messages overtake each other. No faults are injected — under the
+    /// synchronous engine this behaves exactly like
+    /// [`Scenario::failure_free`].
+    pub fn async_reorder() -> Self {
+        Scenario {
+            per_round_probability: 0.0,
+            reorder_window: 4,
+            ..Scenario::base("async_reorder")
+        }
+    }
+
+    /// Asynchronous per-link delay: every message draws a uniform extra
+    /// delay before becoming deliverable (plus a small reorder window, so
+    /// equal-readiness messages still race). Fault-free.
+    pub fn async_link_delay() -> Self {
+        Scenario {
+            per_round_probability: 0.0,
+            reorder_window: 2,
+            max_link_delay: 3,
+            ..Scenario::base("async_link_delay")
+        }
+    }
+
+    /// Asymmetric link latency: each ordered link carries a fixed base
+    /// delay derived from the scheduler seed, so the two directions of a
+    /// link (and different links) run at persistently different speeds.
+    /// Fault-free.
+    pub fn async_asymmetric() -> Self {
+        Scenario {
+            per_round_probability: 0.0,
+            max_link_delay: 2,
+            asymmetric_delay: true,
+            ..Scenario::base("async_asymmetric")
+        }
+    }
+
+    /// Churn under asynchrony: the synchronous sweep exercises the churn
+    /// faults (nodes joining mid-run); the asynchronous runtime sweep
+    /// exercises the delivery knobs (reordering plus per-link delay).
+    pub fn async_churn() -> Self {
+        Scenario {
+            fault_budget: 3,
+            churn_weight: 1,
+            reorder_window: 2,
+            max_link_delay: 2,
+            ..Scenario::base("async_churn")
+        }
+    }
+
+    /// Whether the scenario perturbs asynchronous delivery (any of the
+    /// reorder/delay/asymmetry knobs set). The runtime sweep draws its
+    /// scenarios from this subset of [`scenarios`].
+    pub fn is_async(&self) -> bool {
+        self.reorder_window > 1 || self.max_link_delay > 0 || self.asymmetric_delay
+    }
+
     /// Sets the fault budget (builder style).
     pub fn with_fault_budget(mut self, budget: usize) -> Self {
         self.fault_budget = budget;
@@ -281,6 +358,10 @@ pub fn scenarios() -> Vec<Scenario> {
         Scenario::round_skew(),
         Scenario::mixed(),
         Scenario::partition_heal(),
+        Scenario::async_reorder(),
+        Scenario::async_link_delay(),
+        Scenario::async_asymmetric(),
+        Scenario::async_churn(),
     ]
 }
 

@@ -13,7 +13,7 @@
 //! assert_eq!(outcome.final_diameter(), Some(2));
 //! ```
 
-use adn_core::algorithm::{self, CentralizedConfig, DstConfig, RunConfig, TraceLevel};
+use adn_core::algorithm::{self, CentralizedConfig, DstConfig, EngineMode, RunConfig, TraceLevel};
 use adn_core::graph_to_wreath::WreathConfig;
 use adn_core::{CoreError, TransformationOutcome};
 use adn_graph::{Graph, GraphFamily, UidAssignment, UidMap};
@@ -101,6 +101,16 @@ impl Experiment {
     /// Selects the centralized-strategy target shape.
     pub fn centralized(mut self, config: CentralizedConfig) -> Self {
         self.config.centralized = config;
+        self
+    }
+
+    /// Selects the execution engine: the default synchronous round loop,
+    /// the seeded single-threaded asynchronous scheduler (byte-identical
+    /// replay from one `u64`), or the free multi-threaded scheduler.
+    /// Algorithms without an asynchronous implementation reject
+    /// non-synchronous modes with [`CoreError::InvalidInput`].
+    pub fn engine(mut self, mode: EngineMode) -> Self {
+        self.config.engine = mode;
         self
     }
 

@@ -14,6 +14,10 @@
 //!   [`core::algorithm::registry`]: GraphToStar, GraphToWreath,
 //!   GraphToThinWreath, the baselines and the centralized strategies,
 //!   plus subroutines, lower-bound machinery and the task layer.
+//! * [`runtime`] (adn-runtime) — the asynchronous actor runtime with the
+//!   pluggable deterministic (`SeededScheduler`) and multi-threaded
+//!   (`FreeScheduler`) schedulers and Dijkstra–Scholten termination
+//!   detection; selected per run via [`prelude::EngineMode`].
 //! * [`analysis`] (adn-analysis) — the experiment harness.
 //!
 //! and adds the [`Experiment`] builder, the recommended entry point.
@@ -57,6 +61,7 @@
 pub use adn_analysis as analysis;
 pub use adn_core as core;
 pub use adn_graph as graph;
+pub use adn_runtime as runtime;
 pub use adn_sim as sim;
 
 mod experiment;
@@ -68,7 +73,7 @@ pub mod prelude {
     pub use crate::Experiment;
     pub use adn_core::algorithm::{
         arm_network_for_dst, find as find_algorithm, registry, AlgorithmSpec, CentralizedConfig,
-        CentralizedCutInHalf, CentralizedGeneral, CliqueFormation, DstConfig, Flooding,
+        CentralizedCutInHalf, CentralizedGeneral, CliqueFormation, DstConfig, EngineMode, Flooding,
         GraphToStar, GraphToThinWreath, GraphToWreath, ReconfigurationAlgorithm, RunConfig,
         TraceLevel,
     };
@@ -82,6 +87,7 @@ pub mod prelude {
         generators, properties, traversal, Graph, GraphFamily, NodeId, RootedTree, SortedEdgeSet,
         Uid, UidAssignment, UidMap,
     };
+    pub use adn_runtime::{AsyncKnobs, FreeScheduler, RuntimeReport, SeededScheduler};
     pub use adn_sim::dst::{
         find_scenario, scenarios, DstReport, FaultEvent, FaultRecord, Scenario, TargetPolicy,
     };
@@ -116,6 +122,19 @@ mod tests {
         let uids = UidMap::new(16, UidAssignment::Sequential);
         assert!(verify_leader_election(&outcome, &uids));
         assert!(properties::is_tree(&outcome.final_graph));
+    }
+
+    #[test]
+    fn async_engine_flows_through_the_builder() {
+        let outcome = Experiment::family(GraphFamily::Ring, 24, 5)
+            .algorithm("flooding")
+            .engine(EngineMode::Seeded { seed: 11 })
+            .run()
+            .unwrap();
+        assert!(outcome.tokens_per_node.iter().all(|&t| t == 24));
+        let report = outcome.runtime.expect("async runs carry a runtime report");
+        assert_eq!(report.scheduler, "seeded");
+        assert_eq!(report.in_flight_at_detection, 0);
     }
 
     #[test]

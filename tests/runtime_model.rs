@@ -1,0 +1,147 @@
+//! Differential model tests for the asynchronous runtime.
+//!
+//! Three obligations of the `adn-runtime` subsystem, checked from the
+//! facade so the whole public path (builder → engine dispatch → scheduler
+//! → outcome) is exercised:
+//!
+//! 1. the seeded scheduler replays **byte-identically** from one `u64`;
+//! 2. on delay-free schedules the asynchronous engine reaches the same
+//!    outcome as the synchronous engine (and the tree actors the same
+//!    tree as the synchronous subroutine under *any* knobs);
+//! 3. Dijkstra–Scholten never declares termination with a message still
+//!    in flight, across a seed sweep of adversarial delivery schedules.
+
+use actively_dynamic_networks::core::subroutines::{
+    run_line_to_tree, run_runtime_line_to_tree_seeded, LineToTreeConfig,
+};
+use actively_dynamic_networks::prelude::*;
+use actively_dynamic_networks::runtime::flood::flood_actors;
+
+/// The nastiest delivery schedule the seeded scheduler offers: wide
+/// reorder window, per-message delays and persistently asymmetric links.
+const ADVERSARIAL: AsyncKnobs = AsyncKnobs {
+    reorder_window: 6,
+    max_link_delay: 3,
+    asymmetric_delay: true,
+};
+
+fn flood_outcome(
+    family: GraphFamily,
+    n: usize,
+    seed: u64,
+    engine: EngineMode,
+) -> TransformationOutcome {
+    Experiment::family(family, n, seed)
+        .algorithm("flooding")
+        .engine(engine)
+        .run()
+        .expect("flooding run")
+}
+
+#[test]
+fn seeded_scheduler_replays_byte_identically() {
+    for (family, n) in [
+        (GraphFamily::Ring, 24),
+        (GraphFamily::Grid, 25),
+        (GraphFamily::RandomTree, 40),
+    ] {
+        for sched_seed in [0u64, 7, 0xDEAD_BEEF] {
+            let a = flood_outcome(family, n, 3, EngineMode::Seeded { seed: sched_seed });
+            let b = flood_outcome(family, n, 3, EngineMode::Seeded { seed: sched_seed });
+            let ra = a.runtime.expect("async run carries a report");
+            let rb = b.runtime.expect("async run carries a report");
+            assert_eq!(
+                ra.render(),
+                rb.render(),
+                "replay diverged: {family:?} n={n} sched_seed={sched_seed}"
+            );
+            assert_eq!(a.tokens_per_node, b.tokens_per_node);
+            assert_eq!(a.leader, b.leader);
+        }
+    }
+}
+
+#[test]
+fn delay_free_async_flooding_matches_the_sync_engine() {
+    // With all knobs zero the seeded scheduler delivers earliest-first,
+    // and flooding's token-merge is order-independent anyway — so the
+    // asynchronous engine must land on exactly the synchronous outcome
+    // (modulo round/step accounting, which async runs do not have).
+    for (family, n) in [
+        (GraphFamily::Line, 32),
+        (GraphFamily::Ring, 24),
+        (GraphFamily::Star, 17),
+        (GraphFamily::SparseRandom, 30),
+    ] {
+        for graph_seed in [1u64, 12] {
+            let sync = flood_outcome(family, n, graph_seed, EngineMode::Synchronous);
+            let seeded = flood_outcome(family, n, graph_seed, EngineMode::Seeded { seed: 0 });
+            assert_eq!(sync.leader, seeded.leader, "{family:?} n={n}");
+            assert_eq!(
+                sync.tokens_per_node, seeded.tokens_per_node,
+                "{family:?} n={n}"
+            );
+            assert!(seeded.tokens_per_node.iter().all(|&t| t == n));
+            assert_eq!(
+                sync.final_graph.edge_count(),
+                seeded.final_graph.edge_count(),
+                "flooding must not reconfigure under either engine"
+            );
+        }
+    }
+}
+
+#[test]
+fn tree_actors_match_the_synchronous_subroutine_under_any_knobs() {
+    // Unlike flooding, line-to-tree *does* reconfigure, and its handshake
+    // is delivery-order sensitive — equality with the synchronous
+    // subroutine under adversarial knobs is the real differential test.
+    for (n, arity) in [(16usize, 2usize), (33, 2), (48, 3)] {
+        let line: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let config = LineToTreeConfig {
+            arity,
+            protected_edges: SortedEdgeSet::new(),
+        };
+        let mut sync_net = Network::new(generators::line(n));
+        let (sync_tree, _) = run_line_to_tree(&mut sync_net, &line, &config).unwrap();
+        for sched_seed in [2u64, 41, 9999] {
+            let mut net = Network::new(generators::line(n));
+            let (tree, report) =
+                run_runtime_line_to_tree_seeded(&mut net, &line, &config, sched_seed, ADVERSARIAL)
+                    .unwrap();
+            assert_eq!(
+                tree, sync_tree,
+                "n={n} arity={arity} sched_seed={sched_seed}"
+            );
+            assert_eq!(report.in_flight_at_detection, 0);
+        }
+    }
+}
+
+#[test]
+fn termination_detection_never_fires_with_messages_in_flight() {
+    // Property sweep: across many scheduler seeds and adversarial knobs,
+    // Dijkstra–Scholten must only declare global quiescence when the
+    // in-flight message count is exactly zero — and the computation must
+    // actually be finished (every node knows every token), i.e. the
+    // detector is neither unsound nor trivially late.
+    let n = 20;
+    let graph = generators::ring(n);
+    let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed: 13 });
+    for sched_seed in 0..64u64 {
+        let mut network = Network::new(graph.clone());
+        let mut actors = flood_actors(&graph, &uids);
+        let report = SeededScheduler::new(sched_seed)
+            .with_knobs(ADVERSARIAL)
+            .run(&mut network, &mut actors)
+            .expect("seeded flood run");
+        assert_eq!(
+            report.in_flight_at_detection, 0,
+            "detector fired with messages in flight (sched_seed={sched_seed})"
+        );
+        assert!(
+            actors.iter().all(|a| a.known().len() == n),
+            "detector fired before dissemination finished (sched_seed={sched_seed})"
+        );
+    }
+}
