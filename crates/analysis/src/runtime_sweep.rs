@@ -3,11 +3,13 @@
 //! The synchronous stress suite ([`crate::stress`]) derives a whole
 //! adversarial execution from one `u64`; this module applies the same
 //! recipe to the `adn-runtime` schedulers. A [`RuntimeCase`] names a
-//! program (flooding actors or the line-to-tree actors), a workload, an
+//! program (flooding actors, the line-to-tree actors, or one of the
+//! committee algorithms — GraphToStar / GraphToWreath), a workload, an
 //! *asynchronous* scenario (delivery reorder window, per-link delay,
-//! asymmetric latency) and a scheduler seed — all drawn from a single
-//! case seed, so any divergence found by a sweep is one replayable
-//! number.
+//! asymmetric latency), a scheduler seed, and — for committee programs
+//! under a fault-budgeted scenario — an armed [`FaultPlan`] of
+//! crash/churn events, all drawn from a single case seed, so any
+//! divergence found by a sweep is one replayable number.
 //!
 //! Every case runs on the [`SeededScheduler`]: its delivery order is a
 //! pure function of the scheduler seed, so [`RuntimeCaseReport::render`]
@@ -18,10 +20,14 @@
 //! [`SeededScheduler`]: adn_runtime::SeededScheduler
 
 use adn_core::algorithm::{self, DstConfig, EngineMode, RunConfig};
-use adn_core::subroutines::{run_runtime_line_to_tree_seeded, LineToTreeConfig};
+use adn_core::graph_to_wreath::WreathConfig;
+use adn_core::subroutines::{
+    run_runtime_line_to_tree_seeded, run_runtime_star_faulted, run_runtime_wreath_faulted,
+    LineToTreeConfig,
+};
 use adn_graph::rng::DetRng;
 use adn_graph::{GraphFamily, NodeId, UidAssignment, UidMap};
-use adn_runtime::AsyncKnobs;
+use adn_runtime::{AsyncKnobs, FaultKind, FaultPlan};
 use adn_sim::dst::{self, Scenario};
 use adn_sim::Network;
 
@@ -34,14 +40,29 @@ pub enum RuntimeProgram {
     /// The message-driven line-to-tree actors
     /// ([`adn_core::subroutines::runtime_line_to_tree`]).
     LineToTree,
+    /// The committee actors running GraphToStar
+    /// ([`adn_core::subroutines::runtime_committee`]).
+    Star,
+    /// The committee actors running the wreath family (tree arity from
+    /// [`RuntimeCase::arity`]).
+    Wreath,
 }
 
 impl RuntimeProgram {
-    fn name(&self) -> &'static str {
+    /// Stable program identifier used in renders and sweep summaries.
+    pub fn name(&self) -> &'static str {
         match self {
             RuntimeProgram::Flooding => "flooding",
             RuntimeProgram::LineToTree => "line_to_tree",
+            RuntimeProgram::Star => "graph_to_star",
+            RuntimeProgram::Wreath => "graph_to_wreath",
         }
+    }
+
+    /// Whether this program runs the committee actors (and therefore
+    /// accepts an armed fault plan).
+    pub fn is_committee(&self) -> bool {
+        matches!(self, RuntimeProgram::Star | RuntimeProgram::Wreath)
     }
 }
 
@@ -57,6 +78,16 @@ const FLOOD_FAMILIES: [GraphFamily; 8] = [
     GraphFamily::RandomTree,
     GraphFamily::Caterpillar,
     GraphFamily::Hypercube,
+];
+
+/// Workload families for committee cases — the subset that honours the
+/// requested node count exactly, so a crash target drawn from `0..n` is
+/// always a valid node (Grid and Hypercube round `n`).
+const COMMITTEE_FAMILIES: [GraphFamily; 4] = [
+    GraphFamily::Line,
+    GraphFamily::Ring,
+    GraphFamily::RandomTree,
+    GraphFamily::Caterpillar,
 ];
 
 /// One fully specified asynchronous execution.
@@ -77,8 +108,13 @@ pub struct RuntimeCase {
     pub scenario: Scenario,
     /// The scheduler seed (delivery order, delay jitter).
     pub sched_seed: u64,
-    /// Tree arity for line-to-tree cases (ignored by flooding).
+    /// Tree arity for line-to-tree and wreath cases (ignored by
+    /// flooding and GraphToStar).
     pub arity: usize,
+    /// Armed fault events delivered by the scheduler mid-execution.
+    /// Derived from the scenario's fault budget for committee programs;
+    /// always empty for flooding and line-to-tree cases.
+    pub faults: FaultPlan,
 }
 
 impl RuntimeCase {
@@ -90,14 +126,18 @@ impl RuntimeCase {
     /// scenarios (a registry regression).
     pub fn from_seed(seed: u64) -> Self {
         let mut rng = DetRng::seed_from_u64(seed);
-        let program = if rng.gen_range(0, 2) == 0 {
-            RuntimeProgram::Flooding
-        } else {
-            RuntimeProgram::LineToTree
+        let program = match rng.gen_range(0, 4) {
+            0 => RuntimeProgram::Flooding,
+            1 => RuntimeProgram::LineToTree,
+            2 => RuntimeProgram::Star,
+            _ => RuntimeProgram::Wreath,
         };
         let family = match program {
             RuntimeProgram::Flooding => FLOOD_FAMILIES[rng.gen_range(0, FLOOD_FAMILIES.len())],
             RuntimeProgram::LineToTree => GraphFamily::Line,
+            RuntimeProgram::Star | RuntimeProgram::Wreath => {
+                COMMITTEE_FAMILIES[rng.gen_range(0, COMMITTEE_FAMILIES.len())]
+            }
         };
         let n = rng.gen_range(8, 65);
         let uid_seed = (rng.next_u64() % 100_000) + 1;
@@ -109,6 +149,27 @@ impl RuntimeCase {
         let scenario = pool[rng.gen_range(0, pool.len())].clone();
         let sched_seed = rng.next_u64();
         let arity = 2 + rng.gen_range(0, 3);
+        // Committee programs arm the scenario's fault budget as scheduler
+        // step events; the other programs have no fault handling yet, so
+        // their plans stay empty.
+        let mut faults = FaultPlan::new();
+        if program.is_committee() && scenario.fault_budget > 0 {
+            let weight_total = (scenario.crash_weight + scenario.churn_weight) as usize;
+            if weight_total > 0 {
+                let events = 1 + rng.gen_range(0, scenario.fault_budget);
+                for _ in 0..events {
+                    // Committee phases take O(n) delivery steps each, so a
+                    // window of 40·n steps lands faults across the whole
+                    // run, from the first gossip through late merge phases.
+                    let at_step = 1 + rng.gen_range(0, n * 40);
+                    if rng.gen_range(0, weight_total) < scenario.crash_weight as usize {
+                        faults = faults.crash_at(at_step, NodeId(rng.gen_range(0, n)));
+                    } else {
+                        faults = faults.join_at(at_step);
+                    }
+                }
+            }
+        }
         RuntimeCase {
             seed,
             program,
@@ -118,6 +179,7 @@ impl RuntimeCase {
             scenario,
             sched_seed,
             arity,
+            faults,
         }
     }
 }
@@ -162,6 +224,20 @@ impl RuntimeCaseReport {
             "knobs: reorder_window={} max_link_delay={} asymmetric={}\n",
             knobs.reorder_window, knobs.max_link_delay, knobs.asymmetric_delay,
         ));
+        if self.case.faults.is_empty() {
+            s.push_str("faults: none\n");
+        } else {
+            s.push_str("faults:");
+            for event in self.case.faults.events() {
+                match event.kind {
+                    FaultKind::Crash(node) => {
+                        s.push_str(&format!(" crash({node})@{}", event.at_step))
+                    }
+                    FaultKind::Join => s.push_str(&format!(" join@{}", event.at_step)),
+                }
+            }
+            s.push('\n');
+        }
         s.push_str(&format!("outcome: {}\n", self.outcome));
         s.push_str(&self.runtime);
         s
@@ -234,6 +310,53 @@ pub fn run_case(case: &RuntimeCase) -> RuntimeCaseReport {
                 Err(e) => (format!("failed: {e}"), String::new(), false),
             }
         }
+        RuntimeProgram::Star | RuntimeProgram::Wreath => {
+            let config = RunConfig::default().with_engine(EngineMode::Seeded {
+                seed: case.sched_seed,
+            });
+            let knobs = AsyncKnobs::from_scenario(&case.scenario);
+            let result = match case.program {
+                RuntimeProgram::Star => run_runtime_star_faulted(
+                    &mut network,
+                    &uids,
+                    &config,
+                    case.sched_seed,
+                    knobs,
+                    &case.faults,
+                ),
+                _ => {
+                    let wreath = WreathConfig {
+                        tree_arity: case.arity,
+                        ..WreathConfig::binary()
+                    };
+                    run_runtime_wreath_faulted(
+                        &mut network,
+                        &uids,
+                        &wreath,
+                        &config,
+                        case.sched_seed,
+                        knobs,
+                        &case.faults,
+                    )
+                }
+            };
+            match result {
+                Ok(o) => {
+                    let report = o
+                        .runtime
+                        .expect("async committee runs report their runtime");
+                    (
+                        format!(
+                            "completed (leader {}, {} phases, committees per phase {:?})",
+                            o.leader, o.phases, o.committees_per_phase
+                        ),
+                        report.render(),
+                        true,
+                    )
+                }
+                Err(e) => (format!("failed: {e}"), String::new(), false),
+            }
+        }
     };
     RuntimeCaseReport {
         case: case.clone(),
@@ -289,11 +412,12 @@ impl RuntimeSweepSummary {
         );
         for r in self.failures() {
             s.push_str(&format!(
-                "  FAILURE seed={} ({} on {} under {}): {}\n",
+                "  FAILURE seed={} ({} on {} under {} sched_seed={}): {}\n",
                 r.case.seed,
                 r.case.program.name(),
                 r.case.family,
                 r.case.scenario.name,
+                r.case.sched_seed,
                 r.outcome,
             ));
         }
@@ -369,12 +493,30 @@ mod tests {
             let b = RuntimeCase::from_seed(seed);
             assert_eq!(a, b);
             assert!(a.scenario.is_async(), "seed {seed} drew a sync scenario");
+            if a.program.is_committee() {
+                assert!(
+                    COMMITTEE_FAMILIES.contains(&a.family),
+                    "seed {seed} drew a family that rounds n for a committee program"
+                );
+                for event in a.faults.events() {
+                    if let FaultKind::Crash(node) = event.kind {
+                        assert!(node.0 < a.n, "seed {seed} drew an out-of-range crash");
+                    }
+                }
+            } else {
+                assert!(
+                    a.faults.is_empty(),
+                    "seed {seed} armed faults on a non-committee program"
+                );
+            }
         }
     }
 
     #[test]
     fn replay_is_byte_identical() {
-        for seed in [1u64, 2, 3, 58, 59] {
+        // Seeds chosen to cover every program, including fault-armed
+        // committee cases (30 = star + joins, 49 = wreath + joins).
+        for seed in [26u64, 27, 28, 30, 34, 49] {
             let (report, identical) = verify_replay(seed);
             assert!(identical, "seed {seed} diverged:\n{}", report.render());
         }
@@ -409,6 +551,44 @@ mod tests {
                 r.render()
             );
             assert!(r.runtime.contains("in flight 0"), "{}", r.render());
+        }
+    }
+
+    #[test]
+    fn crash_armed_committee_case_replays_and_degrades_cleanly() {
+        // Seed-derived plans only ever join (the async pool's sole
+        // fault-budgeted scenario is churn-weighted), so the crash half
+        // of the armed fault path is pinned with an explicit case. The
+        // crash lands mid-run; whichever way the schedule falls —
+        // surviving to a star or degrading — the outcome must replay
+        // byte-identically and any failure must be the clean error, not
+        // a panic or a hang.
+        let scenario = dst::find_scenario("async_churn").expect("async_churn is registered");
+        let case = RuntimeCase {
+            seed: 0,
+            program: RuntimeProgram::Star,
+            family: GraphFamily::Ring,
+            n: 16,
+            uid_seed: 21,
+            scenario,
+            sched_seed: 5,
+            arity: 2,
+            faults: FaultPlan::new().crash_at(900, NodeId(3)),
+        };
+        let first = run_case(&case);
+        let second = run_case(&case);
+        assert_eq!(first.render(), second.render(), "crash case diverged");
+        assert!(
+            first.render().contains("faults: crash(v3)@900"),
+            "render must pin the fault plan:\n{}",
+            first.render()
+        );
+        if !first.completed {
+            assert!(
+                first.outcome.starts_with("failed: "),
+                "degraded run must fail cleanly: {}",
+                first.outcome
+            );
         }
     }
 }

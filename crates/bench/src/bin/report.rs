@@ -12,6 +12,9 @@
 //!   `BENCH_dst.json`;
 //! * `... report -- --replay <seed>` — replay one stress case from its
 //!   `u64` seed and verify byte-identical reproduction;
+//! * `... report -- --replay-runtime <seed>` — same, for one
+//!   asynchronous-runtime case (program, workload, scenario, scheduler
+//!   seed and fault plan all derived from the one seed);
 //! * `... report -- --minimize <seed>` — shrink a stress case to the
 //!   smallest fault budget that still fails and print the minimized
 //!   seed, budget and fault-kind histogram;
@@ -87,6 +90,19 @@ fn main() {
                 .and_then(|s| s.parse().ok())
                 .expect("usage: report --replay <u64 seed>");
             let report = adn_bench::replay_report(seed);
+            print!("{report}");
+            if !report.contains("replay byte-identical: yes") {
+                std::process::exit(1);
+            }
+        }
+        Some("--replay-runtime") => {
+            reject_unused("--replay-runtime", threads, quick, false);
+            reject_check("--replay-runtime", &check);
+            let seed: u64 = args
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .expect("usage: report --replay-runtime <u64 seed>");
+            let report = adn_bench::runtime_replay_report(seed);
             print!("{report}");
             if !report.contains("replay byte-identical: yes") {
                 std::process::exit(1);

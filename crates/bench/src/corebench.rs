@@ -13,7 +13,7 @@
 
 use crate::harness::{Bench, Sample};
 use adn_analysis::stress::json_escape;
-use adn_core::algorithm::{self, RunConfig};
+use adn_core::algorithm::{self, EngineMode, RunConfig};
 use adn_core::committee::{CommitteeForest, IncrementalAdjacency};
 use adn_core::subroutines::{
     run_runtime_line_to_tree_free, run_runtime_line_to_tree_seeded, LineToTreeConfig,
@@ -400,11 +400,12 @@ fn bench_engine(bench: &mut Bench, quick: bool) {
     );
 }
 
-/// The asynchronous actor runtime: flooding and line-to-tree actors on
-/// both schedulers. The seeded cases exercise the adversarial knobs
-/// (reorder window, per-link delay, asymmetric latency); the free cases
-/// pin the thread count so the label — and therefore the regression
-/// gate — is machine-independent.
+/// The asynchronous actor runtime: flooding, line-to-tree and the
+/// committee actors (GraphToStar / GraphToWreath) on both schedulers.
+/// The seeded cases exercise the adversarial knobs (reorder window,
+/// per-link delay, asymmetric latency); the free cases pin the thread
+/// count so the label — and therefore the regression gate — is
+/// machine-independent.
 fn bench_runtime(bench: &mut Bench, quick: bool) {
     let n = if quick { 128 } else { 512 };
     let knobs = AsyncKnobs {
@@ -456,6 +457,36 @@ fn bench_runtime(bench: &mut Bench, quick: bool) {
             std::hint::black_box(tree.depth());
         },
     );
+
+    // The committee actors: GraphToStar / GraphToWreath through the full
+    // `EngineMode` dispatch path. Smaller n than the subroutine cases —
+    // a committee run is a whole phase cascade (gossip, report, decide,
+    // execute per phase), not a single quiescent wave.
+    let committee_n = if quick { 64 } else { 256 };
+    let committee_graph = generators::ring(committee_n);
+    let committee_uids = UidMap::new(committee_n, UidAssignment::RandomPermutation { seed: 11 });
+    for (id, label) in [("graph_to_star", "star"), ("graph_to_wreath", "wreath")] {
+        let a = algorithm::find(id).expect("registered algorithm");
+        let seeded = RunConfig::default().with_engine(EngineMode::Seeded { seed: 42 });
+        bench.measure(&format!("runtime/{label}_seeded n={committee_n}"), || {
+            let outcome = a
+                .run(&committee_graph, &committee_uids, &seeded)
+                .expect("seeded committee run quiesces");
+            assert!(outcome.runtime.is_some());
+        });
+        let free = RunConfig::default().with_engine(EngineMode::Free {
+            threads: free_threads,
+        });
+        bench.measure(
+            &format!("runtime/{label}_free n={committee_n} threads={free_threads}"),
+            || {
+                let outcome = a
+                    .run(&committee_graph, &committee_uids, &free)
+                    .expect("free committee run quiesces");
+                assert!(outcome.runtime.is_some());
+            },
+        );
+    }
 }
 
 fn bench_sweep(bench: &mut Bench, quick: bool, threads: usize) {
@@ -945,6 +976,16 @@ mod tests {
         assert!(labels
             .iter()
             .any(|l| l.starts_with("runtime/line_to_tree_free")));
+        for committee in ["star", "wreath"] {
+            for engine in ["seeded", "free"] {
+                assert!(
+                    labels
+                        .iter()
+                        .any(|l| l.starts_with(&format!("runtime/{committee}_{engine}"))),
+                    "missing runtime/{committee}_{engine} row"
+                );
+            }
+        }
     }
 
     #[test]

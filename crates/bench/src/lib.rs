@@ -88,8 +88,14 @@ pub fn runtime_suite(cases: usize, threads: usize) -> (String, usize) {
         if !identical || again.render() != report.render() {
             diverged += 1;
             text.push_str(&format!(
-                "  REPLAY DIVERGED seed={} — determinism bug, please report\n",
-                report.case.seed
+                "  REPLAY DIVERGED seed={} ({} on {} under {} sched_seed={}) — determinism \
+                 bug, replay with `report -- --replay-runtime {}`\n",
+                report.case.seed,
+                report.case.program.name(),
+                report.case.family,
+                report.case.scenario.name,
+                report.case.sched_seed,
+                report.case.seed,
             ));
         }
     }
@@ -124,6 +130,19 @@ pub fn minimize_report(seed: u64) -> (String, bool) {
 /// two runs rendered byte-identically.
 pub fn replay_report(seed: u64) -> String {
     let (report, identical) = adn_analysis::stress::verify_replay(seed);
+    let verdict = if identical {
+        "replay byte-identical: yes"
+    } else {
+        "replay byte-identical: NO — determinism bug, please report"
+    };
+    format!("{}{verdict}\n", report.render())
+}
+
+/// Replays one asynchronous-runtime case from its seed, twice, and
+/// reports whether the two runs rendered byte-identically — the runtime
+/// counterpart of [`replay_report`], fronted by `report -- --replay-runtime`.
+pub fn runtime_replay_report(seed: u64) -> String {
+    let (report, identical) = adn_analysis::runtime_sweep::verify_replay(seed);
     let verdict = if identical {
         "replay byte-identical: yes"
     } else {

@@ -71,9 +71,9 @@ pub enum CentralizedConfig {
 /// The paper's model is synchronous and every algorithm runs there; the
 /// asynchronous modes execute on the `adn-runtime` actor layer instead,
 /// with no round barrier and Dijkstra–Scholten quiescence detection.
-/// Only the algorithms with an actor implementation (currently flooding
-/// and the line-to-tree subroutine) accept the asynchronous modes; the
-/// rest fail with [`CoreError::InvalidInput`].
+/// The algorithms with an actor implementation — flooding, the
+/// line-to-tree subroutine, `GraphToStar` and the wreath family — accept
+/// the asynchronous modes; the rest fail with [`CoreError::InvalidInput`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EngineMode {
     /// The lock-step round engine of `adn-sim` (the default).
@@ -304,6 +304,32 @@ pub trait ReconfigurationAlgorithm: Sync {
         true
     }
 
+    /// Whether this algorithm has an asynchronous actor implementation,
+    /// i.e. accepts [`EngineMode::Seeded`] and [`EngineMode::Free`] in
+    /// addition to the synchronous engine (which every algorithm
+    /// supports). Algorithms that return `false` here must fail cleanly
+    /// with [`CoreError::InvalidInput`] — never panic — when handed an
+    /// asynchronous mode; the conformance suite exercises every
+    /// registered algorithm once per mode to enforce exactly that.
+    fn supports_async_engines(&self) -> bool {
+        false
+    }
+
+    /// The engine modes this algorithm accepts, for support matrices and
+    /// the conformance suite (representative members: the seed/thread
+    /// payloads carried by the async modes are inputs, not capabilities).
+    fn supported_engine_modes(&self) -> Vec<EngineMode> {
+        if self.supports_async_engines() {
+            vec![
+                EngineMode::Synchronous,
+                EngineMode::Seeded { seed: 0 },
+                EngineMode::Free { threads: 1 },
+            ]
+        } else {
+            vec![EngineMode::Synchronous]
+        }
+    }
+
     /// Executes the algorithm on `network` (whose current snapshot is the
     /// initial network `G_s`) under `config`.
     ///
@@ -394,6 +420,10 @@ impl ReconfigurationAlgorithm for GraphToStar {
         }
     }
 
+    fn supports_async_engines(&self) -> bool {
+        true
+    }
+
     fn execute(
         &self,
         network: &mut Network,
@@ -423,6 +453,10 @@ impl ReconfigurationAlgorithm for GraphToWreath {
             diameter_bound: |n| 4 * ceil_log2(n.max(2)) + 4,
             max_degree_bound: |_| 3,
         }
+    }
+
+    fn supports_async_engines(&self) -> bool {
+        true
     }
 
     fn execute(
@@ -455,6 +489,10 @@ impl ReconfigurationAlgorithm for GraphToThinWreath {
             diameter_bound: |n| 2 * ceil_log2(n.max(2)) + 4,
             max_degree_bound: |n| ceil_log2(n.max(4)).max(2) + 1,
         }
+    }
+
+    fn supports_async_engines(&self) -> bool {
+        true
     }
 
     fn execute(
@@ -589,6 +627,10 @@ impl ReconfigurationAlgorithm for Flooding {
             diameter_bound: |n| n.saturating_sub(1),
             max_degree_bound: |n| n.saturating_sub(1),
         }
+    }
+
+    fn supports_async_engines(&self) -> bool {
+        true
     }
 
     fn execute(

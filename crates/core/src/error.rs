@@ -1,5 +1,6 @@
 //! Error type shared by the algorithms in this crate.
 
+use adn_runtime::RuntimeError;
 use adn_sim::SimError;
 use std::error::Error;
 use std::fmt;
@@ -70,6 +71,18 @@ impl Error for CoreError {
 impl From<SimError> for CoreError {
     fn from(value: SimError) -> Self {
         CoreError::Sim(value)
+    }
+}
+
+impl From<RuntimeError> for CoreError {
+    fn from(value: RuntimeError) -> Self {
+        match value {
+            RuntimeError::Sim(e) => CoreError::Sim(e),
+            other => CoreError::BrokenInvariant {
+                algorithm: "adn-runtime",
+                detail: other.to_string(),
+            },
+        }
     }
 }
 

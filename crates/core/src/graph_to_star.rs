@@ -92,7 +92,6 @@ pub(crate) fn execute(
     uids: &UidMap,
     config: &RunConfig,
 ) -> Result<TransformationOutcome, CoreError> {
-    config.require_sync_engine("GraphToStar")?;
     let initial = network.graph().clone();
     let n = initial.node_count();
     if n == 0 {
@@ -109,6 +108,9 @@ pub(crate) fn execute(
         return Err(CoreError::InvalidInput {
             reason: "GraphToStar requires a connected initial network".into(),
         });
+    }
+    if !config.engine.is_synchronous() {
+        return crate::subroutines::runtime_committee::run_runtime_star(network, uids, config);
     }
 
     network.set_trace_enabled(config.trace.is_per_round());

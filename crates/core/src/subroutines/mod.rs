@@ -10,9 +10,13 @@
 //!   (Appendix B), which the wreath algorithms run after merging rings.
 //! * [`runtime_line_to_tree`] — the same subroutine as message-driven
 //!   actors on the `adn-runtime` schedulers (no round loop at all).
+//! * [`runtime_committee`] — the committee algorithms (`GraphToStar`, the
+//!   wreath family) as message-driven actors on the same schedulers, with
+//!   armed fault plans.
 
 pub mod async_line_to_tree;
 pub mod line_to_tree;
+pub mod runtime_committee;
 pub mod runtime_line_to_tree;
 pub mod tree_to_star;
 
@@ -20,6 +24,9 @@ pub use async_line_to_tree::{
     run_async_line_to_tree, run_async_line_to_tree_with_scratch, AsyncLineConfig,
 };
 pub use line_to_tree::{run_line_to_tree, run_line_to_tree_with_scratch, LineToTreeConfig};
+pub use runtime_committee::{
+    run_runtime_star, run_runtime_star_faulted, run_runtime_wreath, run_runtime_wreath_faulted,
+};
 pub use runtime_line_to_tree::{
     run_runtime_line_to_tree_free, run_runtime_line_to_tree_seeded, TreeActor, TreeMsg,
 };

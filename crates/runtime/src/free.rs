@@ -69,6 +69,60 @@ impl FreeScheduler {
         self.threads
     }
 
+    /// Runs `programs` in driver-delimited phases (the free-running
+    /// counterpart of [`SeededScheduler::run_phased`]
+    /// (crate::SeededScheduler::run_phased)): before each phase the driver
+    /// may rewrite actor state and decides whether another phase runs;
+    /// each phase spins up the worker pool and runs to Dijkstra–Scholten
+    /// quiescence. Counters accumulate across phases.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the driver raises, plus every [`RuntimeError`] a
+    /// single-phase run can raise.
+    pub fn run_phased<P, E, F>(
+        &self,
+        network: &mut Network,
+        programs: &mut [P],
+        mut driver: F,
+    ) -> Result<RuntimeReport, E>
+    where
+        P: AsyncProgram,
+        E: From<RuntimeError>,
+        F: FnMut(&mut Network, &mut [P], usize) -> Result<bool, E>,
+    {
+        let n = programs.len();
+        let mut report = RuntimeReport {
+            scheduler: "free",
+            seed: None,
+            threads: Some(self.threads.min(n.max(1))),
+            n,
+            steps: 0,
+            app_messages: 0,
+            acks: 0,
+            commits: 0,
+            activations: 0,
+            deactivations: 0,
+            in_flight_at_detection: 0,
+        };
+        let mut phase = 0usize;
+        loop {
+            if !driver(network, programs, phase)? {
+                break;
+            }
+            let r = self.run(network, programs).map_err(E::from)?;
+            report.steps += r.steps;
+            report.app_messages += r.app_messages;
+            report.acks += r.acks;
+            report.commits += r.commits;
+            report.activations += r.activations;
+            report.deactivations += r.deactivations;
+            report.in_flight_at_detection = r.in_flight_at_detection;
+            phase += 1;
+        }
+        Ok(report)
+    }
+
     /// Runs `programs` (actor `i` is node `i`) to Dijkstra–Scholten
     /// quiescence on `network` using free-running worker threads.
     pub fn run<P: AsyncProgram>(

@@ -34,6 +34,7 @@
 
 pub mod actor;
 pub mod adapter;
+pub mod fault;
 pub mod flood;
 pub mod free;
 pub mod seeded;
@@ -41,6 +42,7 @@ pub mod termination;
 
 pub use actor::{AsyncProgram, Context, Envelope};
 pub use adapter::SyncAdapter;
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use flood::FloodActor;
 pub use free::FreeScheduler;
 pub use seeded::SeededScheduler;

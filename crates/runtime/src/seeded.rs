@@ -8,6 +8,7 @@
 //! byte-identically.
 
 use crate::actor::{AsyncProgram, Context, Envelope};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::termination::{DsParent, DsState};
 use crate::{AsyncKnobs, RuntimeError, RuntimeReport};
 use adn_graph::rng::DetRng;
@@ -105,11 +106,65 @@ impl SeededScheduler {
         network: &mut Network,
         programs: &mut [P],
     ) -> Result<RuntimeReport, RuntimeError> {
-        let n = network.node_count();
-        if programs.len() != n {
-            return Err(RuntimeError::InvalidInput {
-                reason: format!("{} programs for {n} nodes", programs.len()),
-            });
+        self.run_phased(network, programs, |_, _, phase| {
+            Ok::<bool, RuntimeError>(phase == 0)
+        })
+    }
+
+    /// Runs `programs` in driver-delimited phases: before each phase the
+    /// `driver` closure is called with the network, the actors and the
+    /// phase index; it may rewrite actor state (common-knowledge
+    /// orchestration between barriers) and returns whether another phase
+    /// should run. Each phase re-sends `Start` to every live actor and
+    /// runs to Dijkstra–Scholten quiescence; one RNG stream spans all
+    /// phases, so a phased run replays byte-identically from the seed.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the driver raises, plus every [`RuntimeError`] a
+    /// single-phase run can raise (converted via `E: From<RuntimeError>`).
+    pub fn run_phased<P, E, F>(
+        &self,
+        network: &mut Network,
+        programs: &mut [P],
+        driver: F,
+    ) -> Result<RuntimeReport, E>
+    where
+        P: AsyncProgram,
+        E: From<RuntimeError>,
+        F: FnMut(&mut Network, &mut [P], usize) -> Result<bool, E>,
+    {
+        self.run_phased_with_faults(network, programs, &FaultPlan::default(), driver)
+    }
+
+    /// [`run_phased`](Self::run_phased) with an armed [`FaultPlan`]:
+    /// events fire deterministically when the cumulative delivery-step
+    /// counter reaches their step, *between* deliveries. A crash severs
+    /// the node in the network, forgives its Dijkstra–Scholten deficit and
+    /// signs off its engagement on its behalf; subsequent application
+    /// messages to it are acknowledged by the scheduler (senders' deficits
+    /// still drain) and acks to it are dropped. Termination detection
+    /// stays exact for the live part of the system —
+    /// [`RuntimeReport::in_flight_at_detection`] counts only messages
+    /// destined to live nodes.
+    #[allow(clippy::too_many_lines)]
+    pub fn run_phased_with_faults<P, E, F>(
+        &self,
+        network: &mut Network,
+        programs: &mut [P],
+        faults: &FaultPlan,
+        mut driver: F,
+    ) -> Result<RuntimeReport, E>
+    where
+        P: AsyncProgram,
+        E: From<RuntimeError>,
+        F: FnMut(&mut Network, &mut [P], usize) -> Result<bool, E>,
+    {
+        let n = programs.len();
+        if network.node_count() != n {
+            return Err(E::from(RuntimeError::InvalidInput {
+                reason: format!("{n} programs for {} nodes", network.node_count()),
+            }));
         }
         let mut rng = DetRng::seed_from_u64(self.seed);
         let window = self.knobs.reorder_window.max(1);
@@ -117,8 +172,8 @@ impl SeededScheduler {
         let mut seq = 0usize;
         let mut now = 0usize;
         let mut ds: Vec<DsState> = vec![DsState::default(); n];
-        let mut started = vec![false; n];
-        let mut root_deficit = n;
+        let mut crashed = vec![false; n];
+        let mut fault_idx = 0usize;
         let mut report = RuntimeReport {
             scheduler: "seeded",
             seed: Some(self.seed),
@@ -156,143 +211,214 @@ impl SeededScheduler {
             *seq += 1;
         };
 
-        for i in 0..n {
-            enqueue(
-                &mut heap,
-                &mut rng,
-                &mut seq,
-                0,
-                None,
-                NodeId(i),
-                Envelope::Start,
-            );
-        }
-
         let mut window_buf: Vec<InFlight<P::Message>> = Vec::with_capacity(window);
-        while root_deficit > 0 {
-            if report.steps >= self.max_steps {
-                return Err(RuntimeError::DidNotQuiesce {
-                    steps: report.steps,
-                });
+        let mut phase = 0usize;
+        loop {
+            if !driver(network, programs, phase)? {
+                break;
             }
-            // Pull up to `window` candidates in readiness order and pick
-            // one uniformly; with window 1 no RNG is consumed, so the
-            // default knobs add zero draws to the stream.
-            window_buf.clear();
-            for _ in 0..window {
-                match heap.pop() {
-                    Some(item) => window_buf.push(item),
-                    None => break,
+            let mut started = vec![false; n];
+            let mut root_deficit = 0usize;
+            for (i, _) in crashed.iter().enumerate().take(n).filter(|(_, c)| !**c) {
+                enqueue(
+                    &mut heap,
+                    &mut rng,
+                    &mut seq,
+                    now,
+                    None,
+                    NodeId(i),
+                    Envelope::Start,
+                );
+                root_deficit += 1;
+            }
+            while root_deficit > 0 {
+                if report.steps >= self.max_steps {
+                    return Err(E::from(RuntimeError::DidNotQuiesce {
+                        steps: report.steps,
+                    }));
                 }
-            }
-            if window_buf.is_empty() {
-                // Unreachable by the Dijkstra–Scholten invariant (an
-                // engaged node with zero deficit disengages at its last
-                // delivery), kept as a loud failure rather than a hang.
-                return Err(RuntimeError::DidNotQuiesce {
-                    steps: report.steps,
-                });
-            }
-            let pick = if window_buf.len() > 1 {
-                rng.gen_range(0, window_buf.len())
-            } else {
-                0
-            };
-            let delivery = window_buf.swap_remove(pick);
-            for leftover in window_buf.drain(..) {
-                heap.push(leftover);
-            }
-            now = now.max(delivery.ready_at);
-            report.steps += 1;
-            let node = delivery.to;
-
-            ctx.reset(node);
-            let mut immediate_root_ack = false;
-            let mut ack_sender: Option<NodeId> = None;
-            match delivery.env {
-                Envelope::Start => {
-                    let engaged_now = ds[node.index()].on_receive(DsParent::Root);
-                    if !engaged_now {
-                        // An application message overtook the start signal
-                        // and engaged this node first; the root's copy is
-                        // acknowledged on the spot.
-                        immediate_root_ack = true;
+                // Fire every armed fault whose step has been reached.
+                while let Some(event) = faults.events().get(fault_idx) {
+                    if event.at_step > report.steps {
+                        break;
                     }
-                    debug_assert!(!started[node.index()], "duplicate start");
-                    started[node.index()] = true;
-                    programs[node.index()].on_start(&mut ctx);
-                }
-                Envelope::App { from, msg } => {
-                    report.app_messages += 1;
-                    let engaged_now = ds[node.index()].on_receive(DsParent::Node(from));
-                    if !engaged_now {
-                        ack_sender = Some(from);
+                    fault_idx += 1;
+                    match event.kind {
+                        FaultKind::Crash(c) => {
+                            if c.index() >= n || crashed[c.index()] {
+                                continue;
+                            }
+                            network.inject_crash(c);
+                            crashed[c.index()] = true;
+                            match ds[c.index()].crash() {
+                                Some(DsParent::Root) => root_deficit -= 1,
+                                Some(DsParent::Node(p)) => enqueue(
+                                    &mut heap,
+                                    &mut rng,
+                                    &mut seq,
+                                    now,
+                                    Some(c),
+                                    p,
+                                    Envelope::Ack,
+                                ),
+                                None => {}
+                            }
+                        }
+                        FaultKind::Join => {
+                            network.inject_join();
+                        }
                     }
-                    programs[node.index()].on_message(from, msg, &mut ctx);
                 }
-                Envelope::Ack => {
-                    report.acks += 1;
-                    ds[node.index()].on_ack();
+                // Pull up to `window` candidates in readiness order and pick
+                // one uniformly; with window 1 no RNG is consumed, so the
+                // default knobs add zero draws to the stream.
+                window_buf.clear();
+                for _ in 0..window {
+                    match heap.pop() {
+                        Some(item) => window_buf.push(item),
+                        None => break,
+                    }
                 }
-            }
+                if window_buf.is_empty() {
+                    // Unreachable by the Dijkstra–Scholten invariant (an
+                    // engaged node with zero deficit disengages at its last
+                    // delivery), kept as a loud failure rather than a hang.
+                    return Err(E::from(RuntimeError::DidNotQuiesce {
+                        steps: report.steps,
+                    }));
+                }
+                let pick = if window_buf.len() > 1 {
+                    rng.gen_range(0, window_buf.len())
+                } else {
+                    0
+                };
+                let delivery = window_buf.swap_remove(pick);
+                for leftover in window_buf.drain(..) {
+                    heap.push(leftover);
+                }
+                now = now.max(delivery.ready_at);
+                report.steps += 1;
+                let node = delivery.to;
 
-            // Edge operations first (one atomic commit), then the outbox.
-            if !ctx.activations.is_empty() || !ctx.deactivations.is_empty() {
-                for peer in ctx.activations.drain(..) {
-                    network.stage_activation(node, peer)?;
-                    report.activations += 1;
+                if crashed[node.index()] {
+                    // The scheduler answers a crashed node's mail: starts
+                    // release their root obligation, application messages
+                    // are acked so the sender's deficit drains, acks are
+                    // dropped (the deficit they would pay was forgiven).
+                    match delivery.env {
+                        Envelope::Start => root_deficit -= 1,
+                        Envelope::App { from, .. } => enqueue(
+                            &mut heap,
+                            &mut rng,
+                            &mut seq,
+                            now,
+                            Some(node),
+                            from,
+                            Envelope::Ack,
+                        ),
+                        Envelope::Ack => {}
+                    }
+                    continue;
                 }
-                for peer in ctx.deactivations.drain(..) {
-                    network.stage_deactivation(node, peer)?;
-                    report.deactivations += 1;
+
+                ctx.reset(node);
+                let mut immediate_root_ack = false;
+                let mut ack_sender: Option<NodeId> = None;
+                match delivery.env {
+                    Envelope::Start => {
+                        let engaged_now = ds[node.index()].on_receive(DsParent::Root);
+                        if !engaged_now {
+                            // An application message overtook the start signal
+                            // and engaged this node first; the root's copy is
+                            // acknowledged on the spot.
+                            immediate_root_ack = true;
+                        }
+                        debug_assert!(!started[node.index()], "duplicate start");
+                        started[node.index()] = true;
+                        programs[node.index()].on_start(&mut ctx);
+                    }
+                    Envelope::App { from, msg } => {
+                        report.app_messages += 1;
+                        let engaged_now = ds[node.index()].on_receive(DsParent::Node(from));
+                        if !engaged_now {
+                            ack_sender = Some(from);
+                        }
+                        programs[node.index()].on_message(from, msg, &mut ctx);
+                    }
+                    Envelope::Ack => {
+                        report.acks += 1;
+                        ds[node.index()].on_ack();
+                    }
                 }
-                network.commit_round();
-                report.commits += 1;
-            }
-            if !ctx.outbox.is_empty() {
-                ds[node.index()].on_sent(ctx.outbox.len());
-                let outbox: Vec<(NodeId, P::Message)> = ctx.outbox.drain(..).collect();
-                for (to, msg) in outbox {
+
+                // Edge operations first (one atomic commit), then the outbox.
+                if !ctx.activations.is_empty() || !ctx.deactivations.is_empty() {
+                    for peer in ctx.activations.drain(..) {
+                        network
+                            .stage_activation(node, peer)
+                            .map_err(|e| E::from(RuntimeError::Sim(e)))?;
+                        report.activations += 1;
+                    }
+                    for peer in ctx.deactivations.drain(..) {
+                        network
+                            .stage_deactivation(node, peer)
+                            .map_err(|e| E::from(RuntimeError::Sim(e)))?;
+                        report.deactivations += 1;
+                    }
+                    network.commit_round();
+                    report.commits += 1;
+                }
+                if !ctx.outbox.is_empty() {
+                    ds[node.index()].on_sent(ctx.outbox.len());
+                    let outbox: Vec<(NodeId, P::Message)> = ctx.outbox.drain(..).collect();
+                    for (to, msg) in outbox {
+                        enqueue(
+                            &mut heap,
+                            &mut rng,
+                            &mut seq,
+                            now,
+                            Some(node),
+                            to,
+                            Envelope::App { from: node, msg },
+                        );
+                    }
+                }
+                if let Some(sender) = ack_sender {
                     enqueue(
                         &mut heap,
                         &mut rng,
                         &mut seq,
                         now,
                         Some(node),
-                        to,
-                        Envelope::App { from: node, msg },
+                        sender,
+                        Envelope::Ack,
                     );
                 }
+                if immediate_root_ack {
+                    root_deficit -= 1;
+                }
+                match ds[node.index()].try_disengage() {
+                    Some(DsParent::Root) => root_deficit -= 1,
+                    Some(DsParent::Node(parent)) => enqueue(
+                        &mut heap,
+                        &mut rng,
+                        &mut seq,
+                        now,
+                        Some(node),
+                        parent,
+                        Envelope::Ack,
+                    ),
+                    None => {}
+                }
             }
-            if let Some(sender) = ack_sender {
-                enqueue(
-                    &mut heap,
-                    &mut rng,
-                    &mut seq,
-                    now,
-                    Some(node),
-                    sender,
-                    Envelope::Ack,
-                );
-            }
-            if immediate_root_ack {
-                root_deficit -= 1;
-            }
-            match ds[node.index()].try_disengage() {
-                Some(DsParent::Root) => root_deficit -= 1,
-                Some(DsParent::Node(parent)) => enqueue(
-                    &mut heap,
-                    &mut rng,
-                    &mut seq,
-                    now,
-                    Some(node),
-                    parent,
-                    Envelope::Ack,
-                ),
-                None => {}
-            }
+            phase += 1;
         }
-        report.in_flight_at_detection = heap.len();
+        // Leftovers can only be acks destined to crashed nodes; everything
+        // aimed at a live node holds up a deficit somewhere.
+        report.in_flight_at_detection = heap
+            .iter()
+            .filter(|d| !crashed.get(d.to.index()).copied().unwrap_or(true))
+            .count();
         Ok(report)
     }
 }

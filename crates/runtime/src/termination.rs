@@ -75,6 +75,16 @@ impl DsState {
     pub fn engaged(&self) -> bool {
         self.parent.is_some()
     }
+
+    /// Crash-stops this node's bookkeeping: the deficit is forgiven (acks
+    /// owed *to* the node will be dropped by the scheduler) and the
+    /// engagement parent, if any, is returned so the scheduler can sign
+    /// off on the node's behalf — the diffusing computation must not wait
+    /// forever on a node that will never ack.
+    pub fn crash(&mut self) -> Option<DsParent> {
+        self.deficit = 0;
+        self.parent.take()
+    }
 }
 
 #[cfg(test)]

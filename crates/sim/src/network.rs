@@ -681,6 +681,37 @@ impl Network {
         &self.crashed
     }
 
+    // ---- armed fault entry points (public, used by `adn-runtime`) ----
+    //
+    // The asynchronous schedulers deliver crash and churn events *during*
+    // an execution (between message deliveries), so the runtime needs the
+    // same adversarial operations the synchronous DST harness uses. These
+    // wrappers expose exactly the crash/join pair; edge-level perturbation
+    // stays the synchronous adversary's private business.
+
+    /// Crash-stops `node` mid-execution: severs all incident edges and
+    /// marks the node crashed so later staged operations touching it are
+    /// dropped at commit. Returns the number of severed edges. Out-of-range
+    /// nodes are ignored (returns 0).
+    pub fn inject_crash(&mut self, node: NodeId) -> usize {
+        if node.index() >= self.crashed.len() {
+            return 0;
+        }
+        self.fault_crash_node(node)
+    }
+
+    /// Appends a fresh, isolated node mid-execution (churn join). The new
+    /// node has no edges and no say until an algorithm learns about it.
+    pub fn inject_join(&mut self) -> NodeId {
+        self.fault_add_node()
+    }
+
+    /// Whether `node` has been crash-stopped (out-of-range nodes report
+    /// `false`).
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.get(node.index()).copied().unwrap_or(false)
+    }
+
     /// Removes an edge adversarially. Returns true if it was present.
     pub(crate) fn fault_remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
         let removed = self.current.remove_edge(u, v).unwrap_or(false);

@@ -110,6 +110,71 @@ fn supports_matrix_is_exactly_cut_in_half_on_non_lines() {
 }
 
 #[test]
+fn every_algorithm_declares_and_honors_its_engine_modes() {
+    // Every registered algorithm declares which engines it supports; it
+    // must complete under every declared mode and fail with the clean
+    // `InvalidInput` rejection — never a panic — under the others.
+    let all_modes = [
+        EngineMode::Synchronous,
+        EngineMode::Seeded { seed: 3 },
+        EngineMode::Free { threads: 2 },
+    ];
+    for algorithm in registry() {
+        let spec = algorithm.spec();
+        let declared = algorithm.supported_engine_modes();
+        assert!(
+            declared.contains(&EngineMode::Synchronous),
+            "{}: every algorithm must support the synchronous engine",
+            spec.id
+        );
+        // The declared list matches the boolean capability flag.
+        assert_eq!(
+            declared.len() > 1,
+            algorithm.supports_async_engines(),
+            "{}: supported_engine_modes disagrees with supports_async_engines",
+            spec.id
+        );
+        let graph = if spec.id == "centralized_cut_in_half" {
+            generators::line(12)
+        } else {
+            generators::ring(12)
+        };
+        let n = graph.node_count();
+        let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed: 7 });
+        for mode in all_modes {
+            let supported = match mode {
+                EngineMode::Synchronous => true,
+                _ => algorithm.supports_async_engines(),
+            };
+            let result = algorithm.run(&graph, &uids, &RunConfig::default().with_engine(mode));
+            if supported {
+                let outcome = result
+                    .unwrap_or_else(|e| panic!("{} must complete under {mode:?}: {e}", spec.id));
+                assert_eq!(
+                    outcome.final_graph.node_count(),
+                    n,
+                    "{} under {mode:?}",
+                    spec.id
+                );
+                if !mode.is_synchronous() {
+                    assert!(
+                        outcome.runtime.is_some(),
+                        "{} under {mode:?}: async runs must carry a runtime report",
+                        spec.id
+                    );
+                }
+            } else {
+                assert!(
+                    matches!(result, Err(CoreError::InvalidInput { .. })),
+                    "{} must cleanly reject {mode:?}",
+                    spec.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn distance_two_rule_is_enforced_by_the_simulator() {
     // The invariant the conformance runs rely on: activations are
     // validated against the distance-2 rule at staging time, so no

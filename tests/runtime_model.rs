@@ -9,13 +9,20 @@
 //!    outcome as the synchronous engine (and the tree actors the same
 //!    tree as the synchronous subroutine under *any* knobs);
 //! 3. Dijkstra–Scholten never declares termination with a message still
-//!    in flight, across a seed sweep of adversarial delivery schedules.
+//!    in flight, across a seed sweep of adversarial delivery schedules —
+//!    including schedules where actors **crash mid-phase** with unacked
+//!    sends outstanding;
+//! 4. the committee algorithms (`GraphToStar`, `GraphToWreath`) reach the
+//!    synchronous engine's committee structures under both asynchronous
+//!    engines, on delay-free and adversarial schedules, across sizes.
 
 use actively_dynamic_networks::core::subroutines::{
-    run_line_to_tree, run_runtime_line_to_tree_seeded, LineToTreeConfig,
+    run_line_to_tree, run_runtime_line_to_tree_seeded, run_runtime_star_faulted,
+    run_runtime_wreath_faulted, LineToTreeConfig,
 };
 use actively_dynamic_networks::prelude::*;
 use actively_dynamic_networks::runtime::flood::flood_actors;
+use actively_dynamic_networks::runtime::{FaultPlan, RuntimeError};
 
 /// The nastiest delivery schedule the seeded scheduler offers: wide
 /// reorder window, per-message delays and persistently asymmetric links.
@@ -116,6 +123,244 @@ fn tree_actors_match_the_synchronous_subroutine_under_any_knobs() {
             assert_eq!(report.in_flight_at_detection, 0);
         }
     }
+}
+
+/// The committee sizes the differential gate runs at, with a cheap
+/// family per size so the adversarial sweeps stay fast.
+const COMMITTEE_CASES: [(GraphFamily, usize); 3] = [
+    (GraphFamily::SparseRandom, 8),
+    (GraphFamily::SparseRandom, 64),
+    (GraphFamily::Ring, 256),
+];
+
+fn committee_outcome(
+    algorithm: &str,
+    family: GraphFamily,
+    n: usize,
+    seed: u64,
+    engine: EngineMode,
+) -> TransformationOutcome {
+    Experiment::family(family, n, seed)
+        .algorithm(algorithm)
+        .engine(engine)
+        .run()
+        .unwrap_or_else(|e| panic!("{algorithm} on {family:?} n={n} under {engine:?}: {e}"))
+}
+
+#[test]
+fn delay_free_async_committees_match_the_sync_engine() {
+    // The real tentpole gate: GraphToStar and GraphToWreath reconfigure
+    // heavily, and their committee bookkeeping (selection, merging,
+    // ring splicing) now runs message-driven. On delay-free schedules
+    // the asynchronous engines must land on exactly the synchronous
+    // committee structures — final graph, leader, phase count and the
+    // per-phase committee census.
+    for algorithm in ["graph_to_star", "graph_to_wreath"] {
+        for (family, n) in COMMITTEE_CASES {
+            let sync = committee_outcome(algorithm, family, n, 5, EngineMode::Synchronous);
+            let seeded = committee_outcome(algorithm, family, n, 5, EngineMode::Seeded { seed: 0 });
+            let label = format!("{algorithm} on {family:?} n={n}");
+            assert_eq!(seeded.leader, sync.leader, "{label}");
+            assert_eq!(seeded.final_graph, sync.final_graph, "{label}");
+            assert_eq!(seeded.phases, sync.phases, "{label}");
+            assert_eq!(
+                seeded.committees_per_phase, sync.committees_per_phase,
+                "{label}"
+            );
+            assert_eq!(
+                seeded
+                    .runtime
+                    .as_ref()
+                    .expect("async runs carry a report")
+                    .in_flight_at_detection,
+                0,
+                "{label}"
+            );
+            // The free engine is timing-nondeterministic but must still
+            // produce the same committee structures (the decision rules
+            // are order-independent). One size per algorithm keeps the
+            // thread churn modest.
+            if n == 64 {
+                let free =
+                    committee_outcome(algorithm, family, n, 5, EngineMode::Free { threads: 4 });
+                assert_eq!(free.final_graph, sync.final_graph, "{label} (free)");
+                assert_eq!(
+                    free.committees_per_phase, sync.committees_per_phase,
+                    "{label} (free)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn adversarial_schedules_do_not_change_committee_outcomes() {
+    // Reordered, delayed and asymmetric delivery must not change what the
+    // committee algorithms build: every mini-phase decision is made on a
+    // complete (quiesced) message set or by an order-independent rule.
+    for (family, n) in COMMITTEE_CASES {
+        let graph = family.generate(n, 9);
+        let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed: 9 });
+        let star_sync = GraphToStar
+            .run(&graph, &uids, &RunConfig::default())
+            .expect("sync star");
+        let wreath_sync = GraphToWreath
+            .run(&graph, &uids, &RunConfig::default())
+            .expect("sync wreath");
+        for sched_seed in [1u64, 58] {
+            let label = format!("{family:?} n={n} sched_seed={sched_seed}");
+            let mut network = Network::new(graph.clone());
+            let star = run_runtime_star_faulted(
+                &mut network,
+                &uids,
+                &RunConfig::default().with_engine(EngineMode::Seeded { seed: sched_seed }),
+                sched_seed,
+                ADVERSARIAL,
+                &FaultPlan::default(),
+            )
+            .unwrap_or_else(|e| panic!("star {label}: {e}"));
+            assert_eq!(star.final_graph, star_sync.final_graph, "star {label}");
+            assert_eq!(
+                star.committees_per_phase, star_sync.committees_per_phase,
+                "star {label}"
+            );
+            let mut network = Network::new(graph.clone());
+            let wreath = run_runtime_wreath_faulted(
+                &mut network,
+                &uids,
+                &WreathConfig::binary(),
+                &RunConfig::default().with_engine(EngineMode::Seeded { seed: sched_seed }),
+                sched_seed,
+                ADVERSARIAL,
+                &FaultPlan::default(),
+            )
+            .unwrap_or_else(|e| panic!("wreath {label}: {e}"));
+            assert_eq!(
+                wreath.final_graph, wreath_sync.final_graph,
+                "wreath {label}"
+            );
+            assert_eq!(
+                wreath.committees_per_phase, wreath_sync.committees_per_phase,
+                "wreath {label}"
+            );
+        }
+    }
+}
+
+#[test]
+fn committee_runs_replay_byte_identically() {
+    // The committee algorithms' seeded runs — including the wreath's
+    // nested line-to-tree rebuilds, whose sub-seeds are split from the
+    // master seed — must render byte-identical reports on replay.
+    for algorithm in ["graph_to_star", "graph_to_wreath"] {
+        for sched_seed in [0u64, 7, 0xDEAD_BEEF] {
+            let engine = EngineMode::Seeded { seed: sched_seed };
+            let a = committee_outcome(algorithm, GraphFamily::Grid, 25, 3, engine);
+            let b = committee_outcome(algorithm, GraphFamily::Grid, 25, 3, engine);
+            assert_eq!(
+                a.runtime.expect("report").render(),
+                b.runtime.expect("report").render(),
+                "{algorithm} replay diverged at sched_seed={sched_seed}"
+            );
+            assert_eq!(a.final_graph, b.final_graph);
+        }
+    }
+}
+
+#[test]
+fn ds_accounting_stays_sound_when_actors_crash_mid_phase() {
+    // 64-seed sweep with a crash armed mid-run: the crashed actor holds
+    // unacked sends (its deficit is forgiven and its mail acked by the
+    // scheduler on its behalf), so the detector must neither hang waiting
+    // for a dead node's acks nor fire while live-destined messages are in
+    // flight. The tight step budget turns any hang into a fast, clean
+    // `DidNotQuiesce` failure instead of a test timeout.
+    let n = 20;
+    let graph = generators::ring(n);
+    let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed: 13 });
+    for sched_seed in 0..64u64 {
+        let crash_node = NodeId((sched_seed as usize * 7) % n);
+        let crash_step = 5 + (sched_seed as usize * 11) % 60;
+        let plan = FaultPlan::new().crash_at(crash_step, crash_node);
+        let mut network = Network::new(graph.clone());
+        let mut actors = flood_actors(&graph, &uids);
+        let report = SeededScheduler::new(sched_seed)
+            .with_knobs(ADVERSARIAL)
+            .with_max_steps(500_000)
+            .run_phased_with_faults(&mut network, &mut actors, &plan, |_, _, phase| {
+                Ok::<bool, RuntimeError>(phase == 0)
+            })
+            .unwrap_or_else(|e| {
+                panic!("crashed run must still quiesce (sched_seed={sched_seed}): {e}")
+            });
+        assert_eq!(
+            report.in_flight_at_detection, 0,
+            "detector fired with live messages in flight (sched_seed={sched_seed})"
+        );
+        assert!(
+            network.is_crashed(crash_node),
+            "crash did not land (sched_seed={sched_seed})"
+        );
+    }
+}
+
+#[test]
+fn armed_crash_during_committee_run_is_deterministic_and_clean() {
+    // Seeded regression for the fault-armed committee path: a crash
+    // delivered through the scheduler mid-execution either lets the
+    // protocol complete (the node was no longer needed) or surfaces as a
+    // clean CoreError — never a panic, never a hang — and the whole
+    // faulted execution replays deterministically.
+    let n = 16;
+    let graph = GraphFamily::SparseRandom.generate(n, 21);
+    let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed: 21 });
+    // A clean run of this instance takes 1378 delivery steps regardless of
+    // the schedule (delivery count is order-invariant); spreading the
+    // crash over the back half of the run makes some schedules survive it
+    // and others degrade, so both result paths stay exercised.
+    let run = |sched_seed: u64| {
+        let crash_step = 700 + (sched_seed as usize * 97) % 700;
+        let plan = FaultPlan::new().crash_at(crash_step, NodeId(3));
+        let mut network = Network::new(graph.clone());
+        let crashed = run_runtime_star_faulted(
+            &mut network,
+            &uids,
+            &RunConfig::default().with_engine(EngineMode::Seeded { seed: sched_seed }),
+            sched_seed,
+            ADVERSARIAL,
+            &plan,
+        )
+        .map(|o| {
+            (
+                o.leader,
+                o.phases,
+                o.runtime
+                    .expect("faulted seeded runs carry a report")
+                    .render(),
+            )
+        })
+        .map_err(|e| e.to_string());
+        (crashed, network.is_crashed(NodeId(3)))
+    };
+    let (mut survived_crash, mut failed_clean) = (0, 0);
+    for sched_seed in 0..16u64 {
+        let first = run(sched_seed);
+        let second = run(sched_seed);
+        assert_eq!(
+            first, second,
+            "faulted committee run diverged on replay (sched_seed={sched_seed})"
+        );
+        match first {
+            (Ok(_), true) => survived_crash += 1,
+            (Ok(_), false) => {} // crash step fell past the run's end
+            (Err(_), _) => failed_clean += 1,
+        }
+    }
+    // The sweep must actually exercise both halves of the armed-crash
+    // path: schedules that absorb a landed crash and complete, and
+    // schedules where the crash degrades the protocol into a clean error.
+    assert!(survived_crash > 0, "no schedule survived a landed crash");
+    assert!(failed_clean > 0, "no schedule degraded into a clean error");
 }
 
 #[test]
