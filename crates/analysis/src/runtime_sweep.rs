@@ -432,13 +432,16 @@ pub fn sweep(master_seed: u64, cases: usize) -> RuntimeSweepSummary {
 }
 
 /// Runs a runtime seed sweep on `threads` worker threads. Case seeds are
-/// derived up-front, workers claim indices from a shared atomic counter,
-/// and reports are reassembled in case order — so the summary and every
-/// per-case render are byte-identical for every thread count.
+/// derived up-front, workers steal contiguous blocks of case indices from
+/// a shared atomic counter (same discipline as
+/// [`crate::stress::sweep_with_threads`]: workers capped at available
+/// parallelism, one counter bump per block), and reports are reassembled
+/// in case order — so the summary and every per-case render are
+/// byte-identical for every thread count.
 pub fn sweep_with_threads(master_seed: u64, cases: usize, threads: usize) -> RuntimeSweepSummary {
     let mut rng = DetRng::seed_from_u64(master_seed);
     let seeds: Vec<u64> = (0..cases).map(|_| rng.next_u64()).collect();
-    let threads = threads.clamp(1, cases.max(1));
+    let (threads, block) = crate::stress::sweep_partition(cases, threads);
     if threads <= 1 {
         let reports = seeds
             .iter()
@@ -459,11 +462,14 @@ pub fn sweep_with_threads(master_seed: u64, cases: usize, threads: usize) -> Run
                 scope.spawn(move || {
                     let mut out = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= seeds.len() {
+                        let start = next.fetch_add(block, Ordering::Relaxed);
+                        if start >= seeds.len() {
                             break;
                         }
-                        out.push((i, run_case(&RuntimeCase::from_seed(seeds[i]))));
+                        let end = (start + block).min(seeds.len());
+                        for (i, &seed) in seeds.iter().enumerate().take(end).skip(start) {
+                            out.push((i, run_case(&RuntimeCase::from_seed(seed))));
+                        }
                     }
                     out
                 })

@@ -552,18 +552,44 @@ fn case_seeds(master_seed: u64, cases: usize) -> Vec<u64> {
     (0..cases).map(|_| rng.next_u64()).collect()
 }
 
+/// The number of blocks each sweep worker should expect to claim: small
+/// enough that the atomic counter is touched a handful of times per
+/// worker instead of once per case, large enough that a straggler block
+/// cannot serialize the tail of the sweep.
+pub(crate) const SWEEP_BLOCKS_PER_WORKER: usize = 8;
+
+/// Picks the effective worker count and stealing block size for a sweep
+/// of `cases` cases on `threads` requested workers. Workers are capped at
+/// the machine's available parallelism — oversubscribing a CPU-bound
+/// sweep only adds scheduling overhead (the old `threads=2` regression on
+/// small machines) — and cases are claimed in contiguous blocks rather
+/// than one at a time.
+pub(crate) fn sweep_partition(cases: usize, threads: usize) -> (usize, usize) {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = threads.clamp(1, cases.max(1)).min(hw);
+    let block = cases
+        .div_ceil(workers.max(1) * SWEEP_BLOCKS_PER_WORKER)
+        .max(1);
+    (workers, block)
+}
+
 /// Runs a seed sweep on a pool of `threads` worker threads
 /// (`std::thread`, no external dependencies). Case seeds are derived
-/// up-front from the master RNG, workers claim indices from a shared
-/// atomic counter, and reports are reassembled in case order — so the
+/// up-front from the master RNG, workers steal contiguous *blocks* of
+/// case indices from a shared atomic counter (one counter bump per block,
+/// not per case), and reports are reassembled in case order — so the
 /// returned [`SweepSummary`] (and therefore `summary_text`/`to_json` and
 /// every per-case [`StressReport::render`]) is byte-identical for every
 /// thread count, including 1.
 ///
-/// `threads` is clamped to `[1, cases]`; `0` means one thread.
+/// `threads` is clamped to `[1, cases]` and to the machine's available
+/// parallelism (oversubscription only slows a CPU-bound sweep down);
+/// `0` means one thread.
 pub fn sweep_with_threads(master_seed: u64, cases: usize, threads: usize) -> SweepSummary {
     let seeds = case_seeds(master_seed, cases);
-    let threads = threads.clamp(1, cases.max(1));
+    let (threads, block) = sweep_partition(cases, threads);
     if threads <= 1 {
         let reports = seeds
             .iter()
@@ -584,11 +610,14 @@ pub fn sweep_with_threads(master_seed: u64, cases: usize, threads: usize) -> Swe
                 scope.spawn(move || {
                     let mut out = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= seeds.len() {
+                        let start = next.fetch_add(block, Ordering::Relaxed);
+                        if start >= seeds.len() {
                             break;
                         }
-                        out.push((i, run_case(&StressCase::from_seed(seeds[i]))));
+                        let end = (start + block).min(seeds.len());
+                        for (i, &seed) in seeds.iter().enumerate().take(end).skip(start) {
+                            out.push((i, run_case(&StressCase::from_seed(seed))));
+                        }
                     }
                     out
                 })

@@ -24,7 +24,8 @@ use adn_runtime::flood::flood_actors;
 use adn_runtime::{AsyncKnobs, FreeScheduler, SeededScheduler};
 use adn_sim::engine::{run_programs, EngineConfig, NodeDecision, NodeProgram, NodeView};
 use adn_sim::EdgeDelta;
-use adn_sim::Network;
+use adn_sim::{Network, WaveActivation};
+use std::collections::BTreeSet;
 use std::time::Instant;
 
 /// Configuration for the core CPU benchmark.
@@ -170,6 +171,155 @@ fn bench_commit_round(bench: &mut Bench, quick: bool) {
                 net.commit_round();
             }
             assert_eq!(net.activated_edge_count(), 0);
+        },
+    );
+}
+
+/// `m` distinct canonical edges on `n` nodes, sorted ascending — the
+/// batch-build input for the scaling rows.
+fn scale_edges(n: usize, m: usize, seed: u64) -> Vec<Edge> {
+    let mut rng = DetRng::seed_from_u64(seed ^ n as u64);
+    let mut set: BTreeSet<Edge> = BTreeSet::new();
+    while set.len() < m {
+        let u = rng.gen_range(0, n);
+        let mut v = rng.gen_range(0, n - 1);
+        if v >= u {
+            v += 1;
+        }
+        set.insert(Edge::new(NodeId(u), NodeId(v)));
+    }
+    set.into_iter().collect()
+}
+
+/// `k` distinct leaf-leaf activations on a centre-0 star, each witnessed
+/// by the hub — a maximal valid jump wave for the commit benchmarks.
+fn scale_wave(n: usize, k: usize, seed: u64) -> (Vec<WaveActivation>, Vec<Edge>) {
+    let mut rng = DetRng::seed_from_u64(seed ^ n as u64);
+    let mut set: BTreeSet<Edge> = BTreeSet::new();
+    while set.len() < k {
+        let u = 1 + rng.gen_range(0, n - 1);
+        let mut v = 1 + rng.gen_range(0, n - 2);
+        if v >= u {
+            v += 1;
+        }
+        set.insert(Edge::new(NodeId(u), NodeId(v)));
+    }
+    let drops: Vec<Edge> = set.iter().copied().collect();
+    let wave = drops
+        .iter()
+        .map(|e| WaveActivation {
+            initiator: e.a,
+            target: e.b,
+            witness: NodeId(0),
+        })
+        .collect();
+    (wave, drops)
+}
+
+/// The scaling rows the ROADMAP's million-node item commits to: arena
+/// batch build plus a full adjacency sweep (`graph/scale`), and a staged
+/// jump wave committed on the serial vs the sharded path
+/// (`network/commit_round_sharded`), each annotated with a
+/// `bytes_per_node` footprint stat. The n = 10^6 points run in the
+/// separate one-shot cold group (full mode only) so `--quick` stays fast.
+fn bench_scale(bench: &mut Bench, n: usize, cold: bool) {
+    let m = 2 * n;
+    let edges = scale_edges(n, m, 0x5CA1E);
+    let mut built: Option<Graph> = None;
+    let build_scan = |built: &mut Option<Graph>| {
+        let mut g = Graph::new(n);
+        for chunk in edges.chunks(8192) {
+            g.add_edges_batch(chunk, |_| {});
+        }
+        assert_eq!(g.edge_count(), m);
+        let mut acc = 0usize;
+        for u in g.nodes() {
+            for &v in g.neighbors_slice(u) {
+                acc = acc.wrapping_add(v.index());
+            }
+        }
+        std::hint::black_box(acc);
+        *built = Some(g);
+    };
+    let label = format!("graph/scale batch_build+scan n={n} m={m}");
+    if cold {
+        bench.measure_cold(&label, || build_scan(&mut built));
+    } else {
+        bench.measure(&label, || build_scan(&mut built));
+    }
+    let g = built.take().expect("measured at least once");
+    bench.annotate("bytes_per_node", (g.memory_footprint_bytes() / n) as u128);
+    drop(g);
+
+    // One wave of k activations committed, then dropped — back to the
+    // initial star each iteration. threads=1 is the serial batch path;
+    // threads=4 the sharded worker pool (the label pins the count so the
+    // row is machine-independent).
+    let k = (n / 4).max(1024);
+    let (wave, drops) = scale_wave(n, k, 0xC0557);
+    for threads in [1usize, 4] {
+        let mut net = Network::new(generators::star(n));
+        net.set_commit_threads(threads);
+        let commit_cycle = |net: &mut Network| {
+            net.stage_jump_wave(&wave, &[]).expect("hub-witnessed wave");
+            net.commit_round();
+            net.stage_jump_wave(&[], &drops).expect("edges are active");
+            net.commit_round();
+            assert_eq!(net.activated_edge_count(), 0);
+        };
+        let label = format!("network/commit_round_sharded star n={n} wave={k} threads={threads}");
+        if cold {
+            bench.measure_cold(&label, || commit_cycle(&mut net));
+        } else {
+            bench.measure(&label, || commit_cycle(&mut net));
+        }
+        bench.annotate(
+            "bytes_per_node",
+            (net.graph().memory_footprint_bytes() / n) as u128,
+        );
+    }
+}
+
+/// The full-mode-only n = 10^6 group: the scaling rows plus one complete
+/// `graph_to_wreath` execution and one node-program engine run at
+/// million-node scale — the ROADMAP's "as fast as the hardware allows"
+/// checkpoints. Everything is measured cold and once; at this size a
+/// warm-up pass would only double a multi-second row.
+fn bench_million(bench: &mut Bench) {
+    let n = 1_000_000usize;
+    bench_scale(bench, n, true);
+
+    let line = generators::line(n);
+    let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed: 11 });
+    let a = algorithm::find("graph_to_wreath").expect("registered algorithm");
+    let config = RunConfig::default();
+    bench.measure_cold(&format!("algorithm/graph_to_wreath n={n}"), || {
+        let outcome = a.run(&line, &uids, &config).expect("clean run");
+        assert!(outcome.rounds > 0);
+    });
+    drop(line);
+
+    let rounds = 8usize;
+    let g = {
+        let mut g = Graph::new(n);
+        for chunk in scale_edges(n, 2 * n, 0xE191).chunks(8192) {
+            g.add_edges_batch(chunk, |_| {});
+        }
+        g
+    };
+    bench.measure_cold(
+        &format!("engine/run_programs_gossip n={n} rounds={rounds}"),
+        || {
+            let mut net = Network::new(g.clone());
+            let mut programs: Vec<GossipNode> = (0..n)
+                .map(|i| GossipNode {
+                    best: uids.uid(NodeId(i)).value(),
+                    rounds_left: rounds,
+                })
+                .collect();
+            let report =
+                run_programs(&mut net, &mut programs, &uids, &EngineConfig::default()).unwrap();
+            assert_eq!(report.rounds, rounds);
         },
     );
 }
@@ -509,8 +659,13 @@ fn to_json(cfg: &CoreBenchConfig, threads: usize, elapsed_ms: u128, samples: &[S
     let rows: Vec<String> = samples
         .iter()
         .map(|s| {
+            let stats: String = s
+                .stats
+                .iter()
+                .map(|(k, v)| format!(",\"{}\":{v}", json_escape(k)))
+                .collect();
             format!(
-                "{{\"case\":\"{}\",\"min_ns\":{},\"median_ns\":{},\"mean_ns\":{}}}",
+                "{{\"case\":\"{}\",\"min_ns\":{},\"median_ns\":{},\"mean_ns\":{}{stats}}}",
                 json_escape(&s.label),
                 s.min.as_nanos(),
                 s.median.as_nanos(),
@@ -811,12 +966,22 @@ pub fn run(cfg: &CoreBenchConfig) -> (String, String) {
     let mut bench = Bench::new("core CPU baseline", iterations);
     bench_graph_ops(&mut bench, cfg.quick);
     bench_commit_round(&mut bench, cfg.quick);
+    bench_scale(&mut bench, 4096, false);
+    if !cfg.quick {
+        bench_scale(&mut bench, 65536, false);
+    }
     bench_committee(&mut bench, cfg.quick);
     bench_engine(&mut bench, cfg.quick);
     bench_algorithms(&mut bench, cfg.quick);
     bench_runtime(&mut bench, cfg.quick);
     bench_sweep(&mut bench, cfg.quick, threads);
-    let samples = bench.take_samples();
+    let mut samples = bench.take_samples();
+    if !cfg.quick {
+        let mut cold = Bench::new("core CPU scaling (n=10^6, one-shot)", 1);
+        bench_million(&mut cold);
+        samples.extend(cold.take_samples());
+    }
+    let samples = samples;
     let elapsed_ms = started.elapsed().as_millis();
     let mut table = format!(
         "core CPU baseline ({} mode, {iterations} iterations, sweep threads {threads})\n",

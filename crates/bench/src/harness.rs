@@ -22,6 +22,7 @@ struct Row {
     min: Duration,
     median: Duration,
     mean: Duration,
+    stats: Vec<(String, u128)>,
 }
 
 /// A measured case, harvested with [`Bench::take_samples`] for
@@ -37,6 +38,10 @@ pub struct Sample {
     pub median: Duration,
     /// Mean over all timed iterations.
     pub mean: Duration,
+    /// Extra per-case counters attached with [`Bench::annotate`] (e.g.
+    /// `bytes_per_node` on the scaling rows), emitted as additional JSON
+    /// keys on the row.
+    pub stats: Vec<(String, u128)>,
 }
 
 impl Bench {
@@ -70,7 +75,34 @@ impl Bench {
             min,
             median,
             mean,
+            stats: Vec::new(),
         });
+    }
+
+    /// Times `f` exactly once, with no warm-up iteration — for the large
+    /// scaling cases where a second multi-second run would double the
+    /// cost of the row without improving the estimate. The single cold
+    /// sample is recorded as min = median = mean.
+    pub fn measure_cold<F: FnOnce()>(&mut self, label: &str, f: F) {
+        let start = Instant::now();
+        f();
+        let d = start.elapsed();
+        self.rows.push(Row {
+            label: label.to_string(),
+            min: d,
+            median: d,
+            mean: d,
+            stats: Vec::new(),
+        });
+    }
+
+    /// Attaches a named counter to the most recently measured case (a
+    /// memory footprint, a work count — anything worth committing next to
+    /// the timings). No-op when nothing has been measured yet.
+    pub fn annotate(&mut self, key: &str, value: u128) {
+        if let Some(row) = self.rows.last_mut() {
+            row.stats.push((key.to_string(), value));
+        }
     }
 
     /// Drains the recorded rows as [`Sample`]s, suppressing the printed
@@ -83,6 +115,7 @@ impl Bench {
                 min: r.min,
                 median: r.median,
                 mean: r.mean,
+                stats: r.stats,
             })
             .collect()
     }
@@ -146,6 +179,16 @@ mod tests {
         assert_eq!(bench.rows.len(), 1);
         bench.report();
         assert!(bench.rows.is_empty());
+    }
+
+    #[test]
+    fn annotate_attaches_to_the_last_measured_case() {
+        let mut bench = Bench::new("g", 1);
+        bench.annotate("orphan", 1); // before any measurement: dropped
+        bench.measure("case", || {});
+        bench.annotate("bytes_per_node", 42);
+        let samples = bench.take_samples();
+        assert_eq!(samples[0].stats, vec![("bytes_per_node".to_string(), 42)]);
     }
 
     #[test]

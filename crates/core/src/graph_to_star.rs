@@ -19,7 +19,7 @@
 use crate::algorithm::RunConfig;
 use crate::committee::{CommitteeForest, CommitteeId, IncrementalAdjacency};
 use crate::{CoreError, TransformationOutcome};
-use adn_graph::{Graph, NodeId, UidMap};
+use adn_graph::{Edge, Graph, NodeId, UidMap};
 use adn_sim::Network;
 
 /// The mode a committee executes in during a phase (Section 3).
@@ -254,6 +254,8 @@ impl State {
         // edge when it is already at distance <= 2). `pending_b` collects
         // the round-B second hops.
         let mut pending_b: Vec<PendingHop> = Vec::new();
+        let mut wave_acts: Vec<adn_sim::WaveActivation> = Vec::new();
+        let mut wave_drops: Vec<Edge> = Vec::new();
         for sel in &selections {
             let u = self.forest.leader(sel.selector);
             let v = self.forest.leader(sel.target);
@@ -268,12 +270,20 @@ impl State {
                 // The leader-leader edge is one hop away: witness y (if the
                 // selector's leader is the bridge) or witness x (if the
                 // bridge lands on the target leader).
-                network.stage_activation(u, v)?;
+                wave_acts.push(adn_sim::WaveActivation {
+                    initiator: u,
+                    target: v,
+                    witness: if u == x { y } else { x },
+                });
                 continue;
             }
             // General case: helper edge e1 = (u, y) via witness x now, then
             // the leader-leader edge via witness y in round B.
-            network.stage_activation(u, y)?;
+            wave_acts.push(adn_sim::WaveActivation {
+                initiator: u,
+                target: y,
+                witness: x,
+            });
             pending_b.push((u, v, Some((u, y))));
         }
 
@@ -291,9 +301,16 @@ impl State {
                     if x == leader {
                         continue;
                     }
-                    network.stage_activation(x, into)?;
+                    // The dying committee's leader sits on both the star
+                    // edge (x, leader) and the leader-leader edge
+                    // (leader, into) from the selection phase.
+                    wave_acts.push(adn_sim::WaveActivation {
+                        initiator: x,
+                        target: into,
+                        witness: leader,
+                    });
                     if !self.initial_edges.has_edge(x, leader) {
-                        network.stage_deactivation(x, leader)?;
+                        wave_drops.push(Edge::new(x, leader));
                     }
                 }
             }
@@ -327,28 +344,45 @@ impl State {
                     }
                 };
                 if target != attach {
-                    network.stage_activation(leader, target)?;
+                    // The attach node supports both the old (leader,
+                    // attach) edge and the upward (attach, target) edge.
+                    wave_acts.push(adn_sim::WaveActivation {
+                        initiator: leader,
+                        target,
+                        witness: attach,
+                    });
                     if !self.initial_edges.has_edge(leader, attach) {
-                        network.stage_deactivation(leader, attach)?;
+                        wave_drops.push(Edge::new(leader, attach));
                     }
                 }
                 climbs.push((cid, target));
             }
         }
 
+        network.stage_jump_wave(&wave_acts, &wave_drops)?;
         let summary_a = network.commit_round();
 
-        // Round B: second selection hop.
+        // Round B: second selection hop, witnessed by the round-A helper
+        // endpoint `y` (adjacent to `u` via the helper edge and to `v`
+        // inside the target committee).
+        wave_acts.clear();
+        wave_drops.clear();
         let mut any_b = false;
         for (u, v, helper) in &pending_b {
-            network.stage_activation(*u, *v)?;
+            let witness = helper.map_or(*u, |(_, y)| y);
+            wave_acts.push(adn_sim::WaveActivation {
+                initiator: *u,
+                target: *v,
+                witness,
+            });
             if let Some((a, b)) = helper {
                 if !self.initial_edges.has_edge(*a, *b) {
-                    network.stage_deactivation(*a, *b)?;
+                    wave_drops.push(Edge::new(*a, *b));
                 }
             }
             any_b = true;
         }
+        network.stage_jump_wave(&wave_acts, &wave_drops)?;
         if any_b || !selections.is_empty() {
             // A selection phase always costs 2 rounds (Lemma 3.7), even if
             // the second hop happened to be unnecessary for some selectors.

@@ -202,6 +202,8 @@ pub fn run_async_line_to_tree_with_scratch(
         jumps_done,
         will_jump,
         movers,
+        wave_acts,
+        wave_drops,
         ..
     } = scratch;
     let schedule: &[Vec<usize>] = schedules
@@ -280,15 +282,25 @@ pub fn run_async_line_to_tree_with_scratch(
             network.advance_idle_rounds(1);
             continue;
         }
+        // Batched wave commit: the supporting edge (cp, gp) was verified
+        // active above, so the current parent doubles as the distance-2
+        // witness and staging is probe-only.
+        wave_acts.clear();
+        wave_drops.clear();
         for &pos in movers.iter() {
             let cp = parent_pos[pos];
             let gp = schedule[pos][jumps_done[pos]];
-            network.stage_activation(line[pos], line[gp])?;
+            wave_acts.push(adn_sim::WaveActivation {
+                initiator: line[pos],
+                target: line[gp],
+                witness: line[cp],
+            });
             let old_edge = Edge::new(line[pos], line[cp]);
             if !config.protected_edges.contains(&old_edge) {
-                network.stage_deactivation(line[pos], line[cp])?;
+                wave_drops.push(old_edge);
             }
         }
+        network.stage_jump_wave(wave_acts, wave_drops)?;
         network.commit_round();
         for &pos in movers.iter() {
             let cp = parent_pos[pos];

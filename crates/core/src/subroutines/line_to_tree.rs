@@ -115,6 +115,8 @@ pub fn run_line_to_tree_with_scratch(
         parent_pos,
         child_count,
         terminated,
+        wave_acts,
+        wave_drops,
         ..
     } = scratch;
     parent_pos.clear();
@@ -180,13 +182,23 @@ pub fn run_line_to_tree_with_scratch(
             });
         }
 
+        // One batched wave per round: the jumper's current parent is
+        // adjacent to both endpoints of every new edge, so it is the
+        // distance-2 witness and the staging pass is probe-only.
+        wave_acts.clear();
+        wave_drops.clear();
         for &(pos, p, gp) in &jumps {
-            network.stage_activation(line[pos], line[gp])?;
+            wave_acts.push(adn_sim::WaveActivation {
+                initiator: line[pos],
+                target: line[gp],
+                witness: line[p],
+            });
             let old_edge = Edge::new(line[pos], line[p]);
             if !config.protected_edges.contains(&old_edge) {
-                network.stage_deactivation(line[pos], line[p])?;
+                wave_drops.push(old_edge);
             }
         }
+        network.stage_jump_wave(wave_acts, wave_drops)?;
         network.commit_round();
         rounds += 1;
 

@@ -66,6 +66,10 @@ pub struct LineScratch {
     pub(crate) child_count: Vec<usize>,
     /// Termination flags (synchronous variant).
     pub(crate) terminated: Vec<bool>,
+    /// Per-round wave column: witnessed activations for `stage_jump_wave`.
+    pub(crate) wave_acts: Vec<adn_sim::WaveActivation>,
+    /// Per-round wave column: deactivations for `stage_jump_wave`.
+    pub(crate) wave_drops: Vec<adn_graph::Edge>,
 }
 
 impl LineScratch {

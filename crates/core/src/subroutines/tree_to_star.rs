@@ -67,10 +67,22 @@ pub fn run_tree_to_star(network: &mut Network, tree: &RootedTree) -> Result<usiz
                 phase_limit: round_limit,
             });
         }
-        for &(u, p, gp) in &jumps {
-            network.stage_activation(u, gp)?;
-            network.stage_deactivation(u, p)?;
-        }
+        // One batched wave per pointer-jumping round; the old parent is
+        // adjacent to both endpoints of the new edge, so it serves as the
+        // distance-2 witness.
+        let wave: Vec<adn_sim::WaveActivation> = jumps
+            .iter()
+            .map(|&(u, p, gp)| adn_sim::WaveActivation {
+                initiator: u,
+                target: gp,
+                witness: p,
+            })
+            .collect();
+        let drops: Vec<adn_graph::Edge> = jumps
+            .iter()
+            .map(|&(u, p, _)| adn_graph::Edge::new(u, p))
+            .collect();
+        network.stage_jump_wave(&wave, &drops)?;
         network.commit_round();
         rounds += 1;
         for (u, _, gp) in jumps {

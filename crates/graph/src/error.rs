@@ -38,6 +38,14 @@ pub enum GraphError {
         /// Human-readable description of the inconsistency.
         reason: String,
     },
+    /// The adjacency arena violated an internal invariant (an asymmetric
+    /// edge, corrupted block bookkeeping). Always a bug — surfaced as a
+    /// typed error instead of an abort so a seeded sweep can report the
+    /// case that reached it.
+    BrokenInvariant {
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -54,6 +62,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::InvalidSize { reason } => {
                 write!(f, "invalid size: {reason}")
+            }
+            GraphError::BrokenInvariant { reason } => {
+                write!(f, "graph invariant broken: {reason}")
             }
             GraphError::NotATree { reason } => {
                 write!(f, "not a valid rooted tree: {reason}")

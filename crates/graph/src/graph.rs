@@ -47,63 +47,80 @@ impl Edge {
     }
 }
 
+/// Smallest capacity a freshly allocated block receives.
+pub(crate) const MIN_BLOCK_CAP: usize = 4;
+
+/// Compaction trigger: at least this many dead slots *and* at least a
+/// quarter of the arena dead. The floor keeps tiny graphs from compacting
+/// on every relocation; the ratio bounds dead space at a third of live
+/// capacity. (A relocated block that doubled up to capacity `C` abandons
+/// only `C - MIN_BLOCK_CAP` slots along the way — always less than the
+/// live capacity it leaves behind — so a half-arena threshold would never
+/// fire under organic growth.)
+const COMPACT_MIN_DEAD: usize = 64;
+
+/// Value written into never-read slack slots (`len..cap` of a block) so a
+/// stray read shows up as an obviously-broken node id instead of a
+/// plausible one.
+pub(crate) const PAD: NodeId = NodeId(usize::MAX);
+
 /// A simple undirected graph on the fixed vertex set `{0, …, n-1}`.
 ///
 /// This is the snapshot `D(i) = (V, E(i))` of the paper's temporal graph:
-/// the vertex set never changes, only the edge set does. Adjacency is a
-/// sorted, duplicate-free `Vec<NodeId>` per node — a flat representation
-/// whose iteration order is identical to the previous per-node `BTreeSet`
-/// (ascending), so every deterministic execution is preserved, while
-/// neighbour scans are contiguous and batch edits are merge passes rather
-/// than tree rebuilds.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// the vertex set never changes (except under simulated churn), only the
+/// edge set does.
+///
+/// Adjacency is a CSR-style arena in struct-of-arrays form: three dense
+/// per-node columns (`start`, `len`, `cap`) describe one *block* per node
+/// inside a single shared `arena` of neighbour ids. A node's neighbours
+/// are the sorted, duplicate-free slice `arena[start..start + len]`, so
+/// iteration order is identical to the previous per-node `Vec<NodeId>`
+/// (and original `BTreeSet`) representations — ascending — and every
+/// deterministic execution is preserved. Mutations work in place while a
+/// block has slack (`len < cap`); a block that overflows is relocated to
+/// the arena tail with doubled capacity, abandoning its old slots, and a
+/// `dead`-slot counter triggers a periodic compaction that rewrites the
+/// blocks tightly in node order. The trigger depends only on the operation
+/// sequence, so layout management is deterministic; layout itself is never
+/// observable (equality, iteration and lookups all go through the block
+/// slices).
+#[derive(Debug, Clone)]
 pub struct Graph {
-    n: usize,
-    adjacency: Vec<Vec<NodeId>>,
-    edge_count: usize,
+    pub(crate) n: usize,
+    /// Per-node block offset into `arena`.
+    pub(crate) start: Vec<usize>,
+    /// Per-node live neighbour count.
+    pub(crate) len: Vec<usize>,
+    /// Per-node block capacity (slots reserved at `start`).
+    pub(crate) cap: Vec<usize>,
+    /// Shared neighbour storage; every slot belongs to exactly one block's
+    /// capacity or is counted in `dead`.
+    pub(crate) arena: Vec<NodeId>,
+    /// Slots abandoned by block relocations, reclaimed at compaction.
+    pub(crate) dead: usize,
+    pub(crate) edge_count: usize,
 }
 
-/// Merges `add` (sorted ascending, duplicate-free, disjoint from `list`)
-/// into the sorted `list` in one backward pass.
-fn merge_sorted_additions(list: &mut Vec<NodeId>, add: &[NodeId]) {
-    if add.is_empty() {
-        return;
-    }
-    let old_len = list.len();
-    list.resize(old_len + add.len(), NodeId(0));
-    let mut i = old_len; // unmerged prefix of the original list
-    let mut j = add.len(); // unmerged prefix of the additions
-    let mut w = list.len(); // next write position (from the back)
-    while j > 0 {
-        if i > 0 && list[i - 1] > add[j - 1] {
-            list[w - 1] = list[i - 1];
-            i -= 1;
-        } else {
-            list[w - 1] = add[j - 1];
-            j -= 1;
-        }
-        w -= 1;
+/// Structural equality: same vertex set, same edge set. Arena layout
+/// (block placement, slack, dead space) is an implementation detail two
+/// equal graphs may disagree on.
+impl PartialEq for Graph {
+    fn eq(&self, other: &Graph) -> bool {
+        self.n == other.n
+            && self.edge_count == other.edge_count
+            && (0..self.n).all(|u| self.block(u) == other.block(u))
     }
 }
 
-/// Removes every element of `del` (sorted ascending, duplicate-free, all
-/// present in `list`) from the sorted `list` in one forward pass.
-fn remove_sorted_elements(list: &mut Vec<NodeId>, del: &[NodeId]) {
-    if del.is_empty() {
-        return;
+impl Eq for Graph {}
+
+/// Doubles `cap` (from the minimum block size) until it holds `need`.
+pub(crate) fn grow_cap(cap: usize, need: usize) -> usize {
+    let mut c = cap.max(MIN_BLOCK_CAP);
+    while c < need {
+        c *= 2;
     }
-    let mut j = 0usize;
-    let mut w = 0usize;
-    for r in 0..list.len() {
-        let v = list[r];
-        if j < del.len() && del[j] == v {
-            j += 1;
-        } else {
-            list[w] = v;
-            w += 1;
-        }
-    }
-    list.truncate(w);
+    c
 }
 
 impl Graph {
@@ -111,7 +128,11 @@ impl Graph {
     pub fn new(n: usize) -> Self {
         Graph {
             n,
-            adjacency: vec![Vec::new(); n],
+            start: vec![0; n],
+            len: vec![0; n],
+            cap: vec![0; n],
+            arena: Vec::new(),
+            dead: 0,
             edge_count: 0,
         }
     }
@@ -144,9 +165,12 @@ impl Graph {
     /// The base model keeps the vertex set fixed; this exists for the
     /// *churn* faults of the deterministic simulation-testing layer
     /// (`adn_sim::dst`), where an adversary may let nodes join the network
-    /// between rounds.
+    /// between rounds. The new node's block is zero-capacity: its first
+    /// edge allocates at the arena tail.
     pub fn add_node(&mut self) -> NodeId {
-        self.adjacency.push(Vec::new());
+        self.start.push(0);
+        self.len.push(0);
+        self.cap.push(0);
         self.n += 1;
         NodeId(self.n - 1)
     }
@@ -174,6 +198,175 @@ impl Graph {
         }
     }
 
+    /// The live neighbour slice of node `u` (by raw index).
+    #[inline]
+    pub(crate) fn block(&self, u: usize) -> &[NodeId] {
+        &self.arena[self.start[u]..self.start[u] + self.len[u]]
+    }
+
+    /// Inserts `v` at `pos` of `u`'s sorted block, relocating on overflow.
+    fn insert_at(&mut self, u: usize, pos: usize, v: NodeId) {
+        let l = self.len[u];
+        if l < self.cap[u] {
+            let s = self.start[u];
+            self.arena.copy_within(s + pos..s + l, s + pos + 1);
+            self.arena[s + pos] = v;
+            self.len[u] = l + 1;
+        } else {
+            self.relocate_insert(u, pos, v);
+        }
+    }
+
+    /// Moves `u`'s full block to the arena tail with grown capacity,
+    /// folding the insertion of `v` at `pos` into the copy. The old slots
+    /// become dead space.
+    fn relocate_insert(&mut self, u: usize, pos: usize, v: NodeId) {
+        let s = self.start[u];
+        let l = self.len[u];
+        let new_cap = grow_cap(self.cap[u], l + 1);
+        let new_start = self.arena.len();
+        self.arena.reserve(new_cap);
+        self.arena.extend_from_within(s..s + pos);
+        self.arena.push(v);
+        self.arena.extend_from_within(s + pos..s + l);
+        self.arena.resize(new_start + new_cap, PAD);
+        self.dead += self.cap[u];
+        self.start[u] = new_start;
+        self.len[u] = l + 1;
+        self.cap[u] = new_cap;
+        self.maybe_compact();
+    }
+
+    /// Removes the element at `pos` of `u`'s block (capacity is retained
+    /// as slack for future insertions; only relocations create dead
+    /// space).
+    fn remove_at(&mut self, u: usize, pos: usize) {
+        let s = self.start[u];
+        let l = self.len[u];
+        self.arena.copy_within(s + pos + 1..s + l, s + pos);
+        self.len[u] = l - 1;
+    }
+
+    /// Merges `add` (sorted ascending, duplicate-free, disjoint from the
+    /// block) into `u`'s sorted block: one backward in-place pass while
+    /// the block has room, otherwise a relocation that interleaves the
+    /// merge with the copy to the tail.
+    fn merge_block_additions(&mut self, u: usize, add: &[NodeId]) {
+        if add.is_empty() {
+            return;
+        }
+        let s = self.start[u];
+        let l = self.len[u];
+        let need = l + add.len();
+        if need <= self.cap[u] {
+            let block = &mut self.arena[s..s + need];
+            let mut i = l;
+            let mut j = add.len();
+            let mut w = need;
+            while j > 0 {
+                if i > 0 && block[i - 1] > add[j - 1] {
+                    block[w - 1] = block[i - 1];
+                    i -= 1;
+                } else {
+                    block[w - 1] = add[j - 1];
+                    j -= 1;
+                }
+                w -= 1;
+            }
+            self.len[u] = need;
+        } else {
+            let new_cap = grow_cap(self.cap[u], need);
+            let new_start = self.arena.len();
+            self.arena.reserve(new_cap);
+            let mut i = 0usize;
+            let mut j = 0usize;
+            while i < l && j < add.len() {
+                let x = self.arena[s + i];
+                if x < add[j] {
+                    self.arena.push(x);
+                    i += 1;
+                } else {
+                    self.arena.push(add[j]);
+                    j += 1;
+                }
+            }
+            self.arena.extend_from_within(s + i..s + l);
+            self.arena.extend_from_slice(&add[j..]);
+            self.arena.resize(new_start + new_cap, PAD);
+            self.dead += self.cap[u];
+            self.start[u] = new_start;
+            self.len[u] = need;
+            self.cap[u] = new_cap;
+            self.maybe_compact();
+        }
+    }
+
+    /// Removes every element of `del` (sorted ascending, duplicate-free,
+    /// all present) from `u`'s sorted block in one forward pass.
+    fn remove_block_elements(&mut self, u: usize, del: &[NodeId]) {
+        if del.is_empty() {
+            return;
+        }
+        let s = self.start[u];
+        let l = self.len[u];
+        let mut j = 0usize;
+        let mut w = 0usize;
+        for r in 0..l {
+            let v = self.arena[s + r];
+            if j < del.len() && del[j] == v {
+                j += 1;
+            } else {
+                self.arena[s + w] = v;
+                w += 1;
+            }
+        }
+        self.len[u] = w;
+    }
+
+    /// Compacts the arena if relocations have abandoned enough slots.
+    pub(crate) fn maybe_compact(&mut self) {
+        if self.dead >= COMPACT_MIN_DEAD && self.dead * 4 >= self.arena.len() {
+            self.compact();
+        }
+    }
+
+    /// Rewrites every block tightly (capacity = length) in node order,
+    /// reclaiming all dead space. Runs automatically when relocations have
+    /// abandoned at least a quarter of the arena; exposed for callers that want to
+    /// pack before a read-heavy phase or measure tight memory use.
+    pub fn compact(&mut self) {
+        let live: usize = self.len.iter().sum();
+        let mut packed: Vec<NodeId> = Vec::with_capacity(live);
+        for u in 0..self.n {
+            let s = self.start[u];
+            let l = self.len[u];
+            self.start[u] = packed.len();
+            self.cap[u] = l;
+            packed.extend_from_slice(&self.arena[s..s + l]);
+        }
+        self.arena = packed;
+        self.dead = 0;
+    }
+
+    /// Number of arena slots currently abandoned by block relocations
+    /// (reclaimed at the next compaction).
+    pub fn dead_slots(&self) -> usize {
+        self.dead
+    }
+
+    /// Total arena slots (live neighbours + per-block slack + dead space).
+    pub fn arena_slots(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Bytes of adjacency storage currently held: the neighbour arena plus
+    /// the three SoA columns, at allocated (not just used) size.
+    pub fn memory_footprint_bytes(&self) -> usize {
+        self.arena.capacity() * std::mem::size_of::<NodeId>()
+            + (self.start.capacity() + self.len.capacity() + self.cap.capacity())
+                * std::mem::size_of::<usize>()
+    }
+
     /// Adds the undirected edge `{u, v}`. Returns `true` if the edge was
     /// newly inserted, `false` if it was already present.
     ///
@@ -186,14 +379,15 @@ impl Graph {
         if u == v {
             return Err(GraphError::SelfLoop { node: u });
         }
-        match self.adjacency[u.index()].binary_search(&v) {
+        match self.block(u.index()).binary_search(&v) {
             Ok(_) => Ok(false),
             Err(pos) => {
-                self.adjacency[u.index()].insert(pos, v);
-                let back = self.adjacency[v.index()]
+                self.insert_at(u.index(), pos, v);
+                let back = self
+                    .block(v.index())
                     .binary_search(&u)
                     .expect_err("adjacency must stay symmetric");
-                self.adjacency[v.index()].insert(back, u);
+                self.insert_at(v.index(), back, u);
                 self.edge_count += 1;
                 Ok(true)
             }
@@ -209,14 +403,19 @@ impl Graph {
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, GraphError> {
         self.check_node(u)?;
         self.check_node(v)?;
-        match self.adjacency[u.index()].binary_search(&v) {
+        match self.block(u.index()).binary_search(&v) {
             Err(_) => Ok(false),
             Ok(pos) => {
-                self.adjacency[u.index()].remove(pos);
-                let back = self.adjacency[v.index()]
-                    .binary_search(&u)
-                    .expect("adjacency must stay symmetric");
-                self.adjacency[v.index()].remove(back);
+                let back = match self.block(v.index()).binary_search(&u) {
+                    Ok(b) => b,
+                    Err(_) => {
+                        return Err(GraphError::BrokenInvariant {
+                            reason: format!("edge ({u}, {v}) present forward but not backward"),
+                        })
+                    }
+                };
+                self.remove_at(u.index(), pos);
+                self.remove_at(v.index(), back);
                 self.edge_count -= 1;
                 Ok(true)
             }
@@ -274,7 +473,7 @@ impl Graph {
                 add.push(directed[i].1);
                 i += 1;
             }
-            merge_sorted_additions(&mut self.adjacency[u.index()], &add);
+            self.merge_block_additions(u.index(), &add);
         }
         self.edge_count += fresh.len();
         for &e in &fresh {
@@ -332,7 +531,7 @@ impl Graph {
                 del.push(directed[i].1);
                 i += 1;
             }
-            remove_sorted_elements(&mut self.adjacency[u.index()], &del);
+            self.remove_block_elements(u.index(), &del);
         }
         self.edge_count -= present.len();
         for &e in &present {
@@ -341,37 +540,56 @@ impl Graph {
         present.len()
     }
 
-    /// Severs every edge incident to `u` in one pass (one merge per
-    /// neighbour plus clearing `u`'s own list) and calls `on_remove` for
-    /// each severed edge in ascending neighbour order. Returns the number
-    /// of severed edges. Used by the DST crash-stop fault.
+    /// Severs every edge incident to `u` in one pass (one in-block removal
+    /// per neighbour plus zeroing `u`'s own length) and calls `on_remove`
+    /// for each severed edge in ascending neighbour order. Returns the
+    /// number of severed edges. Used by the DST crash-stop fault.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `u` is out of range.
-    pub fn remove_incident_edges<F: FnMut(Edge)>(&mut self, u: NodeId, mut on_remove: F) -> usize {
-        let neighbors = std::mem::take(&mut self.adjacency[u.index()]);
+    /// [`GraphError::NodeOutOfRange`] when `u` is outside the vertex set;
+    /// [`GraphError::BrokenInvariant`] when a neighbour's block is missing
+    /// the back-edge (validated up front, so an error leaves the graph
+    /// unmodified).
+    pub fn remove_incident_edges<F: FnMut(Edge)>(
+        &mut self,
+        u: NodeId,
+        mut on_remove: F,
+    ) -> Result<usize, GraphError> {
+        if u.index() >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+        }
+        let neighbors: Vec<NodeId> = self.block(u.index()).to_vec();
+        let mut back_positions: Vec<usize> = Vec::with_capacity(neighbors.len());
         for &v in &neighbors {
-            let pos = self.adjacency[v.index()]
-                .binary_search(&u)
-                .expect("adjacency must stay symmetric");
-            self.adjacency[v.index()].remove(pos);
+            match self.block(v.index()).binary_search(&u) {
+                Ok(pos) => back_positions.push(pos),
+                Err(_) => {
+                    return Err(GraphError::BrokenInvariant {
+                        reason: format!("edge ({u}, {v}) present forward but not backward"),
+                    })
+                }
+            }
+        }
+        self.len[u.index()] = 0;
+        for (&v, &pos) in neighbors.iter().zip(&back_positions) {
+            self.remove_at(v.index(), pos);
         }
         self.edge_count -= neighbors.len();
         for &v in &neighbors {
             on_remove(Edge::new(u, v));
         }
-        neighbors.len()
+        Ok(neighbors.len())
     }
 
     /// Returns true if the edge `{u, v}` is present.
     ///
     /// Out-of-range queries simply return `false`.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.adjacency
-            .get(u.index())
-            .map(|adj| adj.binary_search(&v).is_ok())
-            .unwrap_or(false)
+        if u.index() >= self.n {
+            return false;
+        }
+        self.block(u.index()).binary_search(&v).is_ok()
     }
 
     /// Neighbours of `u` (the paper's `N_1(u)`), in ascending order.
@@ -380,17 +598,18 @@ impl Graph {
     ///
     /// Panics if `u` is out of range.
     pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.adjacency[u.index()].iter().copied()
+        self.block(u.index()).iter().copied()
     }
 
     /// Neighbours of `u` as a sorted slice — the zero-cost form of
-    /// [`Graph::neighbors`] for hot scans.
+    /// [`Graph::neighbors`] for hot scans. With the arena representation
+    /// this is one contiguous sub-slice of the shared neighbour storage.
     ///
     /// # Panics
     ///
     /// Panics if `u` is out of range.
     pub fn neighbors_slice(&self, u: NodeId) -> &[NodeId] {
-        &self.adjacency[u.index()]
+        self.block(u.index())
     }
 
     /// The set of nodes at distance exactly two from `u` (the paper's
@@ -410,12 +629,12 @@ impl Graph {
         // Above this degree, long pairwise-union chains re-copy the accumulated
         // union too often; sorting the gathered candidates is bounded.
         const MERGE_MAX_DEGREE: usize = 64;
-        let n1 = &self.adjacency[u.index()];
+        let n1 = self.block(u.index());
         let mut out: Vec<NodeId> = Vec::new();
         if n1.len() <= MERGE_MAX_DEGREE {
             let mut scratch: Vec<NodeId> = Vec::new();
             for &v in n1 {
-                let list = &self.adjacency[v.index()];
+                let list = self.block(v.index());
                 if out.is_empty() {
                     out.extend_from_slice(list);
                     continue;
@@ -446,10 +665,10 @@ impl Graph {
                 std::mem::swap(&mut out, &mut scratch);
             }
         } else {
-            let total: usize = n1.iter().map(|v| self.adjacency[v.index()].len()).sum();
+            let total: usize = n1.iter().map(|v| self.len[v.index()]).sum();
             out.reserve(total);
             for &v in n1 {
-                out.extend_from_slice(&self.adjacency[v.index()]);
+                out.extend_from_slice(self.block(v.index()));
             }
             out.sort_unstable();
             out.dedup();
@@ -497,8 +716,11 @@ impl Graph {
     /// two-pointer intersection probe; the witness returned is the
     /// smallest common neighbour, exactly as the old linear scan found.
     pub fn common_neighbor(&self, u: NodeId, w: NodeId) -> Option<NodeId> {
-        let a = self.adjacency.get(u.index())?;
-        let b = self.adjacency.get(w.index())?;
+        if u.index() >= self.n || w.index() >= self.n {
+            return None;
+        }
+        let a = self.block(u.index());
+        let b = self.block(w.index());
         let (mut i, mut j) = (0usize, 0usize);
         while i < a.len() && j < b.len() {
             match a[i].cmp(&b[j]) {
@@ -516,22 +738,19 @@ impl Graph {
     ///
     /// Panics if `u` is out of range.
     pub fn degree(&self, u: NodeId) -> usize {
-        self.adjacency[u.index()].len()
+        self.len[u.index()]
     }
 
     /// Maximum degree over all nodes (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        self.adjacency
-            .iter()
-            .map(|adj| adj.len())
-            .max()
-            .unwrap_or(0)
+        self.len.iter().copied().max().unwrap_or(0)
     }
 
     /// Iterator over all edges in canonical order.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.adjacency.iter().enumerate().flat_map(|(u, adj)| {
-            adj.iter()
+        (0..self.n).flat_map(move |u| {
+            self.block(u)
+                .iter()
                 .filter(move |v| v.index() > u)
                 .map(move |&v| Edge::new(NodeId(u), v))
         })
@@ -580,13 +799,37 @@ impl Graph {
         g
     }
 
-    /// Checks that the internal adjacency structure is sorted,
-    /// duplicate-free and symmetric, and that the edge count matches.
-    /// Used by property tests.
+    /// Checks that the internal structure is consistent: every block is
+    /// in-bounds with `len <= cap`, blocks do not overlap, every arena
+    /// slot is owned by exactly one block or counted dead, neighbour
+    /// slices are sorted, duplicate-free and symmetric, and the edge count
+    /// matches. Used by property tests.
     pub fn check_invariants(&self) -> bool {
+        if self.start.len() != self.n || self.len.len() != self.n || self.cap.len() != self.n {
+            return false;
+        }
+        let mut cap_total = 0usize;
+        let mut owned = vec![false; self.arena.len()];
         let mut count = 0usize;
         for u in 0..self.n {
-            let adj = &self.adjacency[u];
+            let (s, l, c) = (self.start[u], self.len[u], self.cap[u]);
+            if l > c {
+                return false;
+            }
+            let Some(end) = s.checked_add(c) else {
+                return false;
+            };
+            if end > self.arena.len() {
+                return false;
+            }
+            cap_total += c;
+            for slot in &mut owned[s..end] {
+                if *slot {
+                    return false; // overlapping blocks
+                }
+                *slot = true;
+            }
+            let adj = self.block(u);
             if adj.windows(2).any(|w| w[0] >= w[1]) {
                 return false; // unsorted or duplicated
             }
@@ -594,7 +837,7 @@ impl Graph {
                 if v.index() >= self.n || v.index() == u {
                     return false;
                 }
-                if self.adjacency[v.index()].binary_search(&NodeId(u)).is_err() {
+                if self.block(v.index()).binary_search(&NodeId(u)).is_err() {
                     return false;
                 }
                 if v.index() > u {
@@ -602,7 +845,7 @@ impl Graph {
                 }
             }
         }
-        count == self.edge_count
+        cap_total + self.dead == self.arena.len() && count == self.edge_count
     }
 }
 
@@ -768,7 +1011,7 @@ mod tests {
         .unwrap();
         let mut severed = Vec::new();
         let k = g.remove_incident_edges(nid(0), |e| severed.push(e));
-        assert_eq!(k, 3);
+        assert_eq!(k, Ok(3));
         assert_eq!(
             severed,
             vec![
@@ -782,7 +1025,10 @@ mod tests {
         assert!(g.has_edge(nid(2), nid(3)));
         assert!(g.check_invariants());
         // Severing an isolated node is a no-op.
-        assert_eq!(g.remove_incident_edges(nid(0), |_| panic!("no edges")), 0);
+        assert_eq!(
+            g.remove_incident_edges(nid(0), |_| panic!("no edges")),
+            Ok(0)
+        );
     }
 
     #[test]
@@ -825,5 +1071,68 @@ mod tests {
         let nodes: Vec<_> = g.nodes().collect();
         assert_eq!(nodes, vec![nid(0), nid(1), nid(2)]);
         assert!(g.is_empty());
+    }
+
+    #[test]
+    fn equality_is_layout_independent() {
+        // The same edge set reached through different operation orders
+        // produces different arena layouts (relocations, slack, dead
+        // space) but equal graphs.
+        let mut a = Graph::new(6);
+        for v in 1..6 {
+            a.add_edge(nid(0), nid(v)).unwrap(); // hub grows: relocations
+        }
+        let mut b = Graph::new(6);
+        for v in (1..6).rev() {
+            b.add_edge(nid(0), nid(v)).unwrap();
+        }
+        b.add_edge(nid(1), nid(2)).unwrap();
+        b.remove_edge(nid(1), nid(2)).unwrap();
+        assert_eq!(a, b);
+        b.compact();
+        assert_eq!(a, b, "compaction preserves equality");
+        assert!(a.check_invariants() && b.check_invariants());
+    }
+
+    #[test]
+    fn overflow_relocation_and_compaction_keep_invariants() {
+        // Grow one hub past several capacity doublings, forcing
+        // relocations and eventually an automatic compaction.
+        let n = 600;
+        let mut g = Graph::new(n);
+        for v in 1..n {
+            g.add_edge(nid(0), nid(v)).unwrap();
+            assert_eq!(g.degree(nid(0)), v);
+        }
+        assert!(g.check_invariants());
+        assert_eq!(g.neighbors_slice(nid(0)).len(), n - 1);
+        assert!(
+            g.neighbors_slice(nid(0)).windows(2).all(|w| w[0] < w[1]),
+            "hub block stays sorted across relocations"
+        );
+        // Explicit compaction packs tight: no dead slots, arena == live.
+        g.compact();
+        assert_eq!(g.dead_slots(), 0);
+        assert_eq!(g.arena_slots(), 2 * g.edge_count());
+        assert!(g.check_invariants());
+        // A compacted block has no slack: the next insert relocates and
+        // the structure stays consistent.
+        let w = g.add_node();
+        g.add_edge(nid(1), w).unwrap();
+        g.add_edge(nid(0), w).unwrap();
+        assert!(g.check_invariants());
+        assert!(g.memory_footprint_bytes() > 0);
+    }
+
+    #[test]
+    fn churn_node_starts_with_zero_capacity_block() {
+        let mut g = Graph::new(2);
+        g.add_edge(nid(0), nid(1)).unwrap();
+        let v = g.add_node();
+        assert_eq!(g.degree(v), 0);
+        assert_eq!(g.neighbors_slice(v), &[] as &[NodeId]);
+        g.add_edge(v, nid(0)).unwrap();
+        assert_eq!(g.neighbors_slice(v), &[nid(0)]);
+        assert!(g.check_invariants());
     }
 }

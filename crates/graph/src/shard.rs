@@ -1,0 +1,437 @@
+//! Sharded batch application: the parallel merge half of the network's
+//! deterministically-sharded `commit_round`.
+//!
+//! A committed round is, per node, an independent rewrite of one sorted
+//! block: `(old ∪ adds) \ dels`. Blocks are disjoint intervals of the
+//! shared arena, so after a serial pre-pass has grown every overflowing
+//! block, the arena can be carved into disjoint `&mut` regions at block
+//! boundaries and the per-node merges run on a `std::thread::scope` worker
+//! pool — entirely safe Rust, no interior mutability, no atomics. The
+//! result is *identical* to applying [`Graph::add_edges_batch`] followed
+//! by [`Graph::remove_edges_batch`]: which thread merges which block is
+//! invisible, because every block's content is a pure function of its old
+//! content and its own mutations, and all bookkeeping (lengths, edge
+//! count, callbacks) stays serial in canonical order.
+//!
+//! The entry point *declines* (returns `false`, mutating nothing) instead
+//! of panicking when its preconditions do not hold, so callers fall back
+//! to the serial batch path rather than crashing mid-round.
+
+use crate::graph::{grow_cap, Edge, PAD};
+use crate::{Graph, NodeId};
+
+/// Below this many directed mutations per worker there is nothing to win:
+/// thread spawn plus partitioning costs more than the merge itself.
+pub const SHARD_MIN_DIRECTED_PER_WORKER: usize = 512;
+
+/// One node's slice of work, expressed relative to the chunk's arena
+/// region so the worker never sees an absolute arena offset.
+struct WorkItem {
+    /// Block offset inside the chunk's region.
+    rel_start: usize,
+    /// Live length before this round's mutations.
+    old_len: usize,
+    /// Range of this node's additions in the directed-additions column.
+    add_lo: usize,
+    add_hi: usize,
+    /// Range of this node's removals in the directed-removals column.
+    del_lo: usize,
+    del_hi: usize,
+}
+
+/// Per-node group boundaries over the two directed columns.
+struct TouchedNode {
+    node: usize,
+    add_lo: usize,
+    add_hi: usize,
+    del_lo: usize,
+    del_hi: usize,
+}
+
+/// Expands canonical edges into directed `(source, neighbour)` entries,
+/// sorted by source then neighbour.
+fn directed_column(edges: &[Edge]) -> Vec<(NodeId, NodeId)> {
+    let mut directed: Vec<(NodeId, NodeId)> = Vec::with_capacity(2 * edges.len());
+    for &e in edges {
+        directed.push((e.a, e.b));
+        directed.push((e.b, e.a));
+    }
+    directed.sort_unstable();
+    directed
+}
+
+/// Merges the two sorted directed columns into per-node groups.
+fn group_by_node(adds: &[(NodeId, NodeId)], dels: &[(NodeId, NodeId)]) -> Vec<TouchedNode> {
+    let mut touched: Vec<TouchedNode> = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < adds.len() || j < dels.len() {
+        let node = match (adds.get(i), dels.get(j)) {
+            (Some(a), Some(d)) => a.0.min(d.0),
+            (Some(a), None) => a.0,
+            (None, Some(d)) => d.0,
+            (None, None) => break,
+        };
+        let add_lo = i;
+        while i < adds.len() && adds[i].0 == node {
+            i += 1;
+        }
+        let del_lo = j;
+        while j < dels.len() && dels[j].0 == node {
+            j += 1;
+        }
+        touched.push(TouchedNode {
+            node: node.index(),
+            add_lo,
+            add_hi: i,
+            del_lo,
+            del_hi: j,
+        });
+    }
+    touched
+}
+
+/// The fused per-node rewrite: a backward in-place merge of the sorted
+/// additions (the block has room — capacity was grown serially) followed
+/// by a forward compaction dropping the sorted removals. One visit per
+/// block instead of the serial path's two global sweeps.
+fn rewrite_block(
+    region: &mut [NodeId],
+    item: &WorkItem,
+    adds: &[(NodeId, NodeId)],
+    dels: &[(NodeId, NodeId)],
+) {
+    let adds = &adds[item.add_lo..item.add_hi];
+    let dels = &dels[item.del_lo..item.del_hi];
+    let grown = item.old_len + adds.len();
+    let block = &mut region[item.rel_start..item.rel_start + grown];
+    if !adds.is_empty() {
+        let mut i = item.old_len;
+        let mut j = adds.len();
+        let mut w = grown;
+        while j > 0 {
+            if i > 0 && block[i - 1] > adds[j - 1].1 {
+                block[w - 1] = block[i - 1];
+                i -= 1;
+            } else {
+                block[w - 1] = adds[j - 1].1;
+                j -= 1;
+            }
+            w -= 1;
+        }
+    }
+    if !dels.is_empty() {
+        let mut j = 0usize;
+        let mut w = 0usize;
+        for r in 0..grown {
+            let v = block[r];
+            if j < dels.len() && dels[j].1 == v {
+                j += 1;
+            } else {
+                block[w] = v;
+                w += 1;
+            }
+        }
+    }
+}
+
+impl Graph {
+    /// Applies `adds` then `dels` — both canonical, sorted ascending and
+    /// duplicate-free, with every `adds` edge absent and every `dels`
+    /// edge present — across a pool of `threads` scoped workers, one
+    /// disjoint arena region each. Equivalent to
+    /// `add_edges_batch(adds, ..) ; remove_edges_batch(dels, ..)` on the
+    /// same input (callbacks excluded — the caller drives those from the
+    /// same columns).
+    ///
+    /// Returns `true` if the batch was applied. Returns `false` — having
+    /// mutated **nothing** — when the input does not meet the
+    /// preconditions above (unsorted or duplicated columns, out-of-range
+    /// endpoints, an add already present, a del absent, overlapping add
+    /// and del sets) or when `threads < 2` or the batch is too small to
+    /// shard profitably; the caller is expected to fall back to the
+    /// serial batch path. Declining instead of panicking keeps the shard
+    /// path free of fault-reachable aborts.
+    pub fn apply_batches_sharded(&mut self, adds: &[Edge], dels: &[Edge], threads: usize) -> bool {
+        if threads < 2 {
+            return false;
+        }
+        let directed_total = 2 * (adds.len() + dels.len());
+        if directed_total < 2 * SHARD_MIN_DIRECTED_PER_WORKER {
+            return false;
+        }
+        // Precondition sweep (read-only; all declines happen before any
+        // mutation). Sortedness and duplicate-freedom of the canonical
+        // columns, in-range endpoints, adds fresh, dels present, and
+        // add/del disjointness (implied by fresh + present).
+        if adds.windows(2).any(|w| w[0] >= w[1]) || dels.windows(2).any(|w| w[0] >= w[1]) {
+            return false;
+        }
+        for &e in adds {
+            if e.b.index() >= self.n || self.has_edge(e.a, e.b) {
+                return false;
+            }
+        }
+        for &e in dels {
+            if e.b.index() >= self.n || !self.has_edge(e.a, e.b) {
+                return false;
+            }
+        }
+
+        let directed_add = directed_column(adds);
+        let directed_del = directed_column(dels);
+        let touched = group_by_node(&directed_add, &directed_del);
+        if touched.is_empty() {
+            return false;
+        }
+
+        // Serial pre-pass: grow every block that cannot absorb its
+        // additions in place. Compaction is deferred to the end of the
+        // call — `compact` squashes every block to `cap == len`, so a
+        // mid-pass compaction would strip slack off blocks already grown
+        // for their pending additions.
+        for t in &touched {
+            let need = self.len[t.node] + (t.add_hi - t.add_lo);
+            if need > self.cap[t.node] {
+                self.relocate_grow(t.node, need);
+            }
+        }
+
+        // Partition the touched blocks, sorted by arena offset, into
+        // contiguous chunks of roughly equal merge work.
+        let mut order: Vec<usize> = (0..touched.len()).collect();
+        order.sort_unstable_by_key(|&i| self.start[touched[i].node]);
+        let workers = threads.min(touched.len());
+        let total_work: usize = touched
+            .iter()
+            .map(|t| self.len[t.node] + (t.add_hi - t.add_lo) + (t.del_hi - t.del_lo))
+            .sum();
+        let target = total_work.div_ceil(workers).max(1);
+
+        // Each chunk is a run of blocks plus the arena interval that
+        // contains exactly those blocks' capacity ranges.
+        struct Chunk {
+            begin: usize,
+            end: usize,
+            items: Vec<WorkItem>,
+        }
+        let mut chunks: Vec<Chunk> = Vec::with_capacity(workers);
+        let mut acc = 0usize;
+        for &idx in &order {
+            let t = &touched[idx];
+            let s = self.start[t.node];
+            let work = self.len[t.node] + (t.add_hi - t.add_lo) + (t.del_hi - t.del_lo);
+            let open_new = match chunks.last() {
+                Some(_) => acc >= target && chunks.len() < workers,
+                None => true,
+            };
+            if open_new {
+                chunks.push(Chunk {
+                    begin: s,
+                    end: s + self.cap[t.node],
+                    items: Vec::new(),
+                });
+                acc = 0;
+            }
+            let chunk = match chunks.last_mut() {
+                Some(c) => c,
+                None => return false, // unreachable; keep the path panic-free
+            };
+            chunk.end = s + self.cap[t.node];
+            chunk.items.push(WorkItem {
+                rel_start: s - chunk.begin,
+                old_len: self.len[t.node],
+                add_lo: t.add_lo,
+                add_hi: t.add_hi,
+                del_lo: t.del_lo,
+                del_hi: t.del_hi,
+            });
+            acc += work;
+        }
+
+        // Carve the arena into one disjoint mutable region per chunk and
+        // run the rewrites on scoped workers; the final chunk runs on the
+        // current thread so a two-way shard spawns a single worker.
+        {
+            let directed_add = &directed_add;
+            let directed_del = &directed_del;
+            let mut remaining: &mut [NodeId] = &mut self.arena;
+            let mut consumed = 0usize;
+            std::thread::scope(|scope| {
+                let mut inline: Option<(&mut [NodeId], &Chunk)> = None;
+                for (c, chunk) in chunks.iter().enumerate() {
+                    let (_, rest) =
+                        std::mem::take(&mut remaining).split_at_mut(chunk.begin - consumed);
+                    let (region, rest) = rest.split_at_mut(chunk.end - chunk.begin);
+                    remaining = rest;
+                    consumed = chunk.end;
+                    if c + 1 == chunks.len() {
+                        inline = Some((region, chunk));
+                    } else {
+                        scope.spawn(move || {
+                            for item in &chunk.items {
+                                rewrite_block(region, item, directed_add, directed_del);
+                            }
+                        });
+                    }
+                }
+                if let Some((region, chunk)) = inline {
+                    for item in &chunk.items {
+                        rewrite_block(region, item, directed_add, directed_del);
+                    }
+                }
+            });
+        }
+
+        // Serial bookkeeping: lengths are pure functions of the counts.
+        for t in &touched {
+            self.len[t.node] = self.len[t.node] + (t.add_hi - t.add_lo) - (t.del_hi - t.del_lo);
+        }
+        self.edge_count = self.edge_count + adds.len() - dels.len();
+        self.maybe_compact();
+        true
+    }
+
+    /// Moves `u`'s block to the arena tail with capacity for `need`
+    /// elements (contents preserved, old slots become dead space). The
+    /// caller decides when to compact: the sharded pre-pass must keep the
+    /// grown slack intact until its merge has run.
+    pub(crate) fn relocate_grow(&mut self, u: usize, need: usize) {
+        let s = self.start[u];
+        let l = self.len[u];
+        let new_cap = grow_cap(self.cap[u], need);
+        let new_start = self.arena.len();
+        self.arena.reserve(new_cap);
+        self.arena.extend_from_within(s..s + l);
+        self.arena.resize(new_start + new_cap, PAD);
+        self.dead += self.cap[u];
+        self.start[u] = new_start;
+        self.len[u] = l;
+        self.cap[u] = new_cap;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+
+    fn nid(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Builds a random graph plus disjoint fresh-add / present-del batches
+    /// large enough to clear the sharding threshold.
+    fn build_case(seed: u64, n: usize) -> (Graph, Vec<Edge>, Vec<Edge>) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut g = Graph::new(n);
+        for _ in 0..4 * n {
+            let u = rng.gen_range(0, n);
+            let mut v = rng.gen_range(0, n - 1);
+            if v >= u {
+                v += 1;
+            }
+            let _ = g.add_edge(nid(u), nid(v));
+        }
+        let mut adds: Vec<Edge> = Vec::new();
+        let mut dels: Vec<Edge> = Vec::new();
+        for u in 0..n {
+            for &v in g.neighbors_slice(nid(u)) {
+                if v.index() > u && rng.gen_bool(0.3) {
+                    dels.push(Edge::new(nid(u), v));
+                }
+            }
+        }
+        for _ in 0..2 * n {
+            let u = rng.gen_range(0, n);
+            let mut v = rng.gen_range(0, n - 1);
+            if v >= u {
+                v += 1;
+            }
+            let e = Edge::new(nid(u), nid(v));
+            if !g.has_edge(e.a, e.b) {
+                adds.push(e);
+            }
+        }
+        adds.sort_unstable();
+        adds.dedup();
+        dels.sort_unstable();
+        dels.dedup();
+        (g, adds, dels)
+    }
+
+    #[test]
+    fn sharded_application_matches_serial_batches() {
+        for seed in 0u64..6 {
+            let (g, adds, dels) = build_case(0xA11CE ^ seed, 192);
+            for threads in [2usize, 3, 4, 7] {
+                let mut sharded = g.clone();
+                let applied = sharded.apply_batches_sharded(&adds, &dels, threads);
+                assert!(applied, "seed {seed}: batch large enough to shard");
+                let mut serial = g.clone();
+                serial.add_edges_batch(&adds, |_| {});
+                serial.remove_edges_batch(&dels, |_| {});
+                assert_eq!(sharded, serial, "seed {seed} threads {threads}");
+                assert!(sharded.check_invariants(), "seed {seed} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_application_declines_bad_input_without_mutating() {
+        let (g, adds, dels) = build_case(77, 192);
+        // threads < 2
+        let mut c = g.clone();
+        assert!(!c.apply_batches_sharded(&adds, &dels, 1));
+        assert_eq!(c, g);
+        // unsorted adds
+        let mut swapped = adds.clone();
+        swapped.swap(0, 1);
+        let mut c = g.clone();
+        assert!(!c.apply_batches_sharded(&swapped, &dels, 4));
+        assert_eq!(c, g);
+        // an "add" that is already present
+        let mut stale = adds.clone();
+        stale[0] = dels[0];
+        stale.sort_unstable();
+        let mut c = g.clone();
+        assert!(!c.apply_batches_sharded(&stale, &dels, 4));
+        assert_eq!(c, g);
+        // a "del" that is absent
+        let mut phantom = dels.clone();
+        phantom[0] = adds[0];
+        phantom.sort_unstable();
+        let mut c = g.clone();
+        assert!(!c.apply_batches_sharded(&adds, &phantom, 4));
+        assert_eq!(c, g);
+        // out-of-range endpoint
+        let mut oor = adds.clone();
+        oor.push(Edge::new(nid(0), nid(100_000)));
+        oor.sort_unstable();
+        let mut c = g.clone();
+        assert!(!c.apply_batches_sharded(&oor, &dels, 4));
+        assert_eq!(c, g);
+        // too small to shard
+        let mut c = g.clone();
+        assert!(!c.apply_batches_sharded(&adds[..2], &[], 4));
+        assert_eq!(c, g);
+    }
+
+    #[test]
+    fn sharded_application_survives_fragmented_arenas() {
+        // Heavily fragment the arena first (hub growth forces repeated
+        // relocations), then shard a batch across it.
+        let mut g = Graph::new(2048);
+        for v in 1..1024usize {
+            g.add_edge(nid(0), nid(v)).unwrap();
+        }
+        let adds: Vec<Edge> = (1024..2048).map(|v| Edge::new(nid(1), nid(v))).collect();
+        let dels: Vec<Edge> = (2..514).map(|v| Edge::new(nid(0), nid(v))).collect();
+        let mut sharded = g.clone();
+        assert!(sharded.apply_batches_sharded(&adds, &dels, 4));
+        let mut serial = g.clone();
+        serial.add_edges_batch(&adds, |_| {});
+        serial.remove_edges_batch(&dels, |_| {});
+        assert_eq!(sharded, serial);
+        assert!(sharded.check_invariants());
+    }
+}

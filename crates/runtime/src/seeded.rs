@@ -248,7 +248,9 @@ impl SeededScheduler {
                             if c.index() >= n || crashed[c.index()] {
                                 continue;
                             }
-                            network.inject_crash(c);
+                            network
+                                .inject_crash(c)
+                                .map_err(|e| E::from(RuntimeError::Sim(e)))?;
                             crashed[c.index()] = true;
                             match ds[c.index()].crash() {
                                 Some(DsParent::Root) => root_deficit -= 1,

@@ -37,6 +37,7 @@
 //! checked byte-for-byte.
 
 use crate::Network;
+use crate::SimError;
 use adn_graph::rng::DetRng;
 use adn_graph::{Edge, NodeId};
 use std::collections::BTreeSet;
@@ -569,7 +570,7 @@ impl Adversary {
         crashed: &mut BTreeSet<NodeId>,
         uids: &mut Vec<u64>,
         round: usize,
-    ) -> Option<FaultEvent> {
+    ) -> Result<Option<FaultEvent>, SimError> {
         // A due heal fires first, regardless of budget, window or
         // probability: a severed cut is always eventually re-offered.
         if self
@@ -578,26 +579,28 @@ impl Adversary {
             .is_some_and(|p| round >= p.at_round)
         {
             if let Some(pending) = self.pending_heal.take() {
-                return Some(Self::heal(network, pending.cut));
+                return Ok(Some(Self::heal(network, pending.cut)));
             }
         }
         if self.budget_left == 0 || self.scenario.total_weight() == 0 {
-            return None;
+            return Ok(None);
         }
         if round < self.scenario.window_start {
-            return None;
+            return Ok(None);
         }
         if let Some(end) = self.scenario.window_end {
             if round > end {
-                return None;
+                return Ok(None);
             }
         }
         if !self.rng.gen_bool(self.scenario.per_round_probability) {
-            return None;
+            return Ok(None);
         }
-        let event = self.pick_event(network, crashed, uids, round)?;
+        let Some(event) = self.pick_event(network, crashed, uids, round)? else {
+            return Ok(None);
+        };
         self.budget_left -= 1;
-        Some(event)
+        Ok(Some(event))
     }
 
     /// Liveness is derived from the network's crash mask — the single
@@ -618,7 +621,7 @@ impl Adversary {
         crashed: &mut BTreeSet<NodeId>,
         uids: &mut Vec<u64>,
         round: usize,
-    ) -> Option<FaultEvent> {
+    ) -> Result<Option<FaultEvent>, SimError> {
         let s = &self.scenario;
         let total = s.total_weight();
         if total == 0 {
@@ -626,7 +629,7 @@ impl Adversary {
             // `gen_range` panics on an empty range — decline instead so a
             // future caller cannot turn a zero-weight scenario into a
             // panic on a fault path.
-            return None;
+            return Ok(None);
         }
         let mut x = self.rng.gen_range(0, total as usize) as u32;
         let weights = [
@@ -647,11 +650,11 @@ impl Adversary {
         }
         match kind {
             0 => self.crash(network, crashed),
-            1 => self.delete_edge(network),
-            2 => self.insert_edge(network),
-            3 => self.join(network, uids),
-            4 => self.skew(network),
-            _ => self.partition(network, round),
+            1 => Ok(self.delete_edge(network)),
+            2 => Ok(self.insert_edge(network)),
+            3 => Ok(self.join(network, uids)),
+            4 => Ok(self.skew(network)),
+            _ => Ok(self.partition(network, round)),
         }
     }
 
@@ -659,17 +662,21 @@ impl Adversary {
         &mut self,
         network: &mut Network,
         crashed: &mut BTreeSet<NodeId>,
-    ) -> Option<FaultEvent> {
+    ) -> Result<Option<FaultEvent>, SimError> {
         let live = Self::live_nodes(network);
         if live.len() <= 2 {
-            return None; // keep at least two live nodes alive
+            return Ok(None); // keep at least two live nodes alive
         }
-        let node = self.scenario.target.pick(&mut self.rng, network, &live)?;
+        let Some(node) = self.scenario.target.pick(&mut self.rng, network, &live) else {
+            return Ok(None);
+        };
         // One batched sever (and crash-mark, so same-round staged edges of
-        // the victim are dropped at commit) instead of a per-edge loop.
-        let severed = network.fault_crash_node(node);
+        // the victim are dropped at commit) instead of a per-edge loop. A
+        // corrupted arena surfaces as a typed error the harness records as
+        // a violation — never an abort mid-sweep.
+        let severed = network.fault_crash_node(node)?;
         crashed.insert(node);
-        Some(FaultEvent::CrashNode { node, severed })
+        Ok(Some(FaultEvent::CrashNode { node, severed }))
     }
 
     fn delete_edge(&mut self, network: &mut Network) -> Option<FaultEvent> {
@@ -869,11 +876,21 @@ impl DstState {
     /// resulting snapshot.
     pub(crate) fn on_round(&mut self, network: &mut Network) {
         let round = network.round();
-        if let Some(event) =
-            self.adversary
-                .inject(network, &mut self.crashed, &mut self.uids, round)
+        match self
+            .adversary
+            .inject(network, &mut self.crashed, &mut self.uids, round)
         {
-            self.log.push(FaultRecord { round, event });
+            Ok(Some(event)) => self.log.push(FaultRecord { round, event }),
+            Ok(None) => {}
+            // Fault application hit a broken graph invariant (e.g. a
+            // crash sever landing on a corrupted arena). Recorded as a
+            // violation with the full detail — the sweep reports the
+            // reaching seed instead of aborting.
+            Err(e) => self.violations.push(Violation {
+                round,
+                invariant: "fault-application",
+                detail: e.to_string(),
+            }),
         }
         self.check_invariants(network, round);
     }

@@ -37,6 +37,14 @@ pub enum SimError {
         /// The configured limit.
         limit: usize,
     },
+    /// The underlying graph reported a broken internal invariant while a
+    /// simulator operation (commit, fault application) was mutating it.
+    /// Always a bug — typed so a seeded sweep records the reaching case
+    /// instead of aborting.
+    BrokenInvariant {
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -53,6 +61,21 @@ impl fmt::Display for SimError {
             SimError::RoundLimitExceeded { limit } => {
                 write!(f, "execution exceeded the round limit of {limit}")
             }
+            SimError::BrokenInvariant { detail } => {
+                write!(f, "simulator invariant broken: {detail}")
+            }
+        }
+    }
+}
+
+impl From<adn_graph::GraphError> for SimError {
+    /// Graph-level invariant breakage surfaces as the simulator's own
+    /// [`SimError::BrokenInvariant`] (any other graph error reaching this
+    /// conversion is equally a bug in the simulator's bookkeeping — the
+    /// validated entry points reject bad input before touching the graph).
+    fn from(e: adn_graph::GraphError) -> Self {
+        SimError::BrokenInvariant {
+            detail: e.to_string(),
         }
     }
 }

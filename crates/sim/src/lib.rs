@@ -59,5 +59,5 @@ pub mod trace;
 pub use dst::{Adversary, DstReport, DstState, FaultEvent, FaultRecord, InvariantPolicy, Scenario};
 pub use error::SimError;
 pub use metrics::EdgeMetrics;
-pub use network::{EdgeDelta, Network, RoundSummary};
+pub use network::{EdgeDelta, Network, RoundSummary, WaveActivation};
 pub use trace::{ExecutionReport, RoundStats};

@@ -44,6 +44,25 @@ pub struct EdgeDelta {
     pub added: bool,
 }
 
+/// One activation of a batched jump wave, staged through
+/// [`Network::stage_jump_wave`]: the `initiator` activates an edge to
+/// `target`, and `witness` is a node the caller asserts is currently
+/// adjacent to both — the engines' hot loops always know one (the old
+/// parent in a line-to-tree jump, the bridge endpoint in a star merge).
+/// The claim is *verified* with two adjacency probes, which replaces the
+/// general common-neighbour merge scan of [`Network::stage_activation`]
+/// with two binary searches; a stale witness falls back to the full scan
+/// before the distance-2 rule rejects the activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaveActivation {
+    /// The node performing the activation (metered as the initiator).
+    pub initiator: NodeId,
+    /// The other endpoint of the new edge.
+    pub target: NodeId,
+    /// A node believed adjacent to both endpoints in the current snapshot.
+    pub witness: NodeId,
+}
+
 /// Summary of a committed round, returned by [`Network::commit_round`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RoundSummary {
@@ -126,6 +145,9 @@ pub struct Network {
     /// Off by default so non-committee executions pay nothing.
     edge_deltas: Vec<EdgeDelta>,
     edge_delta_tracking: bool,
+    /// Worker-pool width for [`Network::commit_round`]'s sharded merge
+    /// (1 = serial; see [`Network::set_commit_threads`]).
+    commit_threads: usize,
     /// Optional deterministic-simulation-testing state (adversary +
     /// invariant checker), ticked at every round boundary.
     dst: Option<Box<DstState>>,
@@ -202,8 +224,26 @@ impl Network {
             change_tracking: false,
             edge_deltas: Vec::new(),
             edge_delta_tracking: false,
+            commit_threads: 1,
             dst: None,
         }
+    }
+
+    /// Sets the worker-pool width for the sharded `commit_round` merge.
+    /// With `threads >= 2`, rounds whose staged columns are large enough
+    /// to shard profitably apply their adjacency merges on a scoped
+    /// worker pool (one disjoint arena region each); everything
+    /// observable — snapshot, metrics, deltas, summaries — is
+    /// byte-identical to the serial path for every thread count. Values
+    /// `0` and `1` select the serial path; small rounds fall back to it
+    /// automatically.
+    pub fn set_commit_threads(&mut self, threads: usize) {
+        self.commit_threads = threads.max(1);
+    }
+
+    /// The configured worker-pool width for `commit_round` (1 = serial).
+    pub fn commit_threads(&self) -> usize {
+        self.commit_threads
     }
 
     /// Enables or disables the edge-delta hook (either transition clears
@@ -431,6 +471,78 @@ impl Network {
         }
     }
 
+    /// Stages a whole jump wave in one call: a column of witnessed
+    /// activations and a column of deactivations, validated and staged in
+    /// a single pass. Semantically identical to calling
+    /// [`Network::stage_activation`] for every wave entry and then
+    /// [`Network::stage_deactivation`] for every edge of
+    /// `deactivations`, but each activation's distance-2 check is two
+    /// adjacency probes against the supplied witness instead of a
+    /// common-neighbour merge scan (with the full scan as fallback for a
+    /// stale witness). Returns the number of operations newly staged;
+    /// already-active / already-inactive edges and duplicate stages are
+    /// no-ops, exactly as in the per-edge entry points.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as the per-edge entry points, discovered in column
+    /// order (activations first). On error, entries before the offending
+    /// one remain staged — identical to the equivalent per-edge loop.
+    pub fn stage_jump_wave(
+        &mut self,
+        activations: &[WaveActivation],
+        deactivations: &[Edge],
+    ) -> Result<usize, SimError> {
+        let mut staged = 0usize;
+        for w in activations {
+            let (u, v) = (w.initiator, w.target);
+            self.check_node(u)?;
+            self.check_node(v)?;
+            if u == v {
+                return Err(SimError::SelfLoop { node: u });
+            }
+            if self.current.has_edge(u, v) {
+                continue;
+            }
+            // Distance-2 rule, witness-first: two binary probes confirm
+            // the claimed common neighbour; only a stale witness pays for
+            // the general merge scan before rejecting.
+            let witnessed = w.witness != u
+                && w.witness != v
+                && self.current.has_edge(u, w.witness)
+                && self.current.has_edge(w.witness, v);
+            if !witnessed && self.current.common_neighbor(u, v).is_none() {
+                return Err(SimError::NotPotentialNeighbors {
+                    u,
+                    v,
+                    round: self.round,
+                });
+            }
+            let e = Edge::new(u, v);
+            if self.staged_activation_set.insert(e) {
+                self.staged_activations.push(e);
+                self.staged_initiators.push(u);
+                staged += 1;
+            }
+        }
+        for &e in deactivations {
+            self.check_node(e.a)?;
+            self.check_node(e.b)?;
+            if e.a == e.b {
+                return Err(SimError::SelfLoop { node: e.a });
+            }
+            if !self.current.has_edge(e.a, e.b) {
+                continue;
+            }
+            let canonical = Edge::new(e.a, e.b);
+            if self.staged_deactivation_set.insert(canonical) {
+                self.staged_deactivations.push(canonical);
+                staged += 1;
+            }
+        }
+        Ok(staged)
+    }
+
     /// Number of operations currently staged (activations + deactivations).
     pub fn staged_operations(&self) -> usize {
         self.staged_activations.len() + self.staged_deactivations.len()
@@ -489,36 +601,99 @@ impl Network {
             let activated_now = &mut self.activated_now;
             let delta_tracking = self.edge_delta_tracking;
             let edge_deltas = &mut self.edge_deltas;
-            self.current.add_edges_batch(&staged_activations, |e| {
-                if delta_tracking {
-                    edge_deltas.push(EdgeDelta {
-                        edge: e,
-                        added: true,
-                    });
+            // Sharded fast path: the serial batch entry points filter to
+            // fresh adds / present removals themselves; here the filters
+            // run up front (valid pre-mutation because the conflict pass
+            // left the two columns disjoint, so neither batch changes the
+            // other's membership) and the per-node block merges run on a
+            // worker pool over disjoint arena regions. The callbacks then
+            // fire from the filtered columns in exactly the serial order
+            // — adds first, then removals, each ascending — so every
+            // observable (snapshot, deltas, counters, metrics) is
+            // byte-identical to the serial path. `apply_batches_sharded`
+            // declines small or irregular batches; those take the serial
+            // path below, as does the default `commit_threads == 1`.
+            let mut sharded = false;
+            if self.commit_threads >= 2 {
+                let fresh: Vec<Edge> = staged_activations
+                    .iter()
+                    .copied()
+                    .filter(|e| !self.current.has_edge(e.a, e.b))
+                    .collect();
+                let present: Vec<Edge> = staged_deactivations
+                    .iter()
+                    .copied()
+                    .filter(|e| self.current.has_edge(e.a, e.b))
+                    .collect();
+                if self
+                    .current
+                    .apply_batches_sharded(&fresh, &present, self.commit_threads)
+                {
+                    sharded = true;
+                    for &e in &fresh {
+                        if delta_tracking {
+                            edge_deltas.push(EdgeDelta {
+                                edge: e,
+                                added: true,
+                            });
+                        }
+                        grew.push(e.a);
+                        grew.push(e.b);
+                        if !initial.has_edge(e.a, e.b) {
+                            *activated_now += 1;
+                            activated_degree[e.a.index()] += 1;
+                            activated_degree[e.b.index()] += 1;
+                            touched.push(e.a);
+                            touched.push(e.b);
+                        }
+                    }
+                    for &e in &present {
+                        if delta_tracking {
+                            edge_deltas.push(EdgeDelta {
+                                edge: e,
+                                added: false,
+                            });
+                        }
+                        if !initial.has_edge(e.a, e.b) {
+                            *activated_now -= 1;
+                            activated_degree[e.a.index()] -= 1;
+                            activated_degree[e.b.index()] -= 1;
+                        }
+                    }
                 }
-                grew.push(e.a);
-                grew.push(e.b);
-                if !initial.has_edge(e.a, e.b) {
-                    *activated_now += 1;
-                    activated_degree[e.a.index()] += 1;
-                    activated_degree[e.b.index()] += 1;
-                    touched.push(e.a);
-                    touched.push(e.b);
-                }
-            });
-            self.current.remove_edges_batch(&staged_deactivations, |e| {
-                if delta_tracking {
-                    edge_deltas.push(EdgeDelta {
-                        edge: e,
-                        added: false,
-                    });
-                }
-                if !initial.has_edge(e.a, e.b) {
-                    *activated_now -= 1;
-                    activated_degree[e.a.index()] -= 1;
-                    activated_degree[e.b.index()] -= 1;
-                }
-            });
+            }
+            if !sharded {
+                self.current.add_edges_batch(&staged_activations, |e| {
+                    if delta_tracking {
+                        edge_deltas.push(EdgeDelta {
+                            edge: e,
+                            added: true,
+                        });
+                    }
+                    grew.push(e.a);
+                    grew.push(e.b);
+                    if !initial.has_edge(e.a, e.b) {
+                        *activated_now += 1;
+                        activated_degree[e.a.index()] += 1;
+                        activated_degree[e.b.index()] += 1;
+                        touched.push(e.a);
+                        touched.push(e.b);
+                    }
+                });
+                self.current.remove_edges_batch(&staged_deactivations, |e| {
+                    if delta_tracking {
+                        edge_deltas.push(EdgeDelta {
+                            edge: e,
+                            added: false,
+                        });
+                    }
+                    if !initial.has_edge(e.a, e.b) {
+                        *activated_now -= 1;
+                        activated_degree[e.a.index()] -= 1;
+                        activated_degree[e.b.index()] -= 1;
+                    }
+                });
+            }
         }
         for &u in &touched {
             self.metrics.max_activated_degree = self
@@ -644,10 +819,10 @@ impl Network {
     /// Crash-stops `node`: severs all of its incident edges in one merge
     /// pass (not one tree lookup per edge) and marks the node crashed, so
     /// any operations it staged in the round in progress are dropped at
-    /// commit. Returns the number of severed edges.
-    pub(crate) fn fault_crash_node(&mut self, node: NodeId) -> usize {
-        self.crashed[node.index()] = true;
-        self.any_crashed = true;
+    /// commit. Returns the number of severed edges, or
+    /// [`SimError::BrokenInvariant`] when the adjacency arena is corrupted
+    /// (sever validates symmetry up front and mutates nothing on error).
+    pub(crate) fn fault_crash_node(&mut self, node: NodeId) -> Result<usize, SimError> {
         let initial = &self.initial;
         let activated_degree = &mut self.activated_degree;
         let activated_now = &mut self.activated_now;
@@ -655,7 +830,7 @@ impl Network {
         let changed = &mut self.changed_nodes;
         let delta_tracking = self.edge_delta_tracking;
         let edge_deltas = &mut self.edge_deltas;
-        self.current.remove_incident_edges(node, |e| {
+        let severed = self.current.remove_incident_edges(node, |e| {
             if tracking {
                 changed.push(e.a);
                 changed.push(e.b);
@@ -671,7 +846,10 @@ impl Network {
                 activated_degree[e.a.index()] -= 1;
                 activated_degree[e.b.index()] -= 1;
             }
-        })
+        })?;
+        self.crashed[node.index()] = true;
+        self.any_crashed = true;
+        Ok(severed)
     }
 
     /// Per-node crash markers (indexed by node id), maintained by
@@ -692,10 +870,12 @@ impl Network {
     /// Crash-stops `node` mid-execution: severs all incident edges and
     /// marks the node crashed so later staged operations touching it are
     /// dropped at commit. Returns the number of severed edges. Out-of-range
-    /// nodes are ignored (returns 0).
-    pub fn inject_crash(&mut self, node: NodeId) -> usize {
+    /// nodes are ignored (returns `Ok(0)`);
+    /// [`SimError::BrokenInvariant`] reports a corrupted adjacency arena
+    /// (nothing is mutated in that case).
+    pub fn inject_crash(&mut self, node: NodeId) -> Result<usize, SimError> {
         if node.index() >= self.crashed.len() {
-            return 0;
+            return Ok(0);
         }
         self.fault_crash_node(node)
     }
@@ -945,7 +1125,7 @@ mod tests {
         assert!(net.stage_activation(nid(2), nid(4)).unwrap());
         assert!(net.stage_deactivation(nid(2), nid(3)).unwrap());
         let severed = net.fault_crash_node(nid(2));
-        assert_eq!(severed, 2, "both line edges of node 2 are severed");
+        assert_eq!(severed, Ok(2), "both line edges of node 2 are severed");
         let s = net.commit_round();
         assert_eq!(s.activations, 0, "crashed-endpoint activations dropped");
         assert_eq!(s.deactivations, 0, "crashed-endpoint deactivations dropped");
@@ -958,7 +1138,7 @@ mod tests {
         let mut net2 = Network::new(generators::line(5));
         net2.stage_activation(nid(0), nid(2)).unwrap();
         net2.stage_activation(nid(2), nid(4)).unwrap();
-        net2.fault_crash_node(nid(4));
+        net2.fault_crash_node(nid(4)).unwrap();
         let s2 = net2.commit_round();
         assert_eq!(s2.activations, 1, "only the edge touching node 4 drops");
         assert!(net2.graph().has_edge(nid(0), nid(2)));
@@ -975,12 +1155,12 @@ mod tests {
         // Crash the centre: all 4 initial star edges go; activated edges
         // between leaves survive, activated counters are untouched.
         let severed = net.fault_crash_node(nid(0));
-        assert_eq!(severed, 4);
+        assert_eq!(severed, Ok(4));
         assert_eq!(net.graph().degree(nid(0)), 0);
         assert_eq!(net.activated_edge_count(), 2);
         // Crash a leaf with an activated edge: counters come back down.
         let severed = net.fault_crash_node(nid(1));
-        assert_eq!(severed, 1);
+        assert_eq!(severed, Ok(1));
         assert_eq!(net.activated_edge_count(), 1);
         assert_eq!(net.activated_degree(nid(2)), 0);
         assert_eq!(net.activated_degree(nid(3)), 1);
@@ -1024,7 +1204,7 @@ mod tests {
         );
 
         // A crash records one removal per severed edge.
-        net.fault_crash_node(nid(2));
+        net.fault_crash_node(nid(2)).unwrap();
         let deltas = net.take_edge_deltas();
         assert!(deltas.iter().all(|d| !d.added && d.edge.touches(nid(2))));
         assert_eq!(
@@ -1037,6 +1217,132 @@ mod tests {
         net.fault_insert_edge(nid(0), nid(1));
         net.set_edge_delta_tracking(false);
         assert!(net.take_edge_deltas().is_empty());
+    }
+
+    #[test]
+    fn jump_wave_matches_per_edge_staging() {
+        // Star with centre 0: every leaf pair is at distance 2 via 0.
+        let mut wave_net = Network::new(generators::star(8));
+        let mut edge_net = Network::new(generators::star(8));
+        let acts: Vec<WaveActivation> = (1..7)
+            .map(|i| WaveActivation {
+                initiator: nid(i),
+                target: nid(i + 1),
+                witness: nid(0),
+            })
+            .collect();
+        let deacts = vec![Edge::new(nid(0), nid(3)), Edge::new(nid(0), nid(5))];
+        let staged = wave_net.stage_jump_wave(&acts, &deacts).unwrap();
+        assert_eq!(staged, acts.len() + deacts.len());
+        for w in &acts {
+            edge_net.stage_activation(w.initiator, w.target).unwrap();
+        }
+        for e in &deacts {
+            edge_net.stage_deactivation(e.a, e.b).unwrap();
+        }
+        assert_eq!(wave_net.commit_round(), edge_net.commit_round());
+        assert_eq!(wave_net.graph(), edge_net.graph());
+        assert_eq!(wave_net.metrics(), edge_net.metrics());
+    }
+
+    #[test]
+    fn jump_wave_tolerates_stale_witness_and_rejects_non_potential() {
+        let mut net = Network::new(generators::line(5));
+        // Stale witness (not adjacent to both) but a real common
+        // neighbour exists: the fallback scan accepts the activation.
+        let staged = net
+            .stage_jump_wave(
+                &[WaveActivation {
+                    initiator: nid(0),
+                    target: nid(2),
+                    witness: nid(4),
+                }],
+                &[],
+            )
+            .unwrap();
+        assert_eq!(staged, 1);
+        // Distance 3 with a bogus witness: rejected like the per-edge path.
+        assert!(matches!(
+            net.stage_jump_wave(
+                &[WaveActivation {
+                    initiator: nid(1),
+                    target: nid(4),
+                    witness: nid(0),
+                }],
+                &[],
+            ),
+            Err(SimError::NotPotentialNeighbors { .. })
+        ));
+        // Already-active edges and duplicate stages are counted as no-ops.
+        let staged = net
+            .stage_jump_wave(
+                &[
+                    WaveActivation {
+                        initiator: nid(0),
+                        target: nid(1),
+                        witness: nid(2),
+                    },
+                    WaveActivation {
+                        initiator: nid(0),
+                        target: nid(2),
+                        witness: nid(1),
+                    },
+                ],
+                &[],
+            )
+            .unwrap();
+        assert_eq!(staged, 0);
+    }
+
+    #[test]
+    fn sharded_commit_matches_serial_on_large_waves() {
+        // A star is the worst case for the hub block and the best test of
+        // the relocation path: stage a large wave of leaf-leaf edges.
+        let n = 2048usize;
+        let mut serial = Network::new(generators::star(n));
+        let mut sharded = Network::new(generators::star(n));
+        sharded.set_commit_threads(4);
+        assert_eq!(sharded.commit_threads(), 4);
+        serial.set_edge_delta_tracking(true);
+        sharded.set_edge_delta_tracking(true);
+        let acts: Vec<WaveActivation> = (1..n - 1)
+            .map(|i| WaveActivation {
+                initiator: nid(i),
+                target: nid(i + 1),
+                witness: nid(0),
+            })
+            .collect();
+        serial.stage_jump_wave(&acts, &[]).unwrap();
+        sharded.stage_jump_wave(&acts, &[]).unwrap();
+        assert_eq!(serial.commit_round(), sharded.commit_round());
+        assert_eq!(serial.graph(), sharded.graph());
+        assert_eq!(serial.metrics(), sharded.metrics());
+        assert_eq!(serial.take_edge_deltas(), sharded.take_edge_deltas());
+        // Second round mixes removals in; both paths agree again.
+        let deacts: Vec<Edge> = (1..n / 2).map(|i| Edge::new(nid(i), nid(i + 1))).collect();
+        let acts2: Vec<WaveActivation> = (1..n / 2)
+            .map(|i| WaveActivation {
+                initiator: nid(i),
+                target: nid(i + 2),
+                witness: nid(i + 1),
+            })
+            .collect();
+        serial.stage_jump_wave(&acts2, &deacts).unwrap();
+        sharded.stage_jump_wave(&acts2, &deacts).unwrap();
+        assert_eq!(serial.commit_round(), sharded.commit_round());
+        assert_eq!(serial.graph(), sharded.graph());
+        assert_eq!(serial.metrics(), sharded.metrics());
+        assert_eq!(serial.take_edge_deltas(), sharded.take_edge_deltas());
+    }
+
+    #[test]
+    fn sharded_commit_falls_back_on_small_rounds() {
+        let mut net = Network::new(generators::line(4));
+        net.set_commit_threads(8);
+        net.stage_activation(nid(0), nid(2)).unwrap();
+        let s = net.commit_round();
+        assert_eq!(s.activations, 1);
+        assert!(net.graph().has_edge(nid(0), nid(2)));
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! is caught with the seed that reproduces it.
 
 use actively_dynamic_networks::graph::rng::DetRng;
-use actively_dynamic_networks::graph::{generators, Graph, NodeId};
-use actively_dynamic_networks::sim::Network;
+use actively_dynamic_networks::graph::{generators, Edge, Graph, NodeId};
+use actively_dynamic_networks::sim::{Network, WaveActivation};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The old adjacency representation, kept as an executable specification.
@@ -161,7 +161,6 @@ fn graph_matches_btreeset_model_under_random_ops() {
 
 #[test]
 fn graph_batch_ops_match_single_edge_model() {
-    use actively_dynamic_networks::graph::Edge;
     for seed in 0u64..8 {
         let mut rng = DetRng::seed_from_u64(0xBA7C4 ^ seed.wrapping_mul(31));
         let n = 6 + rng.gen_range(0, 26);
@@ -359,5 +358,271 @@ fn network_staging_matches_btreeset_model_under_random_ops() {
             model.max_node_activations
         );
         assert!(net.graph().check_invariants());
+    }
+}
+
+/// Arena-stressing differential: hub-heavy seeded op sequences that force
+/// block overflow relocations and periodic compactions (the small random
+/// graphs above rarely cross the dead-slot threshold), interleaved with
+/// crash severs (`remove_incident_edges`), churn `add_node` and batch
+/// edits — all pinned against the `BTreeSet` reference.
+#[test]
+fn arena_relocation_and_compaction_match_model_under_churn() {
+    for seed in 0u64..8 {
+        let mut rng = DetRng::seed_from_u64(0xC0FFEE ^ seed.wrapping_mul(0x5851_F42D));
+        let mut n = 48 + rng.gen_range(0, 32);
+        let mut graph = Graph::new(n);
+        let mut model = ModelGraph::new(n);
+        // A handful of hub nodes receive most insertions, so their blocks
+        // overflow repeatedly and strand dead capacity behind them.
+        let hubs: Vec<usize> = (0..4).map(|_| rng.gen_range(0, n)).collect();
+        let mut compactions_seen = 0usize;
+        let mut last_dead = graph.dead_slots();
+        for step in 0..1200 {
+            match rng.gen_range(0, 100) {
+                0..=59 => {
+                    let u = if rng.gen_bool(0.7) {
+                        hubs[rng.gen_range(0, hubs.len())]
+                    } else {
+                        rng.gen_range(0, n)
+                    };
+                    let v = rng.gen_range(0, n);
+                    if u == v {
+                        continue;
+                    }
+                    let (u, v) = (NodeId(u), NodeId(v));
+                    assert_eq!(
+                        graph.add_edge(u, v).unwrap(),
+                        model.add_edge(u, v),
+                        "seed {seed} step {step}: add {u}-{v}"
+                    );
+                }
+                60..=79 => {
+                    let u = NodeId(rng.gen_range(0, n));
+                    let v = NodeId(rng.gen_range(0, n));
+                    if u == v {
+                        continue;
+                    }
+                    assert_eq!(
+                        graph.remove_edge(u, v).unwrap(),
+                        model.remove_edge(u, v),
+                        "seed {seed} step {step}: remove {u}-{v}"
+                    );
+                }
+                80..=87 => {
+                    // Crash sever: drop every incident edge of one node.
+                    let u = NodeId(rng.gen_range(0, n));
+                    let mut severed = Vec::new();
+                    graph
+                        .remove_incident_edges(u, |e| severed.push(e))
+                        .expect("sever on a healthy graph");
+                    let neighbors: Vec<NodeId> =
+                        model.adjacency[u.index()].iter().copied().collect();
+                    for &v in &neighbors {
+                        model.remove_edge(u, v);
+                    }
+                    assert_eq!(
+                        severed.len(),
+                        neighbors.len(),
+                        "seed {seed} step {step}: severed degree of {u}"
+                    );
+                }
+                88..=93 => {
+                    assert_eq!(graph.add_node(), model.add_node());
+                    n += 1;
+                }
+                _ => {
+                    // Batch round: disjoint fresh adds applied as one merge.
+                    let mut batch: BTreeSet<Edge> = BTreeSet::new();
+                    for _ in 0..rng.gen_range(2, 24) {
+                        let u = rng.gen_range(0, n);
+                        let v = rng.gen_range(0, n);
+                        if u != v {
+                            batch.insert(Edge::new(NodeId(u), NodeId(v)));
+                        }
+                    }
+                    let batch: Vec<Edge> = batch.into_iter().collect();
+                    let mut from_batch = Vec::new();
+                    graph.add_edges_batch(&batch, |e| from_batch.push(e));
+                    for e in &batch {
+                        model.add_edge(e.a, e.b);
+                    }
+                }
+            }
+            // Dead slots only ever decrease at a compaction (relocations
+            // add them, nothing else touches the counter), so a drop
+            // between steps is positive proof one ran. A batch step may
+            // compact and then relocate again, so `dead` need not be zero
+            // afterwards — but it must stay under the trigger ratio.
+            let dead_now = graph.dead_slots();
+            if dead_now < last_dead {
+                compactions_seen += 1;
+                assert!(
+                    dead_now * 4 < graph.arena_slots().max(1) + 4,
+                    "seed {seed} step {step}: post-compaction dead space \
+                     still above the trigger ratio"
+                );
+            }
+            last_dead = dead_now;
+            if step % 97 == 0 {
+                assert_same_state(&graph, &model, seed, step);
+            }
+        }
+        assert_same_state(&graph, &model, seed, 1200);
+        assert!(
+            compactions_seen > 0,
+            "seed {seed}: workload never triggered a compaction — \
+             thresholds changed or the hubs are too small"
+        );
+        // Footprint sanity: the arena never hoards more than the columns
+        // plus capacity doubling can explain.
+        assert!(graph.memory_footprint_bytes() > 0);
+        let mut explicit = graph.clone();
+        explicit.compact();
+        assert_eq!(explicit, graph, "compaction is semantics-preserving");
+        assert_eq!(explicit.dead_slots(), 0);
+    }
+}
+
+/// Sharded-vs-serial `commit_round` equivalence under mixed fault
+/// schedules: same seeded waves, same crash/join faults, every observable
+/// compared per round for several worker counts.
+#[test]
+fn sharded_commit_matches_serial_under_mixed_faults() {
+    for seed in 0u64..6 {
+        for threads in [2usize, 3, 8] {
+            let mut rng = DetRng::seed_from_u64(0xD15C0 ^ seed.wrapping_mul(1299709));
+            let n = 600 + rng.gen_range(0, 200);
+            let initial = generators::star(n);
+            let mut serial = Network::new(initial.clone());
+            let mut sharded = Network::new(initial);
+            sharded.set_commit_threads(threads);
+            serial.set_edge_delta_tracking(true);
+            sharded.set_edge_delta_tracking(true);
+            for round in 0..12 {
+                // Large leaf-to-leaf waves through the hub witness keep the
+                // batch above the sharding threshold most rounds.
+                let wave: Vec<WaveActivation> = (0..rng.gen_range(300, 900))
+                    .map(|_| {
+                        let u = 1 + rng.gen_range(0, n - 1);
+                        let v = 1 + rng.gen_range(0, n - 1);
+                        (u, v)
+                    })
+                    .filter(|&(u, v)| u != v)
+                    .map(|(u, v)| WaveActivation {
+                        initiator: NodeId(u),
+                        target: NodeId(v),
+                        witness: NodeId(0),
+                    })
+                    .collect();
+                let drops: Vec<Edge> = (0..rng.gen_range(0, 120))
+                    .map(|_| {
+                        let u = 1 + rng.gen_range(0, n - 1);
+                        let v = 1 + rng.gen_range(0, n - 1);
+                        (u, v)
+                    })
+                    .filter(|&(u, v)| u != v)
+                    .map(|(u, v)| Edge::new(NodeId(u), NodeId(v)))
+                    .collect();
+                let a = serial.stage_jump_wave(&wave, &drops);
+                let b = sharded.stage_jump_wave(&wave, &drops);
+                assert_eq!(
+                    a.is_ok(),
+                    b.is_ok(),
+                    "seed {seed} threads {threads} round {round}: staging"
+                );
+                // Mixed fault schedule: mid-round crashes (dropping staged
+                // edges of the crashed endpoint at commit) and churn joins.
+                if rng.gen_bool(0.4) {
+                    let victim = NodeId(rng.gen_range(0, n));
+                    assert_eq!(
+                        serial.inject_crash(victim),
+                        sharded.inject_crash(victim),
+                        "seed {seed} threads {threads} round {round}: crash"
+                    );
+                }
+                if rng.gen_bool(0.25) {
+                    assert_eq!(serial.inject_join(), sharded.inject_join());
+                }
+                assert_eq!(
+                    serial.commit_round(),
+                    sharded.commit_round(),
+                    "seed {seed} threads {threads} round {round}: summary"
+                );
+                assert_eq!(
+                    serial.graph(),
+                    sharded.graph(),
+                    "seed {seed} threads {threads} round {round}: snapshot"
+                );
+                assert_eq!(
+                    serial.take_edge_deltas(),
+                    sharded.take_edge_deltas(),
+                    "seed {seed} threads {threads} round {round}: deltas"
+                );
+            }
+            assert_eq!(serial.metrics(), sharded.metrics());
+            assert!(sharded.graph().check_invariants());
+        }
+    }
+}
+
+/// Regression (seeded): a crash severing a hub right at the compaction
+/// threshold, with the next committed wave triggering the compaction
+/// mid-schedule. The old per-node `Vec` representation had no compaction
+/// to get wrong; the arena must relocate and compact without panicking,
+/// on the serial and the sharded path alike, with identical results.
+#[test]
+fn crash_landing_at_compaction_boundary_stays_sound() {
+    for seed in 0u64..4 {
+        let mut rng = DetRng::seed_from_u64(0xDEAD ^ seed.wrapping_mul(7919));
+        let n = 1024usize;
+        let mut serial = Network::new(generators::star(n));
+        let mut sharded = Network::new(generators::star(n));
+        sharded.set_commit_threads(4);
+        for round in 0..6 {
+            let wave: Vec<WaveActivation> = (0..700)
+                .map(|_| {
+                    let u = 1 + rng.gen_range(0, n - 1);
+                    let v = 1 + rng.gen_range(0, n - 1);
+                    (u, v)
+                })
+                .filter(|&(u, v)| u != v)
+                .map(|(u, v)| WaveActivation {
+                    initiator: NodeId(u),
+                    target: NodeId(v),
+                    witness: NodeId(0),
+                })
+                .collect();
+            // Before the crash every activation is witnessed by the hub and
+            // staging succeeds. After it, the hub is edgeless, so staging may
+            // stop at a pair with no surviving common neighbour — the two
+            // networks must fail at the same entry and keep the identical
+            // partially-staged wave, which the commit below still applies.
+            let staged_serial = serial.stage_jump_wave(&wave, &[]);
+            let staged_sharded = sharded.stage_jump_wave(&wave, &[]);
+            assert_eq!(
+                staged_serial, staged_sharded,
+                "seed {seed} round {round}: staging outcome"
+            );
+            if round < 3 {
+                staged_serial.expect("pre-crash staging is hub-witnessed");
+            }
+            if round == 2 {
+                // Crash the hub: its (huge) block empties in place, which
+                // puts the arena deep into dead-slot territory; the next
+                // committed wave's relocations must compact safely while
+                // the schedule is mid-flight.
+                assert_eq!(
+                    serial.inject_crash(NodeId(0)),
+                    sharded.inject_crash(NodeId(0))
+                );
+            }
+            assert_eq!(serial.commit_round(), sharded.commit_round());
+            assert_eq!(serial.graph(), sharded.graph());
+            assert!(
+                serial.graph().check_invariants(),
+                "seed {seed} round {round}"
+            );
+        }
     }
 }
