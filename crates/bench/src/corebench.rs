@@ -24,7 +24,7 @@ use adn_runtime::flood::flood_actors;
 use adn_runtime::{AsyncKnobs, FreeScheduler, SeededScheduler};
 use adn_sim::engine::{run_programs, EngineConfig, NodeDecision, NodeProgram, NodeView};
 use adn_sim::EdgeDelta;
-use adn_sim::{Network, WaveActivation};
+use adn_sim::{Adversary, DstState, InvariantPolicy, Network, Scenario, WaveActivation};
 use std::collections::BTreeSet;
 use std::time::Instant;
 
@@ -277,6 +277,9 @@ fn bench_scale(bench: &mut Bench, n: usize, cold: bool) {
             "bytes_per_node",
             (net.graph().memory_footprint_bytes() / n) as u128,
         );
+        if threads > 1 {
+            bench.annotate("cores", resolve_threads(0) as u128);
+        }
     }
 }
 
@@ -587,6 +590,7 @@ fn bench_runtime(bench: &mut Bench, quick: bool) {
             assert!(actors.iter().all(|a| a.known().len() == n));
         },
     );
+    bench.annotate("cores", resolve_threads(0) as u128);
 
     let line_graph = generators::line(n);
     let line: Vec<NodeId> = (0..n).map(NodeId).collect();
@@ -607,6 +611,7 @@ fn bench_runtime(bench: &mut Bench, quick: bool) {
             std::hint::black_box(tree.depth());
         },
     );
+    bench.annotate("cores", resolve_threads(0) as u128);
 
     // The committee actors: GraphToStar / GraphToWreath through the full
     // `EngineMode` dispatch path. Smaller n than the subroutine cases —
@@ -636,6 +641,7 @@ fn bench_runtime(bench: &mut Bench, quick: bool) {
                 assert!(outcome.runtime.is_some());
             },
         );
+        bench.annotate("cores", resolve_threads(0) as u128);
     }
 }
 
@@ -650,7 +656,88 @@ fn bench_sweep(bench: &mut Bench, quick: bool, threads: usize) {
             let summary = adn_analysis::stress::sweep_with_threads(0xBE7C4, cases, threads);
             assert_eq!(summary.reports.len(), cases);
         });
+        bench.annotate("cores", resolve_threads(0) as u128);
     }
+}
+
+/// The DST invariant engine under a sparse steady-state workload and
+/// under churn, at the ROADMAP's n=65536 scale. Every round stages at
+/// most 64 edge events on an armed 65536-node star, so the incremental
+/// row (`dst/invariants_steady`) pays O(changes) per round while the
+/// forced-from-scratch comparison row (`dst/invariants_steady_scratch`)
+/// re-runs the full live-subgraph BFS and degree scan the old checker
+/// used. The churn row drives one join per round through the
+/// event-fed path (UID bookkeeping, forest growth).
+fn bench_dst_invariants(bench: &mut Bench) {
+    let n = 65536usize;
+    let rounds = 64usize;
+    let chunk = 64usize;
+    // Distinct leaf-leaf chords on the centre-0 star: every leaf pair is
+    // at distance 2, so plain staging validates, and none of them is an
+    // initial edge.
+    let chords: Vec<(NodeId, NodeId)> = (0..chunk)
+        .map(|k| (NodeId(1 + 2 * k), NodeId(2 + 2 * k)))
+        .collect();
+    let policy = InvariantPolicy {
+        check_connectivity: true,
+        max_activated_degree: Some(8),
+        max_active_edges: Some(2 * n),
+        check_uid_uniqueness: true,
+    };
+    let uids: Vec<u64> = (1..=n as u64).collect();
+    let toggle_rounds = |net: &mut Network| {
+        for r in 0..rounds {
+            for &(u, v) in &chords {
+                if r % 2 == 0 {
+                    let _ = net.stage_activation(u, v);
+                } else {
+                    let _ = net.stage_deactivation(u, v);
+                }
+            }
+            net.commit_round();
+        }
+        assert_eq!(net.activated_edge_count(), 0);
+    };
+
+    let mut net = Network::new(generators::star(n));
+    let state = DstState::new(
+        Adversary::new(Scenario::failure_free(), 0xD57),
+        policy.clone(),
+        uids.clone(),
+    );
+    net.install_dst(state);
+    bench.measure(&format!("dst/invariants_steady n={n}"), || {
+        toggle_rounds(&mut net);
+    });
+
+    let mut net = Network::new(generators::star(n));
+    let mut state = DstState::new(
+        Adversary::new(Scenario::failure_free(), 0xD57),
+        policy.clone(),
+        uids.clone(),
+    );
+    state.set_from_scratch_checks(true);
+    net.install_dst(state);
+    bench.measure(&format!("dst/invariants_steady_scratch n={n}"), || {
+        toggle_rounds(&mut net);
+    });
+
+    // Churn: one guaranteed join per round boundary (probability 1, ample
+    // budget), so every round exercises the event-fed join path — forest
+    // growth, attach-edge union and incremental UID bookkeeping.
+    let churn = Scenario {
+        fault_budget: 1_000_000,
+        per_round_probability: 1.0,
+        ..Scenario::churn()
+    };
+    let mut net = Network::new(generators::star(n));
+    let state = DstState::new(Adversary::new(churn, 0xD58), policy, uids);
+    net.install_dst(state);
+    bench.measure(&format!("dst/invariants_churn n={n}"), || {
+        for _ in 0..rounds {
+            net.advance_idle_rounds(1);
+        }
+    });
 }
 
 /// Serializes bench samples to the `BENCH_core.json` document
@@ -673,13 +760,27 @@ fn to_json(cfg: &CoreBenchConfig, threads: usize, elapsed_ms: u128, samples: &[S
             )
         })
         .collect();
+    // `cores` records the machine the numbers were taken on: rows pinned
+    // to more worker threads than that measure oversubscription overhead,
+    // not speedup, and the baseline check skips them on smaller machines.
     format!(
-        "{{\"mode\":\"{}\",\"threads\":{},\"elapsed_ms\":{},\"rows\":[{}]}}",
+        "{{\"mode\":\"{}\",\"threads\":{},\"cores\":{},\"elapsed_ms\":{},\"rows\":[{}]}}",
         if cfg.quick { "quick" } else { "full" },
         threads,
+        resolve_threads(0),
         elapsed_ms,
         rows.join(","),
     )
+}
+
+/// The worker-thread count a case label is pinned to (a `threads=K`
+/// token anywhere in the label), if any.
+fn pinned_threads(label: &str) -> Option<usize> {
+    let rest = &label[label.find("threads=")? + "threads=".len()..];
+    let digits = &rest[..rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len())];
+    digits.parse().ok()
 }
 
 /// Extracts `(case label, min_ns)` rows from a `BENCH_core.json` document.
@@ -880,14 +981,33 @@ pub fn check_against_baseline(
     current_json: &str,
     factor: f64,
 ) -> Result<String, String> {
+    check_against_baseline_with_cores(baseline_json, current_json, factor, resolve_threads(0))
+}
+
+/// [`check_against_baseline`] with the available core count made
+/// explicit (the public entry point detects it): baseline cases pinned
+/// to more worker threads than `cores` are skipped with a loud note —
+/// on a smaller machine those rows measure oversubscription overhead,
+/// not speedup, and comparing them poisons the verdict both ways.
+pub fn check_against_baseline_with_cores(
+    baseline_json: &str,
+    current_json: &str,
+    factor: f64,
+    cores: usize,
+) -> Result<String, String> {
     let baseline = parse_rows(baseline_json);
     let current = parse_rows(current_json);
     let mut compared = 0usize;
     let mut regressions: Vec<String> = Vec::new();
     let mut missing: Vec<String> = Vec::new();
     let mut skipped: Vec<String> = Vec::new();
+    let mut overcommitted: Vec<String> = Vec::new();
     let mut report = String::new();
     for (label, base_min) in &baseline {
+        if pinned_threads(label).is_some_and(|t| t > cores) {
+            overcommitted.push(label.clone());
+            continue;
+        }
         let Some((_, new_min)) = current.iter().find(|(l, _)| l == label) else {
             missing.push(label.clone());
             continue;
@@ -907,7 +1027,7 @@ pub fn check_against_baseline(
             ));
         }
     }
-    if compared == 0 && skipped.is_empty() {
+    if compared == 0 && skipped.is_empty() && overcommitted.is_empty() {
         return Err(format!(
             "no baseline case matched any of the {} measured samples — \
              mode/sizes/threads of the run must match the committed baseline",
@@ -927,6 +1047,14 @@ pub fn check_against_baseline(
             "skipped {} sub-{MIN_COMPARABLE_NS}ns case(s) as cross-machine noise: {}\n",
             skipped.len(),
             skipped.join(", ")
+        ));
+    }
+    if !overcommitted.is_empty() {
+        report.push_str(&format!(
+            "SKIPPED {} case(s) pinned to more worker threads than the {cores} available \
+             core(s) — their baseline numbers measure oversubscription, not speedup: {}\n",
+            overcommitted.len(),
+            overcommitted.join(", ")
         ));
     }
     // Current cases the baseline does not know yet are not gated — say
@@ -975,6 +1103,7 @@ pub fn run(cfg: &CoreBenchConfig) -> (String, String) {
     bench_algorithms(&mut bench, cfg.quick);
     bench_runtime(&mut bench, cfg.quick);
     bench_sweep(&mut bench, cfg.quick, threads);
+    bench_dst_invariants(&mut bench);
     let mut samples = bench.take_samples();
     if !cfg.quick {
         let mut cold = Bench::new("core CPU scaling (n=10^6, one-shot)", 1);
@@ -1066,6 +1195,51 @@ mod tests {
         let verdict = check_against_baseline(baseline, grown, 2.0).expect("new cases pass");
         assert!(verdict.contains("not in the baseline"), "{verdict}");
         assert!(verdict.contains("new n=1"), "{verdict}");
+    }
+
+    #[test]
+    fn pinned_threads_parses_labels() {
+        assert_eq!(pinned_threads("sweep/threads=4 cases=96"), Some(4));
+        assert_eq!(
+            pinned_threads("network/commit_round_sharded star n=65536 wave=16384 threads=4"),
+            Some(4)
+        );
+        assert_eq!(
+            pinned_threads("runtime/flood_free n=4096 threads=2"),
+            Some(2)
+        );
+        assert_eq!(pinned_threads("sweep/serial cases=96"), None);
+        assert_eq!(pinned_threads("graph/scale n=4096 m=8192"), None);
+    }
+
+    #[test]
+    fn baseline_check_skips_rows_overcommitted_for_this_machine() {
+        let baseline = "{\"rows\":[\
+                        {\"case\":\"a n=1\",\"min_ns\":500000,\"median_ns\":1,\"mean_ns\":1},\
+                        {\"case\":\"sweep/threads=4 cases=96\",\"min_ns\":500000,\
+                         \"median_ns\":1,\"mean_ns\":1}]}";
+        // On a 1-core machine the threads=4 row is skipped (loudly) and
+        // its absence from the current run is not an error — a smaller
+        // machine cannot reproduce it meaningfully.
+        let current =
+            "{\"rows\":[{\"case\":\"a n=1\",\"min_ns\":500000,\"median_ns\":1,\"mean_ns\":1}]}";
+        let verdict = check_against_baseline_with_cores(baseline, current, 2.0, 1)
+            .expect("overcommitted row is skipped, not missing");
+        assert!(verdict.contains("SKIPPED 1 case(s)"), "{verdict}");
+        assert!(verdict.contains("sweep/threads=4 cases=96"), "{verdict}");
+        assert!(verdict.contains("1 cases within 2.0x"), "{verdict}");
+        // Even a wild regression on the overcommitted row cannot fail the
+        // gate on the smaller machine...
+        let regressed = "{\"rows\":[\
+                         {\"case\":\"a n=1\",\"min_ns\":500000,\"median_ns\":1,\"mean_ns\":1},\
+                         {\"case\":\"sweep/threads=4 cases=96\",\"min_ns\":99999999,\
+                          \"median_ns\":1,\"mean_ns\":1}]}";
+        check_against_baseline_with_cores(baseline, regressed, 2.0, 1)
+            .expect("overcommitted regression is not gated here");
+        // ...but on a machine with enough cores it is compared again.
+        let failure = check_against_baseline_with_cores(baseline, regressed, 2.0, 4)
+            .expect_err("4-core machine gates the threads=4 row");
+        assert!(failure.contains("sweep/threads=4"), "{failure}");
     }
 
     #[test]

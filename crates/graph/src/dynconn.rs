@@ -1,0 +1,582 @@
+//! Incremental connectivity over the live subgraph.
+//!
+//! [`DynConn`] maintains a spanning forest of the subgraph induced by
+//! live (non-crashed) nodes, so a per-round connectivity check costs
+//! O(1) instead of a fresh BFS: the structure is fed the same edge
+//! deltas and crash/join events the network already produces, and pays
+//! only for what changed.
+//!
+//! * **Insertions** union two components in near-constant time: component
+//!   labels live in a union-find with path halving and union by size, so
+//!   an insert is two finds and at most one link — no relabelling.
+//! * **Deletions** of non-tree edges are free (membership probe only).
+//!   When a spanning-tree edge dies, the repair searches for a
+//!   replacement among the smaller half's neighbourhoods: an alternating
+//!   tree walk from both endpoints finds the smaller side in
+//!   O(min-side), then that side's graph edges are scanned for one that
+//!   crosses back. Only when no replacement exists does the structure
+//!   pay for a *scoped rebuild* — relabelling just the severed side with
+//!   a fresh component label.
+//! * **Crashes** sever all incident edges through the same deletion
+//!   path (the caller feeds one removal per severed edge, then the
+//!   crash itself), so a crash costs what its severed edges cost.
+//!
+//! The verdict only depends on the surviving edge set and the live set,
+//! never on the order repairs happened in, so batches may be replayed
+//! against the post-batch snapshot: a replacement drawn "from the
+//! future" of the batch is an edge a later delta would have inserted
+//! anyway, and the union-find guard (a replacement must share the
+//! pre-split component) keeps cross-component edges of half-applied
+//! batches out of the tree.
+
+use crate::graph::Graph;
+use crate::NodeId;
+
+/// Sentinel label for dead (crashed) nodes.
+const DEAD: usize = usize::MAX;
+
+/// An incrementally maintained spanning forest over the live subgraph.
+/// See the [module docs](self) for the maintenance strategy.
+///
+/// The structure mirrors a [`Graph`] it does not own: the caller replays
+/// every mutation (in application order) through [`DynConn::insert_edge`],
+/// [`DynConn::remove_edge`], [`DynConn::add_node`] and [`DynConn::crash`],
+/// passing the post-batch snapshot to the removal path so repairs can
+/// scan real neighbourhoods for replacement edges.
+#[derive(Debug, Clone, Default)]
+pub struct DynConn {
+    /// Component label slot per node (`DEAD` once crashed). Slots are
+    /// resolved through the union-find below.
+    label: Vec<usize>,
+    /// Union-find over label slots: parent per slot.
+    parent: Vec<usize>,
+    /// Live member count per slot (meaningful at roots; drives union by
+    /// size and sizes the scoped rebuild of a split).
+    size: Vec<usize>,
+    /// Spanning-forest adjacency (tree edges only, both directions).
+    tree: Vec<Vec<NodeId>>,
+    alive: Vec<bool>,
+    live_count: usize,
+    live_components: usize,
+    /// Repair scratch: stamped visit marks plus the two side worklists of
+    /// the alternating walk, reused so steady-state repairs allocate
+    /// nothing.
+    stamp: u64,
+    mark: Vec<u64>,
+    side_a: Vec<NodeId>,
+    side_b: Vec<NodeId>,
+}
+
+impl DynConn {
+    /// Builds the forest for the whole graph (every node live).
+    pub fn from_graph(graph: &Graph) -> Self {
+        Self::from_graph_with_crashed(graph, &[])
+    }
+
+    /// Builds the forest for the subgraph induced by nodes whose
+    /// `crashed` entry is unset (missing entries count as live). One BFS
+    /// per live component seeds the spanning forest and the component
+    /// labels.
+    pub fn from_graph_with_crashed(graph: &Graph, crashed: &[bool]) -> Self {
+        let n = graph.node_count();
+        let is_dead = |u: usize| crashed.get(u).copied().unwrap_or(false);
+        let mut conn = DynConn {
+            label: vec![DEAD; n],
+            parent: Vec::new(),
+            size: Vec::new(),
+            tree: vec![Vec::new(); n],
+            alive: (0..n).map(|u| !is_dead(u)).collect(),
+            live_count: 0,
+            live_components: 0,
+            stamp: 0,
+            mark: vec![0; n],
+            side_a: Vec::new(),
+            side_b: Vec::new(),
+        };
+        conn.live_count = conn.alive.iter().filter(|&&a| a).count();
+        let mut queue = std::collections::VecDeque::new();
+        for start in 0..n {
+            if !conn.alive[start] || conn.label[start] != DEAD {
+                continue;
+            }
+            let slot = conn.alloc_slot(0);
+            conn.live_components += 1;
+            let mut members = 0usize;
+            conn.label[start] = slot;
+            queue.push_back(NodeId(start));
+            while let Some(u) = queue.pop_front() {
+                members += 1;
+                for &v in graph.neighbors_slice(u) {
+                    if conn.alive[v.index()] && conn.label[v.index()] == DEAD {
+                        conn.label[v.index()] = slot;
+                        conn.tree[u.index()].push(v);
+                        conn.tree[v.index()].push(u);
+                        queue.push_back(v);
+                    }
+                }
+            }
+            conn.size[slot] = members;
+        }
+        conn
+    }
+
+    /// Number of tracked nodes (live and crashed).
+    pub fn node_count(&self) -> usize {
+        self.label.len()
+    }
+
+    /// Number of live (non-crashed) nodes.
+    pub fn live_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Number of connected components among the live nodes.
+    pub fn live_components(&self) -> usize {
+        self.live_components
+    }
+
+    /// True iff the live subgraph is connected (vacuously for one or
+    /// zero live nodes) — the same verdict a BFS over the live subgraph
+    /// would return, in O(1).
+    pub fn is_connected(&self) -> bool {
+        self.live_components <= 1
+    }
+
+    /// Appends a fresh live node as its own singleton component (churn
+    /// join). The new node's id must equal the mirrored graph's new id.
+    pub fn add_node(&mut self) -> NodeId {
+        let node = NodeId(self.label.len());
+        let slot = self.alloc_slot(1);
+        self.label.push(slot);
+        self.tree.push(Vec::new());
+        self.alive.push(true);
+        self.mark.push(0);
+        self.live_count += 1;
+        self.live_components += 1;
+        node
+    }
+
+    /// Records the insertion of edge `{u, v}`: two finds and at most one
+    /// union-by-size link. Edges between distinct components become tree
+    /// edges; intra-component edges need no bookkeeping (the repair path
+    /// rediscovers them by scanning the graph). Edges touching a dead
+    /// node are ignored.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) {
+        if !self.alive[u.index()] || !self.alive[v.index()] {
+            debug_assert!(false, "insert through a crashed endpoint {u}-{v}");
+            return;
+        }
+        let ru = self.find(self.label[u.index()]);
+        let rv = self.find(self.label[v.index()]);
+        if ru == rv {
+            return;
+        }
+        let (big, small) = if self.size[ru] >= self.size[rv] {
+            (ru, rv)
+        } else {
+            (rv, ru)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        self.tree[u.index()].push(v);
+        self.tree[v.index()].push(u);
+        self.live_components -= 1;
+    }
+
+    /// Records the removal of edge `{u, v}`. `graph` must be the
+    /// snapshot *after* the removal (for batches: after the whole
+    /// batch); its neighbourhoods are scanned for a replacement when a
+    /// tree edge dies. Non-tree removals cost one adjacency probe.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId, graph: &Graph) {
+        if !self.alive[u.index()] || !self.alive[v.index()] {
+            return;
+        }
+        let Some(pos) = self.tree[u.index()].iter().position(|&x| x == v) else {
+            return; // non-tree edge: the forest is untouched
+        };
+        self.tree[u.index()].swap_remove(pos);
+        let pos_v = self.tree[v.index()]
+            .iter()
+            .position(|&x| x == u)
+            .expect("tree adjacency is symmetric");
+        self.tree[v.index()].swap_remove(pos_v);
+        self.repair(u, v, graph);
+    }
+
+    /// Marks `node` crashed. Every incident edge must already have been
+    /// replayed as removed (the network severs before it marks), so the
+    /// node is a tree-isolated singleton component by the time the crash
+    /// arrives; `graph` covers the defensive path that severs any tree
+    /// edge the caller failed to replay.
+    pub fn crash(&mut self, node: NodeId, graph: &Graph) {
+        if !self.alive[node.index()] {
+            return;
+        }
+        debug_assert!(
+            self.tree[node.index()].is_empty(),
+            "crash of {node} before its severed edges were replayed"
+        );
+        while let Some(&t) = self.tree[node.index()].last() {
+            self.remove_edge(node, t, graph);
+        }
+        let root = self.find(self.label[node.index()]);
+        debug_assert_eq!(self.size[root], 1, "crashing node was not isolated");
+        self.size[root] = self.size[root].saturating_sub(1);
+        self.alive[node.index()] = false;
+        self.label[node.index()] = DEAD;
+        self.live_count -= 1;
+        self.live_components -= 1;
+    }
+
+    fn alloc_slot(&mut self, members: usize) -> usize {
+        let slot = self.parent.len();
+        self.parent.push(slot);
+        self.size.push(members);
+        slot
+    }
+
+    /// Union-find lookup with path halving.
+    fn find(&mut self, mut slot: usize) -> usize {
+        while self.parent[slot] != slot {
+            self.parent[slot] = self.parent[self.parent[slot]];
+            slot = self.parent[slot];
+        }
+        slot
+    }
+
+    /// Repairs the forest after tree edge `{u, v}` died: walk the two
+    /// severed halves' trees alternately (one expansion each per step,
+    /// so the cost is twice the smaller half), then scan the smaller
+    /// half's graph neighbourhoods for an edge crossing back to the
+    /// rest of the old component. Found: it becomes the new tree edge
+    /// and the component stays whole. Not found: the component really
+    /// split — the scoped rebuild relabels just the severed side.
+    fn repair(&mut self, u: NodeId, v: NodeId, graph: &Graph) {
+        let mark_a = self.stamp + 1;
+        let mark_b = self.stamp + 2;
+        self.stamp += 2;
+        let mut side_a = std::mem::take(&mut self.side_a);
+        let mut side_b = std::mem::take(&mut self.side_b);
+        side_a.clear();
+        side_b.clear();
+        side_a.push(u);
+        side_b.push(v);
+        self.mark[u.index()] = mark_a;
+        self.mark[v.index()] = mark_b;
+        let (mut ia, mut ib) = (0usize, 0usize);
+        // The first walk to exhaust its worklist has enumerated the
+        // smaller (or equal) side; the walks cannot meet because the
+        // dead tree edge was already unlinked.
+        let a_is_smaller = loop {
+            if ia == side_a.len() {
+                break true;
+            }
+            let x = side_a[ia];
+            ia += 1;
+            for &y in &self.tree[x.index()] {
+                if self.mark[y.index()] != mark_a {
+                    self.mark[y.index()] = mark_a;
+                    side_a.push(y);
+                }
+            }
+            if ib == side_b.len() {
+                break false;
+            }
+            let x = side_b[ib];
+            ib += 1;
+            for &y in &self.tree[x.index()] {
+                if self.mark[y.index()] != mark_b {
+                    self.mark[y.index()] = mark_b;
+                    side_b.push(y);
+                }
+            }
+        };
+        let (side, side_mark) = if a_is_smaller {
+            (&side_a, mark_a)
+        } else {
+            (&side_b, mark_b)
+        };
+        // Both halves still resolve to the pre-split root; a replacement
+        // must cross out of the side but stay inside that component (the
+        // root guard rejects edges of half-applied batches that reach
+        // into other components). The bounds guard rejects neighbors the
+        // forest does not know yet — the final-snapshot adjacency can
+        // already reference a node whose `NodeJoined` event sits later
+        // in the same batch; its insert events re-union any split this
+        // skip causes.
+        let old_root = self.find(self.label[u.index()]);
+        let mut replacement: Option<(NodeId, NodeId)> = None;
+        'scan: for &x in side {
+            for &y in graph.neighbors_slice(x) {
+                if y.index() < self.alive.len()
+                    && self.alive[y.index()]
+                    && self.mark[y.index()] != side_mark
+                    && self.find(self.label[y.index()]) == old_root
+                {
+                    replacement = Some((x, y));
+                    break 'scan;
+                }
+            }
+        }
+        match replacement {
+            Some((x, y)) => {
+                self.tree[x.index()].push(y);
+                self.tree[y.index()].push(x);
+            }
+            None => {
+                // Scoped rebuild: only the severed side changes label.
+                let split = self.alloc_slot(side.len());
+                for &x in side {
+                    self.label[x.index()] = split;
+                }
+                self.size[old_root] -= side.len();
+                self.live_components += 1;
+            }
+        }
+        self.side_a = side_a;
+        self.side_b = side_b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::traversal;
+
+    /// Reference verdict: live-component count by repeated BFS.
+    fn reference_components(graph: &Graph, alive: &[bool]) -> usize {
+        let n = graph.node_count();
+        let mut seen = vec![false; n];
+        let mut components = 0usize;
+        for s in 0..n {
+            if !alive[s] || seen[s] {
+                continue;
+            }
+            components += 1;
+            seen[s] = true;
+            let mut queue = std::collections::VecDeque::from([NodeId(s)]);
+            while let Some(u) = queue.pop_front() {
+                for &v in graph.neighbors_slice(u) {
+                    if alive[v.index()] && !seen[v.index()] {
+                        seen[v.index()] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    fn assert_agrees(conn: &DynConn, graph: &Graph, alive: &[bool]) {
+        assert_eq!(
+            conn.live_components(),
+            reference_components(graph, alive),
+            "component count diverged"
+        );
+        assert_eq!(conn.live_count(), alive.iter().filter(|&&a| a).count());
+    }
+
+    #[test]
+    fn builds_components_of_initial_graph() {
+        let line = generators::line(8);
+        let conn = DynConn::from_graph(&line);
+        assert!(conn.is_connected());
+        assert_eq!(conn.live_components(), 1);
+        assert_eq!(conn.live_count(), 8);
+
+        // Two disjoint edges + two isolated nodes = 4 components.
+        let mut g = Graph::new(6);
+        g.add_edge(NodeId(0), NodeId(1)).unwrap();
+        g.add_edge(NodeId(2), NodeId(3)).unwrap();
+        let conn = DynConn::from_graph(&g);
+        assert_eq!(conn.live_components(), 4);
+        assert!(!conn.is_connected());
+    }
+
+    #[test]
+    fn tree_edge_removal_without_replacement_splits() {
+        let mut g = generators::line(6);
+        let mut conn = DynConn::from_graph(&g);
+        g.remove_edge(NodeId(2), NodeId(3)).unwrap();
+        conn.remove_edge(NodeId(2), NodeId(3), &g);
+        assert_eq!(conn.live_components(), 2);
+        assert!(!conn.is_connected());
+        // Re-inserting merges back.
+        g.add_edge(NodeId(2), NodeId(3)).unwrap();
+        conn.insert_edge(NodeId(2), NodeId(3));
+        assert!(conn.is_connected());
+    }
+
+    #[test]
+    fn tree_edge_removal_with_replacement_stays_connected() {
+        // Ring: every tree-edge removal has the other way around as a
+        // replacement.
+        let mut g = generators::ring(8);
+        let mut conn = DynConn::from_graph(&g);
+        g.remove_edge(NodeId(0), NodeId(1)).unwrap();
+        conn.remove_edge(NodeId(0), NodeId(1), &g);
+        assert!(
+            conn.is_connected(),
+            "the ring stays connected minus one edge"
+        );
+        g.remove_edge(NodeId(4), NodeId(5)).unwrap();
+        conn.remove_edge(NodeId(4), NodeId(5), &g);
+        assert!(!conn.is_connected(), "two opposite cuts split the ring");
+        assert_eq!(conn.live_components(), 2);
+    }
+
+    #[test]
+    fn crash_isolates_and_join_grows() {
+        let mut g = generators::star(5);
+        let mut alive = vec![true; 5];
+        let mut conn = DynConn::from_graph(&g);
+        // Sever the centre's edges, then crash it: 4 leaves remain, all
+        // isolated.
+        let severed: Vec<NodeId> = g.neighbors_slice(NodeId(0)).to_vec();
+        for v in severed {
+            g.remove_edge(NodeId(0), v).unwrap();
+            conn.remove_edge(NodeId(0), v, &g);
+        }
+        conn.crash(NodeId(0), &g);
+        alive[0] = false;
+        assert_agrees(&conn, &g, &alive);
+        assert_eq!(conn.live_components(), 4);
+        // A join attaches to leaf 1.
+        let node = g.add_node();
+        let joined = conn.add_node();
+        assert_eq!(node, joined);
+        alive.push(true);
+        assert_eq!(conn.live_components(), 5);
+        g.add_edge(node, NodeId(1)).unwrap();
+        conn.insert_edge(node, NodeId(1));
+        assert_agrees(&conn, &g, &alive);
+    }
+
+    #[test]
+    fn randomized_differential_against_bfs_reference() {
+        let mut rng = crate::rng::DetRng::seed_from_u64(0xD1FF);
+        for trial in 0..40 {
+            let n = 6 + (trial % 9);
+            let mut g = generators::random_line_with_chords(n, n / 2, trial as u64);
+            let mut conn = DynConn::from_graph(&g);
+            let mut alive = vec![true; g.node_count()];
+            for _ in 0..60 {
+                match rng.gen_range(0, 4) {
+                    0 => {
+                        // Insert a random absent live-live edge.
+                        let u = rng.gen_range(0, g.node_count());
+                        let v = rng.gen_range(0, g.node_count());
+                        if u != v && alive[u] && alive[v] && !g.has_edge(NodeId(u), NodeId(v)) {
+                            g.add_edge(NodeId(u), NodeId(v)).unwrap();
+                            conn.insert_edge(NodeId(u), NodeId(v));
+                        }
+                    }
+                    1 => {
+                        // Remove a random present edge.
+                        let edges = g.edge_vec();
+                        if !edges.is_empty() {
+                            let e = edges[rng.gen_range(0, edges.len())];
+                            if alive[e.a.index()] && alive[e.b.index()] {
+                                g.remove_edge(e.a, e.b).unwrap();
+                                conn.remove_edge(e.a, e.b, &g);
+                            }
+                        }
+                    }
+                    2 => {
+                        // Crash a random live node (keep two alive).
+                        if alive.iter().filter(|&&a| a).count() > 2 {
+                            let u = rng.gen_range(0, g.node_count());
+                            if alive[u] {
+                                let severed: Vec<NodeId> = g.neighbors_slice(NodeId(u)).to_vec();
+                                for v in severed {
+                                    g.remove_edge(NodeId(u), v).unwrap();
+                                    conn.remove_edge(NodeId(u), v, &g);
+                                }
+                                conn.crash(NodeId(u), &g);
+                                alive[u] = false;
+                            }
+                        }
+                    }
+                    _ => {
+                        // Join attached to a random live node.
+                        let live: Vec<usize> = (0..g.node_count()).filter(|&i| alive[i]).collect();
+                        let at = live[rng.gen_range(0, live.len())];
+                        let node = g.add_node();
+                        conn.add_node();
+                        alive.push(true);
+                        g.add_edge(node, NodeId(at)).unwrap();
+                        conn.insert_edge(node, NodeId(at));
+                    }
+                }
+                assert_agrees(&conn, &g, &alive);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_replay_against_post_batch_snapshot_is_exact() {
+        // Replay a batch out of lockstep: mutate the graph fully first,
+        // then feed the deltas in application order against the *final*
+        // snapshot — the contract the DST harness uses (it drains one
+        // round's deltas after the commit already happened).
+        let mut g = generators::ring(10);
+        let mut conn = DynConn::from_graph(&g);
+        let batch_removed = [
+            Edge::new(NodeId(0), NodeId(1)),
+            Edge::new(NodeId(5), NodeId(6)),
+        ];
+        let batch_added = [Edge::new(NodeId(1), NodeId(6))];
+        for e in &batch_removed {
+            g.remove_edge(e.a, e.b).unwrap();
+        }
+        for e in &batch_added {
+            g.add_edge(e.a, e.b).unwrap();
+        }
+        for e in &batch_removed {
+            conn.remove_edge(e.a, e.b, &g);
+        }
+        for e in &batch_added {
+            conn.insert_edge(e.a, e.b);
+        }
+        let alive = vec![true; g.node_count()];
+        assert_agrees(&conn, &g, &alive);
+        assert!(conn.is_connected(), "the chord bridges both ring cuts");
+        assert!(traversal::is_connected(&g));
+    }
+
+    use crate::Edge;
+
+    #[test]
+    fn from_graph_with_crashed_skips_dead_nodes() {
+        let g = generators::line(5);
+        let conn = DynConn::from_graph_with_crashed(&g, &[false, false, true, false, false]);
+        assert_eq!(conn.live_count(), 4);
+        assert_eq!(conn.live_components(), 2, "the dead middle splits the line");
+        assert!(!conn.is_connected());
+    }
+
+    #[test]
+    fn repair_skips_neighbors_not_yet_joined() {
+        // A removal event can replay before a `NodeJoined` event of the
+        // same batch: the final graph snapshot then exposes adjacency to
+        // a node the forest does not know yet. The replacement scan must
+        // skip it, and the join's own events must mend the split.
+        let mut g = generators::line(3); // 0-1-2
+        let mut conn = DynConn::from_graph(&g);
+        let joined = g.add_node();
+        g.add_edge(NodeId(1), joined).unwrap();
+        g.add_edge(NodeId(2), joined).unwrap();
+        g.remove_edge(NodeId(1), NodeId(2)).unwrap();
+        // The scan over node 2's final-snapshot neighborhood sees only
+        // the not-yet-joined node: no usable replacement, scoped split.
+        conn.remove_edge(NodeId(1), NodeId(2), &g);
+        assert_eq!(conn.live_components(), 2);
+        // Replaying the rest of the batch re-unions through the joiner.
+        assert_eq!(conn.add_node(), joined);
+        conn.insert_edge(NodeId(1), joined);
+        conn.insert_edge(NodeId(2), joined);
+        assert!(conn.is_connected());
+        assert_agrees(&conn, &g, &[true; 4]);
+    }
+}

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dynconn;
 pub mod edgeset;
 pub mod error;
 pub mod families;
@@ -53,6 +54,7 @@ pub mod uid;
 
 mod ids;
 
+pub use dynconn::DynConn;
 pub use edgeset::SortedEdgeSet;
 pub use error::GraphError;
 pub use families::GraphFamily;

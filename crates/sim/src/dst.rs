@@ -36,11 +36,13 @@
 //! violation, and renders to a stable string so replay equality can be
 //! checked byte-for-byte.
 
+use crate::network::DstEvent;
 use crate::Network;
 use crate::SimError;
 use adn_graph::rng::DetRng;
-use adn_graph::{Edge, NodeId};
+use adn_graph::{DynConn, Edge, NodeId};
 use std::collections::BTreeSet;
+use std::collections::VecDeque;
 use std::fmt;
 
 /// How the adversary picks the victim node for node-targeted faults
@@ -569,6 +571,7 @@ impl Adversary {
         network: &mut Network,
         crashed: &mut BTreeSet<NodeId>,
         uids: &mut Vec<u64>,
+        next_uid: u64,
         round: usize,
     ) -> Result<Option<FaultEvent>, SimError> {
         // A due heal fires first, regardless of budget, window or
@@ -596,7 +599,7 @@ impl Adversary {
         if !self.rng.gen_bool(self.scenario.per_round_probability) {
             return Ok(None);
         }
-        let Some(event) = self.pick_event(network, crashed, uids, round)? else {
+        let Some(event) = self.pick_event(network, crashed, uids, next_uid, round)? else {
             return Ok(None);
         };
         self.budget_left -= 1;
@@ -620,6 +623,7 @@ impl Adversary {
         network: &mut Network,
         crashed: &mut BTreeSet<NodeId>,
         uids: &mut Vec<u64>,
+        next_uid: u64,
         round: usize,
     ) -> Result<Option<FaultEvent>, SimError> {
         let s = &self.scenario;
@@ -652,7 +656,7 @@ impl Adversary {
             0 => self.crash(network, crashed),
             1 => Ok(self.delete_edge(network)),
             2 => Ok(self.insert_edge(network)),
-            3 => Ok(self.join(network, uids)),
+            3 => Ok(self.join(network, uids, next_uid)),
             4 => Ok(self.skew(network)),
             _ => Ok(self.partition(network, round)),
         }
@@ -709,17 +713,24 @@ impl Adversary {
         None
     }
 
-    fn join(&mut self, network: &mut Network, uids: &mut Vec<u64>) -> Option<FaultEvent> {
+    fn join(
+        &mut self,
+        network: &mut Network,
+        uids: &mut Vec<u64>,
+        next_uid: u64,
+    ) -> Option<FaultEvent> {
         let live = Self::live_nodes(network);
         let attached_to = self.scenario.target.pick(&mut self.rng, network, &live)?;
         let node = network.fault_add_node();
         network.fault_insert_edge(node, attached_to);
-        let uid = uids.iter().copied().max().unwrap_or(0) + 1;
-        uids.push(uid);
+        // `next_uid` is the caller-maintained running maximum plus one —
+        // the same value the old per-join O(n) max scan produced.
+        debug_assert_eq!(next_uid, uids.iter().copied().max().unwrap_or(0) + 1);
+        uids.push(next_uid);
         Some(FaultEvent::Join {
             node,
             attached_to,
-            uid,
+            uid: next_uid,
         })
     }
 
@@ -816,18 +827,48 @@ pub struct DstState {
     /// UID values by node index, kept up to date across churn so UID
     /// uniqueness can be checked even for joined nodes.
     uids: Vec<u64>,
-    /// Cached duplicate count of `uids`, recomputed only when the UID
-    /// column grows (churn) instead of a clone + sort every round.
+    /// Incrementally maintained duplicate count of `uids`: seeded at
+    /// construction, bumped per join on a failed `uid_seen` insert —
+    /// never recomputed by sorting.
     uid_dups: usize,
-    /// Length of `uids` when `uid_dups` was last computed.
-    uids_checked_len: usize,
+    /// The distinct UID values seen so far (the duplicate detector).
+    uid_seen: BTreeSet<u64>,
+    /// The UID the next churn join hands out: the running maximum plus
+    /// one, maintained here so a join costs O(log n) instead of an O(n)
+    /// max scan. Joins only ever raise the maximum, so this stays exact.
+    uid_next: u64,
     crashed: BTreeSet<NodeId>,
     log: Vec<FaultRecord>,
     violations: Vec<Violation>,
     rounds_checked: usize,
+    /// Incremental connectivity over the live subgraph, fed the round's
+    /// topology events; `None` until [`DstState::attach`] (or when
+    /// connectivity checking is off / from-scratch mode is forced).
+    conn: Option<DynConn>,
+    /// Nodes currently over the activated-degree bound, updated from the
+    /// endpoints of the round's edge events. `first()` is the lowest
+    /// offending id — the same node the old ascending full scan reported.
+    over_degree: BTreeSet<NodeId>,
+    /// Whether `over_degree` is being maintained (a degree bound is set
+    /// and from-scratch mode is not forced).
+    degree_tracked: bool,
+    /// Drain scratch for the network's DST event channel (swapped, never
+    /// reallocated in steady state).
+    events: Vec<DstEvent>,
+    /// Reusable scratch for the BFS fallback and the debug-assert oracle
+    /// (`live_subgraph_connected_with`): visited mask + queue, hoisted so
+    /// neither allocates per round.
+    bfs_seen: Vec<bool>,
+    bfs_queue: VecDeque<NodeId>,
+    /// Forces every invariant back onto the from-scratch O(n) paths
+    /// (full BFS, full degree scan). Benchmark comparison knob.
+    from_scratch: bool,
 }
 
-/// Number of duplicated UID values in `uids`.
+/// Number of duplicated UID values in `uids` — the from-scratch
+/// reference for the incrementally maintained `uid_dups`, kept as the
+/// debug-assert differential oracle.
+#[cfg(debug_assertions)]
 fn count_uid_duplicates(uids: &[u64]) -> usize {
     let mut sorted = uids.to_vec();
     sorted.sort_unstable();
@@ -841,18 +882,68 @@ impl DstState {
     /// values by node index of the network the state will be installed on
     /// (pass an empty vector to skip UID tracking).
     pub fn new(adversary: Adversary, policy: InvariantPolicy, uids: Vec<u64>) -> Self {
-        let uid_dups = count_uid_duplicates(&uids);
-        let uids_checked_len = uids.len();
+        let mut uid_seen = BTreeSet::new();
+        let mut uid_dups = 0usize;
+        for &uid in &uids {
+            if !uid_seen.insert(uid) {
+                uid_dups += 1;
+            }
+        }
+        let uid_next = uids.iter().copied().max().unwrap_or(0) + 1;
         DstState {
             adversary,
             policy,
             uids,
             uid_dups,
-            uids_checked_len,
+            uid_seen,
+            uid_next,
             crashed: BTreeSet::new(),
             log: Vec::new(),
             violations: Vec::new(),
             rounds_checked: 0,
+            conn: None,
+            over_degree: BTreeSet::new(),
+            degree_tracked: false,
+            events: Vec::new(),
+            bfs_seen: Vec::new(),
+            bfs_queue: VecDeque::new(),
+            from_scratch: false,
+        }
+    }
+
+    /// Forces every invariant back onto the from-scratch O(n) paths —
+    /// full BFS for connectivity, full scan for the degree bound — by
+    /// skipping the incremental structures at [`DstState::attach`] time.
+    /// Benchmark comparison knob; call before the state is installed.
+    pub fn set_from_scratch_checks(&mut self, enabled: bool) {
+        self.from_scratch = enabled;
+    }
+
+    /// Builds the incremental invariant state against the network the
+    /// state is being installed on. Called by
+    /// [`crate::Network::install_dst`], which also arms the network's
+    /// dedicated topology-event channel that keeps these structures fed.
+    pub(crate) fn attach(&mut self, network: &Network) {
+        self.conn = None;
+        self.over_degree.clear();
+        self.degree_tracked = false;
+        if self.from_scratch {
+            return;
+        }
+        let graph = network.graph();
+        if self.policy.check_connectivity {
+            self.conn = Some(DynConn::from_graph_with_crashed(
+                graph,
+                network.crashed_mask(),
+            ));
+        }
+        if let Some(bound) = self.policy.max_activated_degree {
+            self.degree_tracked = true;
+            for u in graph.nodes() {
+                if network.activated_degree(u) > bound {
+                    self.over_degree.insert(u);
+                }
+            }
         }
     }
 
@@ -876,11 +967,20 @@ impl DstState {
     /// resulting snapshot.
     pub(crate) fn on_round(&mut self, network: &mut Network) {
         let round = network.round();
+        let next_uid = self.uid_next;
         match self
             .adversary
-            .inject(network, &mut self.crashed, &mut self.uids, round)
+            .inject(network, &mut self.crashed, &mut self.uids, next_uid, round)
         {
-            Ok(Some(event)) => self.log.push(FaultRecord { round, event }),
+            Ok(Some(event)) => {
+                if let FaultEvent::Join { uid, .. } = &event {
+                    if !self.uid_seen.insert(*uid) {
+                        self.uid_dups += 1;
+                    }
+                    self.uid_next = *uid + 1;
+                }
+                self.log.push(FaultRecord { round, event });
+            }
             Ok(None) => {}
             // Fault application hit a broken graph invariant (e.g. a
             // crash sever landing on a corrupted arena). Recorded as a
@@ -892,33 +992,132 @@ impl DstState {
                 detail: e.to_string(),
             }),
         }
+        self.apply_events(network);
         self.check_invariants(network, round);
+    }
+
+    /// Drains the round's topology events from the network and replays
+    /// them into the incremental structures. Replay happens against the
+    /// post-round snapshot — safe for the final verdict, because a
+    /// repair never steals an edge the batch later removes (it is gone
+    /// from the snapshot) and never unions across components the batch
+    /// has not joined yet (the union-find root guard; the insert event
+    /// that joins them is itself in the batch).
+    fn apply_events(&mut self, network: &mut Network) {
+        self.events.clear();
+        network.swap_dst_events(&mut self.events);
+        if self.events.is_empty() {
+            return;
+        }
+        let events = std::mem::take(&mut self.events);
+        let graph = network.graph();
+        let degree_bound = if self.degree_tracked {
+            self.policy.max_activated_degree
+        } else {
+            None
+        };
+        for &event in &events {
+            match event {
+                DstEvent::Edge { edge, added } => {
+                    if let Some(conn) = self.conn.as_mut() {
+                        if added {
+                            conn.insert_edge(edge.a, edge.b);
+                        } else {
+                            conn.remove_edge(edge.a, edge.b, graph);
+                        }
+                    }
+                    if let Some(bound) = degree_bound {
+                        // Membership is recomputed from the *final*
+                        // per-round degree, so replay order within the
+                        // batch cannot matter.
+                        for u in [edge.a, edge.b] {
+                            if network.activated_degree(u) > bound {
+                                self.over_degree.insert(u);
+                            } else {
+                                self.over_degree.remove(&u);
+                            }
+                        }
+                    }
+                }
+                DstEvent::NodeJoined => {
+                    if let Some(conn) = self.conn.as_mut() {
+                        conn.add_node();
+                    }
+                }
+                DstEvent::NodeCrashed(node) => {
+                    if let Some(conn) = self.conn.as_mut() {
+                        conn.crash(node, graph);
+                    }
+                    if degree_bound.is_some() {
+                        self.over_degree.remove(&node);
+                    }
+                }
+            }
+        }
+        self.events = events;
+        debug_assert!(self
+            .conn
+            .as_ref()
+            .is_none_or(|c| c.node_count() == graph.node_count()));
     }
 
     fn check_invariants(&mut self, network: &Network, round: usize) {
         self.rounds_checked += 1;
         let graph = network.graph();
-        if self.policy.check_connectivity && !live_subgraph_connected(network) {
-            self.violations.push(Violation {
-                round,
-                invariant: "connectivity",
-                detail: format!(
-                    "live subgraph disconnected ({} live nodes)",
-                    graph.node_count() - self.crashed.len()
-                ),
-            });
+        if self.policy.check_connectivity {
+            // O(1) verdict off the incremental forest; the BFS stays on
+            // as a differential oracle in debug builds (and as the
+            // from-scratch fallback when no forest is attached).
+            let connected = match &self.conn {
+                Some(conn) => conn.is_connected(),
+                None => {
+                    live_subgraph_connected_with(network, &mut self.bfs_seen, &mut self.bfs_queue)
+                }
+            };
+            #[cfg(debug_assertions)]
+            if self.conn.is_some() {
+                let oracle =
+                    live_subgraph_connected_with(network, &mut self.bfs_seen, &mut self.bfs_queue);
+                assert_eq!(
+                    connected, oracle,
+                    "dynamic connectivity diverged from the BFS oracle at round {round}"
+                );
+            }
+            if !connected {
+                self.violations.push(Violation {
+                    round,
+                    invariant: "connectivity",
+                    detail: format!(
+                        "live subgraph disconnected ({} live nodes)",
+                        graph.node_count() - self.crashed.len()
+                    ),
+                });
+            }
         }
         if let Some(bound) = self.policy.max_activated_degree {
-            for u in graph.nodes() {
+            // The over-bound set is maintained from the round's edge
+            // events; its minimum is the node the old ascending full
+            // scan reported first.
+            let over = if self.degree_tracked {
+                self.over_degree.iter().next().copied()
+            } else {
+                graph.nodes().find(|&u| network.activated_degree(u) > bound)
+            };
+            #[cfg(debug_assertions)]
+            if self.degree_tracked {
+                let oracle = graph.nodes().find(|&u| network.activated_degree(u) > bound);
+                assert_eq!(
+                    over, oracle,
+                    "over-degree set diverged from the full scan at round {round}"
+                );
+            }
+            if let Some(u) = over {
                 let d = network.activated_degree(u);
-                if d > bound {
-                    self.violations.push(Violation {
-                        round,
-                        invariant: "activated_degree",
-                        detail: format!("node {u} has activated degree {d} > bound {bound}"),
-                    });
-                    break; // one violation per round is enough signal
-                }
+                self.violations.push(Violation {
+                    round,
+                    invariant: "activated_degree",
+                    detail: format!("node {u} has activated degree {d} > bound {bound}"),
+                });
             }
         }
         if let Some(bound) = self.policy.max_active_edges {
@@ -932,10 +1131,12 @@ impl DstState {
             }
         }
         if self.policy.check_uid_uniqueness && !self.uids.is_empty() {
-            if self.uids.len() != self.uids_checked_len {
-                self.uid_dups = count_uid_duplicates(&self.uids);
-                self.uids_checked_len = self.uids.len();
-            }
+            #[cfg(debug_assertions)]
+            assert_eq!(
+                self.uid_dups,
+                count_uid_duplicates(&self.uids),
+                "incremental UID duplicate count diverged at round {round}"
+            );
             if self.uid_dups > 0 {
                 self.violations.push(Violation {
                     round,
@@ -967,7 +1168,19 @@ impl DstState {
 /// Crash membership comes from the network's flat crash mask (one index
 /// per probe) and neighbourhoods are scanned as sorted slices — the same
 /// columnar representation `commit_round` uses.
+#[cfg_attr(not(test), allow(dead_code))]
 fn live_subgraph_connected(network: &Network) -> bool {
+    live_subgraph_connected_with(network, &mut Vec::new(), &mut VecDeque::new())
+}
+
+/// [`live_subgraph_connected`] against caller-provided scratch (visited
+/// mask + BFS queue), so the per-round oracle/fallback path reuses one
+/// allocation for the whole run instead of allocating per call.
+fn live_subgraph_connected_with(
+    network: &Network,
+    seen: &mut Vec<bool>,
+    queue: &mut VecDeque<NodeId>,
+) -> bool {
     let graph = network.graph();
     let crashed = network.crashed_mask();
     let n = graph.node_count();
@@ -979,9 +1192,11 @@ fn live_subgraph_connected(network: &Network) -> bool {
         Some(u) => u,
         None => return true,
     };
-    let mut seen = vec![false; n];
+    seen.clear();
+    seen.resize(n, false);
+    queue.clear();
     seen[start.index()] = true;
-    let mut queue = std::collections::VecDeque::from([start]);
+    queue.push_back(start);
     let mut reached = 1usize;
     while let Some(u) = queue.pop_front() {
         for &v in graph.neighbors_slice(u) {

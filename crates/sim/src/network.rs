@@ -44,6 +44,32 @@ pub struct EdgeDelta {
     pub added: bool,
 }
 
+/// One topology event recorded for the installed DST state, drained at
+/// every round boundary by `DstState::on_round`. The DST harness keeps
+/// its invariant state (dynamic connectivity, degree overshoot set, UID
+/// multiset) incremental, so it needs the mutations themselves — on a
+/// dedicated channel, because the public [`EdgeDelta`] hook is
+/// single-consumer and the committee algorithms already own it.
+///
+/// Ordering contract (application order, like the public hook): a crash
+/// records one `Edge { added: false }` per severed edge *before* its
+/// `NodeCrashed`, and a churn join records `NodeJoined` *before* the
+/// attach edge's `Edge { added: true }`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DstEvent {
+    /// An applied edge mutation (committed stage or adversarial fault).
+    Edge {
+        /// The mutated edge (canonical endpoint order).
+        edge: Edge,
+        /// True for an insertion, false for a removal.
+        added: bool,
+    },
+    /// A fresh node was appended (churn join).
+    NodeJoined,
+    /// A node crash-stopped (all incident edges already severed above).
+    NodeCrashed(NodeId),
+}
+
 /// One activation of a batched jump wave, staged through
 /// [`Network::stage_jump_wave`]: the `initiator` activates an edge to
 /// `target`, and `witness` is a node the caller asserts is currently
@@ -151,6 +177,13 @@ pub struct Network {
     /// Optional deterministic-simulation-testing state (adversary +
     /// invariant checker), ticked at every round boundary.
     dst: Option<Box<DstState>>,
+    /// Dedicated topology-event channel for the installed DST state (see
+    /// [`DstEvent`]): armed by [`Network::install_dst`], drained by the
+    /// state at every tick, disarmed by [`Network::take_dst_report`].
+    /// Separate from the public single-consumer [`EdgeDelta`] hook so an
+    /// armed DST run never fights the committee algorithms over it.
+    dst_events: Vec<DstEvent>,
+    dst_event_tracking: bool,
 }
 
 /// Removes the elements common to both sorted, duplicate-free vectors
@@ -226,6 +259,8 @@ impl Network {
             edge_delta_tracking: false,
             commit_threads: 1,
             dst: None,
+            dst_events: Vec::new(),
+            dst_event_tracking: false,
         }
     }
 
@@ -293,7 +328,10 @@ impl Network {
     /// every round boundary: the adversary may inject faults and the
     /// invariants are evaluated on the resulting snapshot. Harvest the
     /// result with [`Network::take_dst_report`].
-    pub fn install_dst(&mut self, state: DstState) {
+    pub fn install_dst(&mut self, mut state: DstState) {
+        self.dst_event_tracking = true;
+        self.dst_events.clear();
+        state.attach(self);
         self.dst = Some(Box::new(state));
     }
 
@@ -305,7 +343,16 @@ impl Network {
     /// Removes the DST state and finalizes it into a report. Returns
     /// `None` when no state was installed (or it was already taken).
     pub fn take_dst_report(&mut self) -> Option<DstReport> {
+        self.dst_event_tracking = false;
+        self.dst_events.clear();
         self.dst.take().map(|s| s.into_report())
+    }
+
+    /// Swaps the pending DST topology events with `buffer` (the caller's
+    /// drained scratch), so the channel ping-pongs two allocations for the
+    /// whole run. Called once per tick by `DstState::on_round`.
+    pub(crate) fn swap_dst_events(&mut self, buffer: &mut Vec<DstEvent>) {
+        std::mem::swap(&mut self.dst_events, buffer);
     }
 
     fn tick_dst(&mut self) {
@@ -601,6 +648,8 @@ impl Network {
             let activated_now = &mut self.activated_now;
             let delta_tracking = self.edge_delta_tracking;
             let edge_deltas = &mut self.edge_deltas;
+            let dst_tracking = self.dst_event_tracking;
+            let dst_events = &mut self.dst_events;
             // Sharded fast path: the serial batch entry points filter to
             // fresh adds / present removals themselves; here the filters
             // run up front (valid pre-mutation because the conflict pass
@@ -637,6 +686,12 @@ impl Network {
                                 added: true,
                             });
                         }
+                        if dst_tracking {
+                            dst_events.push(DstEvent::Edge {
+                                edge: e,
+                                added: true,
+                            });
+                        }
                         grew.push(e.a);
                         grew.push(e.b);
                         if !initial.has_edge(e.a, e.b) {
@@ -650,6 +705,12 @@ impl Network {
                     for &e in &present {
                         if delta_tracking {
                             edge_deltas.push(EdgeDelta {
+                                edge: e,
+                                added: false,
+                            });
+                        }
+                        if dst_tracking {
+                            dst_events.push(DstEvent::Edge {
                                 edge: e,
                                 added: false,
                             });
@@ -670,6 +731,12 @@ impl Network {
                             added: true,
                         });
                     }
+                    if dst_tracking {
+                        dst_events.push(DstEvent::Edge {
+                            edge: e,
+                            added: true,
+                        });
+                    }
                     grew.push(e.a);
                     grew.push(e.b);
                     if !initial.has_edge(e.a, e.b) {
@@ -683,6 +750,12 @@ impl Network {
                 self.current.remove_edges_batch(&staged_deactivations, |e| {
                     if delta_tracking {
                         edge_deltas.push(EdgeDelta {
+                            edge: e,
+                            added: false,
+                        });
+                    }
+                    if dst_tracking {
+                        dst_events.push(DstEvent::Edge {
                             edge: e,
                             added: false,
                         });
@@ -830,6 +903,8 @@ impl Network {
         let changed = &mut self.changed_nodes;
         let delta_tracking = self.edge_delta_tracking;
         let edge_deltas = &mut self.edge_deltas;
+        let dst_tracking = self.dst_event_tracking;
+        let dst_events = &mut self.dst_events;
         let severed = self.current.remove_incident_edges(node, |e| {
             if tracking {
                 changed.push(e.a);
@@ -837,6 +912,12 @@ impl Network {
             }
             if delta_tracking {
                 edge_deltas.push(EdgeDelta {
+                    edge: e,
+                    added: false,
+                });
+            }
+            if dst_tracking {
+                dst_events.push(DstEvent::Edge {
                     edge: e,
                     added: false,
                 });
@@ -849,6 +930,9 @@ impl Network {
         })?;
         self.crashed[node.index()] = true;
         self.any_crashed = true;
+        if self.dst_event_tracking {
+            self.dst_events.push(DstEvent::NodeCrashed(node));
+        }
         Ok(severed)
     }
 
@@ -905,6 +989,12 @@ impl Network {
                 added: false,
             });
         }
+        if removed && self.dst_event_tracking {
+            self.dst_events.push(DstEvent::Edge {
+                edge: Edge::new(u, v),
+                added: false,
+            });
+        }
         if removed && !self.initial.has_edge(u, v) {
             self.activated_now -= 1;
             self.activated_degree[u.index()] -= 1;
@@ -922,6 +1012,12 @@ impl Network {
         }
         if added && self.edge_delta_tracking {
             self.edge_deltas.push(EdgeDelta {
+                edge: Edge::new(u, v),
+                added: true,
+            });
+        }
+        if added && self.dst_event_tracking {
+            self.dst_events.push(DstEvent::Edge {
                 edge: Edge::new(u, v),
                 added: true,
             });
@@ -950,6 +1046,9 @@ impl Network {
         let node = self.current.add_node();
         self.activated_degree.push(0);
         self.crashed.push(false);
+        if self.dst_event_tracking {
+            self.dst_events.push(DstEvent::NodeJoined);
+        }
         node
     }
 
