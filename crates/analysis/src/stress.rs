@@ -19,7 +19,7 @@
 //! under budget `b` is a prefix of the schedule under `B > b`, making the
 //! failing-fault prefix well-defined.
 
-use adn_core::algorithm::{self, arm_network_for_dst, DstConfig, RunConfig};
+use adn_core::algorithm::{self, arm_network_for_dst, DstConfig, RunConfig, TraceLevel};
 use adn_graph::rng::DetRng;
 use adn_graph::{GraphFamily, UidAssignment, UidMap};
 use adn_sim::dst::{self, DstReport, Scenario};
@@ -210,6 +210,22 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 ///
 /// Panics if the case names an unregistered algorithm.
 pub fn run_case(case: &StressCase) -> StressReport {
+    run_case_with_trace(case, false)
+}
+
+/// Runs one case like [`run_case`], but with per-round tracing enabled
+/// (`TraceLevel::PerRound`), so the traced `max_degree` path — the
+/// incremental degree histogram plus its debug-build from-scratch oracle
+/// — is exercised under the full adversarial schedule. Tracing is an
+/// observer: the rendered report carries no trace data, so the render is
+/// byte-identical to the untraced run of the same case (CI diffs a
+/// traced slice against the untraced expectation on exactly this
+/// property).
+pub fn run_case_traced(case: &StressCase) -> StressReport {
+    run_case_with_trace(case, true)
+}
+
+fn run_case_with_trace(case: &StressCase, traced: bool) -> StressReport {
     let a = algorithm::find(&case.algorithm)
         .unwrap_or_else(|| panic!("unregistered algorithm `{}`", case.algorithm));
     let graph = case.family.generate(case.n, case.uid_seed);
@@ -226,7 +242,10 @@ pub fn run_case(case: &StressCase) -> StressReport {
         seed: case.adversary_seed,
     };
     arm_network_for_dst(&mut network, &a.spec(), &uids, &dcfg);
-    let config = RunConfig::default().with_round_budget(case.round_budget);
+    let mut config = RunConfig::default().with_round_budget(case.round_budget);
+    if traced {
+        config = config.with_trace(TraceLevel::PerRound);
+    }
 
     let result = catch_unwind(AssertUnwindSafe(|| a.execute(&mut network, &uids, &config)));
     let (outcome, dst) = match result {
@@ -542,6 +561,23 @@ pub fn json_escape(s: &str) -> String {
 /// Equivalent to [`sweep_with_threads`] with one thread.
 pub fn sweep(master_seed: u64, cases: usize) -> SweepSummary {
     sweep_with_threads(master_seed, cases, 1)
+}
+
+/// Runs the first `cases` cases of a sweep with per-round tracing
+/// enabled (see [`run_case_traced`]) — the CI traced stress-sweep slice.
+/// Tracing never reaches the rendered reports, so the summary renders
+/// byte-identically to the untraced sweep's prefix of the same length;
+/// what the slice adds is coverage of the traced `max_degree` path (and
+/// its debug-build oracle) under real adversarial schedules.
+pub fn sweep_traced(master_seed: u64, cases: usize) -> SweepSummary {
+    let reports = case_seeds(master_seed, cases)
+        .iter()
+        .map(|&s| run_case_traced(&StressCase::from_seed(s)))
+        .collect();
+    SweepSummary {
+        master_seed,
+        reports,
+    }
 }
 
 /// Derives the per-case seeds of a sweep (the only part that consumes the

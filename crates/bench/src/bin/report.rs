@@ -21,6 +21,9 @@
 //! * `... report -- --runtime [cases] [--threads N]` — run the
 //!   asynchronous-runtime seed sweep (seeded scheduler, async scenarios)
 //!   and verify byte-identical replay on a subset;
+//! * `... report -- --dump-renders-traced [cases]` — render a slice of
+//!   the stress sweep with per-round tracing enabled (byte-identical to
+//!   the untraced dump; exercises the traced `max_degree` path);
 //! * `... report -- --bench [--quick] [--threads N]` — run the CPU-perf
 //!   baseline of the hot data path and write `BENCH_core.json`
 //!   (`--quick` is the reduced CI smoke pass).
@@ -168,6 +171,17 @@ fn main() {
             };
             let threads = adn_bench::corebench::resolve_threads(threads.unwrap_or(0));
             print!("{}", adn_bench::dump_renders(cases, threads));
+        }
+        Some("--dump-renders-traced") => {
+            reject_unused("--dump-renders-traced", threads, quick, false);
+            reject_check("--dump-renders-traced", &check);
+            let cases: usize = match args.get(1) {
+                Some(raw) => raw.parse().unwrap_or_else(|_| {
+                    panic!("usage: report --dump-renders-traced [case count], got `{raw}`")
+                }),
+                None => 96,
+            };
+            print!("{}", adn_bench::dump_renders_traced(cases));
         }
         Some("--bench") => {
             // Read the baseline *before* running: the run overwrites

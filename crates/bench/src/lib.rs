@@ -59,8 +59,23 @@ pub fn dst_suite(cases: usize, threads: usize) -> (String, String, usize) {
 /// every thread count, like the sweep summary itself.
 pub fn dump_renders(cases: usize, threads: usize) -> String {
     let summary = adn_analysis::stress::sweep_with_threads(DST_MASTER_SEED, cases, threads);
+    render_reports(&summary.reports)
+}
+
+/// Like [`dump_renders`], but every case runs with per-round tracing
+/// enabled (`report -- --dump-renders-traced [cases]`) — the CI traced
+/// stress-sweep slice. Tracing is an observer, so the output is
+/// byte-identical to the untraced dump of the same prefix; the point is
+/// that the traced `max_degree` path (degree histogram + debug-build
+/// from-scratch oracle) runs under real adversarial schedules.
+pub fn dump_renders_traced(cases: usize) -> String {
+    let summary = adn_analysis::stress::sweep_traced(DST_MASTER_SEED, cases);
+    render_reports(&summary.reports)
+}
+
+fn render_reports(reports: &[adn_analysis::stress::StressReport]) -> String {
     let mut out = String::new();
-    for report in &summary.reports {
+    for report in reports {
         out.push_str(&report.render());
         out.push_str("----\n");
     }

@@ -332,7 +332,8 @@ type BridgeRow = (usize, usize, NodeId, NodeId);
 ///
 /// The from-scratch builder ([`CommitteeForest::committee_adjacency`])
 /// rescans every edge of the graph once per phase. This tracker instead
-/// consumes the edge deltas recorded by the network's edge-delta hook
+/// consumes the edge deltas drained from the committee tap of the
+/// network's round-event bus
 /// ([`adn_sim::Network::set_edge_delta_tracking`]) plus the forest's merge
 /// events — discovered by diffing a committee snapshot against the forest
 /// — so a phase pays for what *changed* rather than for the whole edge

@@ -114,11 +114,12 @@ pub(crate) fn execute(
     }
 
     network.set_trace_enabled(config.trace.is_per_round());
-    // The incremental adjacency consumes the network's edge deltas (and
-    // the forest's merges) instead of rebuilding from the edge set every
-    // phase. The hook is armed before the first operation so no delta is
-    // missed, and disarmed on *every* exit path — error returns included
-    // — so a caller's network is never left accumulating deltas.
+    // The incremental adjacency consumes the committee tap of the
+    // network's round-event bus (and the forest's merges) instead of
+    // rebuilding from the edge set every phase. The tap is armed before
+    // the first operation so no delta is missed, and disarmed on *every*
+    // exit path — error returns included — so a caller's network is
+    // never left accumulating deltas.
     network.set_edge_delta_tracking(true);
     let result = run_phases(network, uids, config, &initial, n);
     network.set_edge_delta_tracking(false);

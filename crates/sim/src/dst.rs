@@ -36,7 +36,7 @@
 //! violation, and renders to a stable string so replay equality can be
 //! checked byte-for-byte.
 
-use crate::network::DstEvent;
+use crate::bus::RoundEvent;
 use crate::Network;
 use crate::SimError;
 use adn_graph::rng::DetRng;
@@ -852,9 +852,9 @@ pub struct DstState {
     /// Whether `over_degree` is being maintained (a degree bound is set
     /// and from-scratch mode is not forced).
     degree_tracked: bool,
-    /// Drain scratch for the network's DST event channel (swapped, never
+    /// Drain scratch for the network's DST bus tap (reused, never
     /// reallocated in steady state).
-    events: Vec<DstEvent>,
+    events: Vec<RoundEvent>,
     /// Reusable scratch for the BFS fallback and the debug-assert oracle
     /// (`live_subgraph_connected_with`): visited mask + queue, hoisted so
     /// neither allocates per round.
@@ -921,8 +921,8 @@ impl DstState {
 
     /// Builds the incremental invariant state against the network the
     /// state is being installed on. Called by
-    /// [`crate::Network::install_dst`], which also arms the network's
-    /// dedicated topology-event channel that keeps these structures fed.
+    /// [`crate::Network::install_dst`], which also arms the DST tap of
+    /// the network's round-event bus that keeps these structures fed.
     pub(crate) fn attach(&mut self, network: &Network) {
         self.conn = None;
         self.over_degree.clear();
@@ -1005,7 +1005,7 @@ impl DstState {
     /// that joins them is itself in the batch).
     fn apply_events(&mut self, network: &mut Network) {
         self.events.clear();
-        network.swap_dst_events(&mut self.events);
+        network.drain_dst_events(&mut self.events);
         if self.events.is_empty() {
             return;
         }
@@ -1018,7 +1018,7 @@ impl DstState {
         };
         for &event in &events {
             match event {
-                DstEvent::Edge { edge, added } => {
+                RoundEvent::Edge { edge, added, .. } => {
                     if let Some(conn) = self.conn.as_mut() {
                         if added {
                             conn.insert_edge(edge.a, edge.b);
@@ -1039,12 +1039,12 @@ impl DstState {
                         }
                     }
                 }
-                DstEvent::NodeJoined => {
+                RoundEvent::NodeJoined(_) => {
                     if let Some(conn) = self.conn.as_mut() {
                         conn.add_node();
                     }
                 }
-                DstEvent::NodeCrashed(node) => {
+                RoundEvent::NodeCrashed(node) => {
                     if let Some(conn) = self.conn.as_mut() {
                         conn.crash(node, graph);
                     }
@@ -1052,6 +1052,8 @@ impl DstState {
                         self.over_degree.remove(&node);
                     }
                 }
+                // Round boundaries and idle charges carry no topology.
+                RoundEvent::RoundCommitted { .. } | RoundEvent::IdleRound => {}
             }
         }
         self.events = events;

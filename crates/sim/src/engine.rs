@@ -109,8 +109,9 @@ fn build_view(network: &Network, uids: &UidMap, id: NodeId) -> NodeView {
 ///
 /// The engine used to rebuild every view from scratch each round — an
 /// `O(n)` pass of neighbour copies and `N_2` computations even in rounds
-/// where nothing changed. The cache instead consumes the network's
-/// change-tracking hook ([`Network::take_changed_nodes`]) and recomputes
+/// where nothing changed. The cache instead consumes the engine tap of
+/// the network's round-event bus ([`Network::take_changed_nodes`]) and
+/// recomputes
 /// only the views whose contents can actually have moved: a node's `N_1`
 /// changes only if one of its incident edges changed, and its `N_2` only
 /// if an edge within distance one of it changed — so the affected set is

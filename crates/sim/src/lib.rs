@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bus;
 pub mod dst;
 pub mod engine;
 pub mod error;
@@ -56,6 +57,7 @@ pub mod metrics;
 pub mod network;
 pub mod trace;
 
+pub use bus::RoundEvent;
 pub use dst::{Adversary, DstReport, DstState, FaultEvent, FaultRecord, InvariantPolicy, Scenario};
 pub use error::SimError;
 pub use metrics::EdgeMetrics;

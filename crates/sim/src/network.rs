@@ -1,7 +1,15 @@
 //! The validated, metered temporal graph.
+//!
+//! Every observable of the network — engine changed-nodes, committee
+//! edge-deltas, DST topology replay, raw event recording, metrics and
+//! the per-round trace — hangs off one [`RoundEvent`] bus (see
+//! [`crate::bus`]): each applied mutation is emitted from exactly one
+//! place ([`EdgeSink::edge`] for edges, the join/crash/boundary points
+//! below for the rest) and fanned out to whichever consumers are armed.
 
+use crate::bus::{BusTap, EdgeSink, EventBus, RoundLedger};
 use crate::dst::{DstReport, DstState};
-use crate::{EdgeMetrics, RoundStats, SimError};
+use crate::{EdgeMetrics, RoundEvent, RoundStats, SimError};
 use adn_graph::{Edge, Graph, NodeId};
 
 /// Deterministic multiply-rotate hasher for the staged-set guards: an
@@ -42,32 +50,6 @@ pub struct EdgeDelta {
     pub edge: Edge,
     /// True for an insertion, false for a removal.
     pub added: bool,
-}
-
-/// One topology event recorded for the installed DST state, drained at
-/// every round boundary by `DstState::on_round`. The DST harness keeps
-/// its invariant state (dynamic connectivity, degree overshoot set, UID
-/// multiset) incremental, so it needs the mutations themselves — on a
-/// dedicated channel, because the public [`EdgeDelta`] hook is
-/// single-consumer and the committee algorithms already own it.
-///
-/// Ordering contract (application order, like the public hook): a crash
-/// records one `Edge { added: false }` per severed edge *before* its
-/// `NodeCrashed`, and a churn join records `NodeJoined` *before* the
-/// attach edge's `Edge { added: true }`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum DstEvent {
-    /// An applied edge mutation (committed stage or adversarial fault).
-    Edge {
-        /// The mutated edge (canonical endpoint order).
-        edge: Edge,
-        /// True for an insertion, false for a removal.
-        added: bool,
-    },
-    /// A fresh node was appended (churn join).
-    NodeJoined,
-    /// A node crash-stopped (all incident edges already severed above).
-    NodeCrashed(NodeId),
 }
 
 /// One activation of a batched jump wave, staged through
@@ -118,7 +100,6 @@ pub struct Network {
     initial: Graph,
     current: Graph,
     round: usize,
-    metrics: EdgeMetrics,
     /// Columnar round staging: the staged activation edges in stage
     /// order, duplicate-free (set semantics via the hash guards below),
     /// with the *initiator* of every successful stage in a parallel
@@ -135,9 +116,6 @@ pub struct Network {
     /// iterated — so hash order cannot leak into execution.
     staged_activation_set: StagedEdgeSet,
     staged_deactivation_set: StagedEdgeSet,
-    trace_enabled: bool,
-    groups_alive: usize,
-    trace: Vec<RoundStats>,
     /// Per-node count of active non-initial edges, maintained
     /// incrementally so `commit_round` does not have to rebuild the full
     /// activated-edge difference graph every round.
@@ -156,34 +134,20 @@ pub struct Network {
     /// commit path allocates nothing.
     commit_touched: Vec<NodeId>,
     commit_grew: Vec<NodeId>,
-    /// Change-tracking hook for incremental consumers (the node-program
-    /// engine's view cache): while enabled, the endpoints of every applied
-    /// edge mutation — committed stages *and* adversarial faults — are
-    /// recorded here until drained with [`Network::take_changed_nodes`].
-    /// Off by default so non-engine executions pay nothing.
-    changed_nodes: Vec<NodeId>,
-    change_tracking: bool,
-    /// Edge-delta hook for incremental consumers that need the mutations
-    /// themselves rather than the touched nodes (the committee layer's
-    /// incremental adjacency): while enabled, every applied edge mutation
-    /// — committed stages *and* adversarial faults — is recorded in
-    /// application order until drained with [`Network::take_edge_deltas`].
-    /// Off by default so non-committee executions pay nothing.
-    edge_deltas: Vec<EdgeDelta>,
-    edge_delta_tracking: bool,
+    /// The round-event bus: the one recorded stream every buffered
+    /// observer (engine changed-nodes, committee edge-deltas, DST replay,
+    /// raw recorder) drains from its own tap. See [`crate::bus`].
+    bus: EventBus,
+    /// The always-on inline subscriber: accumulated [`EdgeMetrics`],
+    /// per-round [`RoundStats`] trace, and the degree histogram behind
+    /// the traced `max_degree`.
+    ledger: RoundLedger,
     /// Worker-pool width for [`Network::commit_round`]'s sharded merge
     /// (1 = serial; see [`Network::set_commit_threads`]).
     commit_threads: usize,
     /// Optional deterministic-simulation-testing state (adversary +
     /// invariant checker), ticked at every round boundary.
     dst: Option<Box<DstState>>,
-    /// Dedicated topology-event channel for the installed DST state (see
-    /// [`DstEvent`]): armed by [`Network::install_dst`], drained by the
-    /// state at every tick, disarmed by [`Network::take_dst_report`].
-    /// Separate from the public single-consumer [`EdgeDelta`] hook so an
-    /// armed DST run never fights the committee algorithms over it.
-    dst_events: Vec<DstEvent>,
-    dst_event_tracking: bool,
 }
 
 /// Removes the elements common to both sorted, duplicate-free vectors
@@ -230,37 +194,29 @@ impl Network {
     /// Creates a network whose initial snapshot `D(1)` is `initial`.
     pub fn new(initial: Graph) -> Self {
         let current = initial.clone();
-        let mut metrics = EdgeMetrics::new();
-        metrics.max_total_degree = current.max_degree();
-        metrics.max_active_edges_total = current.edge_count();
+        let mut ledger = RoundLedger::default();
+        ledger.metrics.max_total_degree = current.max_degree();
+        ledger.metrics.max_active_edges_total = current.edge_count();
         let n = current.node_count();
         Network {
             initial,
             current,
             round: 1,
-            metrics,
             staged_activations: Vec::new(),
             staged_initiators: Vec::new(),
             staged_deactivations: Vec::new(),
             staged_activation_set: StagedEdgeSet::default(),
             staged_deactivation_set: StagedEdgeSet::default(),
-            trace_enabled: false,
-            groups_alive: 0,
-            trace: Vec::new(),
             activated_degree: vec![0; n],
             activated_now: 0,
             crashed: vec![false; n],
             any_crashed: false,
             commit_touched: Vec::new(),
             commit_grew: Vec::new(),
-            changed_nodes: Vec::new(),
-            change_tracking: false,
-            edge_deltas: Vec::new(),
-            edge_delta_tracking: false,
+            bus: EventBus::default(),
+            ledger,
             commit_threads: 1,
             dst: None,
-            dst_events: Vec::new(),
-            dst_event_tracking: false,
         }
     }
 
@@ -282,45 +238,79 @@ impl Network {
     }
 
     /// Enables or disables the edge-delta hook (either transition clears
-    /// the pending buffer). While enabled, [`Network::take_edge_deltas`]
+    /// the tap's pending view). While enabled, [`Network::take_edge_deltas`]
     /// reports every applied edge mutation — through committed rounds or
     /// adversarial faults — since the last drain, in application order.
     ///
-    /// The hook is **single-consumer**, like the node-change hook: there
-    /// is one buffer and one drain. The committee algorithms arm it for
-    /// the duration of a run and disarm it on every exit path, so any
-    /// tracking an outer caller had enabled on the same network is reset
-    /// (re-arm and rebuild from the graph afterwards if needed).
+    /// The hook is **single-consumer**, like the node-change hook: it is
+    /// one tap of the round-event bus with one cursor and one drain. The
+    /// committee algorithms arm it for the duration of a run and disarm it
+    /// on every exit path, so any tracking an outer caller had enabled on
+    /// the same network is reset (re-arm and rebuild from the graph
+    /// afterwards if needed).
     pub fn set_edge_delta_tracking(&mut self, enabled: bool) {
-        self.edge_delta_tracking = enabled;
-        self.edge_deltas.clear();
+        self.bus.arm(BusTap::Committee, enabled);
     }
 
     /// Drains the recorded edge deltas, in application order. Empty
     /// unless [`Network::set_edge_delta_tracking`] is on.
     pub fn take_edge_deltas(&mut self) -> Vec<EdgeDelta> {
-        std::mem::take(&mut self.edge_deltas)
+        let mut deltas = Vec::new();
+        self.bus.drain(BusTap::Committee, |event| {
+            if let RoundEvent::Edge { edge, added, .. } = *event {
+                deltas.push(EdgeDelta { edge, added });
+            }
+        });
+        deltas
     }
 
     /// Enables or disables the change-tracking hook (either transition
-    /// clears the pending buffer; the hook is single-consumer — see
+    /// clears the tap's pending view; the hook is single-consumer — see
     /// [`Network::set_edge_delta_tracking`]). While enabled,
     /// [`Network::take_changed_nodes`]
     /// reports every node whose incident edge set changed — through
     /// committed rounds or adversarial faults — since the last drain.
     pub fn set_change_tracking(&mut self, enabled: bool) {
-        self.change_tracking = enabled;
-        self.changed_nodes.clear();
+        self.bus.arm(BusTap::Engine, enabled);
     }
 
     /// Drains the recorded change set: the nodes whose incident edges
     /// changed since the last drain, sorted ascending and duplicate-free.
     /// Empty unless [`Network::set_change_tracking`] is on.
     pub fn take_changed_nodes(&mut self) -> Vec<NodeId> {
-        let mut changed = std::mem::take(&mut self.changed_nodes);
+        let mut changed = Vec::new();
+        self.bus.drain(BusTap::Engine, |event| {
+            if let RoundEvent::Edge { edge, .. } = *event {
+                changed.push(edge.a);
+                changed.push(edge.b);
+            }
+        });
         changed.sort_unstable();
         changed.dedup();
         changed
+    }
+
+    /// Enables or disables the raw event recorder (either transition
+    /// clears the tap's pending view). While enabled,
+    /// [`Network::take_events`] drains the application-ordered
+    /// [`RoundEvent`] stream itself — mutations, crashes, joins, round
+    /// boundaries and idle charges — the ground truth the per-consumer
+    /// drains above are projections of. Off by default.
+    pub fn set_event_recording(&mut self, enabled: bool) {
+        self.bus.arm(BusTap::Recorder, enabled);
+    }
+
+    /// Whether the raw event recorder is armed.
+    pub fn event_recording(&self) -> bool {
+        self.bus.is_armed(BusTap::Recorder)
+    }
+
+    /// Drains the recorded round-event stream, in application order.
+    /// Empty unless [`Network::set_event_recording`] is on.
+    pub fn take_events(&mut self) -> Vec<RoundEvent> {
+        let mut events = Vec::new();
+        self.bus.drain_into(BusTap::Recorder, &mut events);
+        events
     }
 
     /// Installs a deterministic-simulation-testing state (seeded
@@ -329,8 +319,7 @@ impl Network {
     /// invariants are evaluated on the resulting snapshot. Harvest the
     /// result with [`Network::take_dst_report`].
     pub fn install_dst(&mut self, mut state: DstState) {
-        self.dst_event_tracking = true;
-        self.dst_events.clear();
+        self.bus.arm(BusTap::Dst, true);
         state.attach(self);
         self.dst = Some(Box::new(state));
     }
@@ -343,16 +332,16 @@ impl Network {
     /// Removes the DST state and finalizes it into a report. Returns
     /// `None` when no state was installed (or it was already taken).
     pub fn take_dst_report(&mut self) -> Option<DstReport> {
-        self.dst_event_tracking = false;
-        self.dst_events.clear();
+        self.bus.arm(BusTap::Dst, false);
         self.dst.take().map(|s| s.into_report())
     }
 
-    /// Swaps the pending DST topology events with `buffer` (the caller's
-    /// drained scratch), so the channel ping-pongs two allocations for the
-    /// whole run. Called once per tick by `DstState::on_round`.
-    pub(crate) fn swap_dst_events(&mut self, buffer: &mut Vec<DstEvent>) {
-        std::mem::swap(&mut self.dst_events, buffer);
+    /// Drains the pending round events into `buffer` (the caller's
+    /// reusable scratch, not cleared here), so the DST channel keeps one
+    /// allocation for the whole run. Called once per tick by
+    /// `DstState::on_round`.
+    pub(crate) fn drain_dst_events(&mut self, buffer: &mut Vec<RoundEvent>) {
+        self.bus.drain_into(BusTap::Dst, buffer);
     }
 
     fn tick_dst(&mut self) {
@@ -365,13 +354,39 @@ impl Network {
     /// Enables or disables the per-round [`RoundStats`] trace. While
     /// enabled, every committed round appends one entry (idle rounds are
     /// not traced — they perform no edge operations by definition).
+    /// Enabling also builds the degree histogram (one O(n) pass) that
+    /// serves the traced `max_degree` in O(1) amortized per mutation;
+    /// disabling drops it.
     pub fn set_trace_enabled(&mut self, enabled: bool) {
-        self.trace_enabled = enabled;
+        self.ledger.trace_enabled = enabled;
+        self.sync_degree_tracker();
     }
 
     /// Returns true if per-round tracing is enabled.
     pub fn trace_enabled(&self) -> bool {
-        self.trace_enabled
+        self.ledger.trace_enabled
+    }
+
+    /// Forces traced rounds back onto the O(n) from-scratch
+    /// `Graph::max_degree` scan instead of the incremental degree
+    /// histogram. Benchmark comparison knob (the histogram is dropped so
+    /// the from-scratch path pays no mirror maintenance), mirroring
+    /// `DstState::set_from_scratch_checks`; the values are identical
+    /// either way, which debug builds assert on every traced commit.
+    pub fn set_trace_from_scratch(&mut self, enabled: bool) {
+        self.ledger.trace_from_scratch = enabled;
+        self.sync_degree_tracker();
+    }
+
+    /// Keeps the degree histogram alive exactly while the traced
+    /// `max_degree` is served incrementally.
+    fn sync_degree_tracker(&mut self) {
+        let want = self.ledger.trace_enabled && !self.ledger.trace_from_scratch;
+        if want && !self.ledger.degrees.enabled() {
+            self.ledger.degrees.rebuild(&self.current);
+        } else if !want && self.ledger.degrees.enabled() {
+            self.ledger.degrees.disable();
+        }
     }
 
     /// Records the number of algorithm-specific groups (e.g. committees)
@@ -379,18 +394,27 @@ impl Network {
     /// round until updated. Algorithms without a group structure leave it
     /// at the default 0.
     pub fn note_groups_alive(&mut self, groups: usize) {
-        self.groups_alive = groups;
+        self.ledger.groups_alive = groups;
     }
 
     /// The per-round trace captured so far (empty unless tracing was
     /// enabled via [`Network::set_trace_enabled`]).
     pub fn trace(&self) -> &[RoundStats] {
-        &self.trace
+        &self.ledger.trace
     }
 
     /// Takes ownership of the captured trace, leaving an empty one behind.
     pub fn take_trace(&mut self) -> Vec<RoundStats> {
-        std::mem::take(&mut self.trace)
+        std::mem::take(&mut self.ledger.trace)
+    }
+
+    /// Caps the recorded per-round activation history (see
+    /// [`EdgeMetrics::round_history_limit`]): long service/bench runs
+    /// keep totals, means and maxima exact while the per-round vector
+    /// stops growing past `limit` entries, with the overflow counted in
+    /// [`EdgeMetrics::round_records_dropped`]. `None` removes the cap.
+    pub fn set_round_history_limit(&mut self, limit: Option<usize>) {
+        self.ledger.metrics.set_round_history_limit(limit);
     }
 
     /// Number of nodes.
@@ -421,7 +445,7 @@ impl Network {
 
     /// The accumulated edge-complexity metrics.
     pub fn metrics(&self) -> &EdgeMetrics {
-        &self.metrics
+        &self.ledger.metrics
     }
 
     /// Number of currently active edges that are not initial edges.
@@ -643,22 +667,25 @@ impl Network {
         touched.clear();
         grew.clear();
         {
-            let initial = &self.initial;
-            let activated_degree = &mut self.activated_degree;
-            let activated_now = &mut self.activated_now;
-            let delta_tracking = self.edge_delta_tracking;
-            let edge_deltas = &mut self.edge_deltas;
-            let dst_tracking = self.dst_event_tracking;
-            let dst_events = &mut self.dst_events;
+            // The single emission point: every applied mutation goes
+            // through `sink.edge`, which records the bus event and keeps
+            // the activation counters and degree histogram current.
+            let mut sink = EdgeSink {
+                initial: &self.initial,
+                activated_degree: &mut self.activated_degree,
+                activated_now: &mut self.activated_now,
+                bus: &mut self.bus,
+                ledger: &mut self.ledger,
+            };
             // Sharded fast path: the serial batch entry points filter to
             // fresh adds / present removals themselves; here the filters
             // run up front (valid pre-mutation because the conflict pass
             // left the two columns disjoint, so neither batch changes the
             // other's membership) and the per-node block merges run on a
-            // worker pool over disjoint arena regions. The callbacks then
-            // fire from the filtered columns in exactly the serial order
+            // worker pool over disjoint arena regions. The sink then
+            // fires from the filtered columns in exactly the serial order
             // — adds first, then removals, each ascending — so every
-            // observable (snapshot, deltas, counters, metrics) is
+            // observable (snapshot, events, counters, metrics) is
             // byte-identical to the serial path. `apply_batches_sharded`
             // declines small or irregular batches; those take the serial
             // path below, as does the default `commit_threads == 1`.
@@ -680,108 +707,38 @@ impl Network {
                 {
                     sharded = true;
                     for &e in &fresh {
-                        if delta_tracking {
-                            edge_deltas.push(EdgeDelta {
-                                edge: e,
-                                added: true,
-                            });
-                        }
-                        if dst_tracking {
-                            dst_events.push(DstEvent::Edge {
-                                edge: e,
-                                added: true,
-                            });
-                        }
                         grew.push(e.a);
                         grew.push(e.b);
-                        if !initial.has_edge(e.a, e.b) {
-                            *activated_now += 1;
-                            activated_degree[e.a.index()] += 1;
-                            activated_degree[e.b.index()] += 1;
+                        if sink.edge(e, true) {
                             touched.push(e.a);
                             touched.push(e.b);
                         }
                     }
                     for &e in &present {
-                        if delta_tracking {
-                            edge_deltas.push(EdgeDelta {
-                                edge: e,
-                                added: false,
-                            });
-                        }
-                        if dst_tracking {
-                            dst_events.push(DstEvent::Edge {
-                                edge: e,
-                                added: false,
-                            });
-                        }
-                        if !initial.has_edge(e.a, e.b) {
-                            *activated_now -= 1;
-                            activated_degree[e.a.index()] -= 1;
-                            activated_degree[e.b.index()] -= 1;
-                        }
+                        sink.edge(e, false);
                     }
                 }
             }
             if !sharded {
                 self.current.add_edges_batch(&staged_activations, |e| {
-                    if delta_tracking {
-                        edge_deltas.push(EdgeDelta {
-                            edge: e,
-                            added: true,
-                        });
-                    }
-                    if dst_tracking {
-                        dst_events.push(DstEvent::Edge {
-                            edge: e,
-                            added: true,
-                        });
-                    }
                     grew.push(e.a);
                     grew.push(e.b);
-                    if !initial.has_edge(e.a, e.b) {
-                        *activated_now += 1;
-                        activated_degree[e.a.index()] += 1;
-                        activated_degree[e.b.index()] += 1;
+                    if sink.edge(e, true) {
                         touched.push(e.a);
                         touched.push(e.b);
                     }
                 });
                 self.current.remove_edges_batch(&staged_deactivations, |e| {
-                    if delta_tracking {
-                        edge_deltas.push(EdgeDelta {
-                            edge: e,
-                            added: false,
-                        });
-                    }
-                    if dst_tracking {
-                        dst_events.push(DstEvent::Edge {
-                            edge: e,
-                            added: false,
-                        });
-                    }
-                    if !initial.has_edge(e.a, e.b) {
-                        *activated_now -= 1;
-                        activated_degree[e.a.index()] -= 1;
-                        activated_degree[e.b.index()] -= 1;
-                    }
+                    sink.edge(e, false);
                 });
             }
         }
         for &u in &touched {
-            self.metrics.max_activated_degree = self
+            self.ledger.metrics.max_activated_degree = self
+                .ledger
                 .metrics
                 .max_activated_degree
                 .max(self.activated_degree[u.index()]);
-        }
-        // After the conflict and crashed-endpoint passes, the two staged
-        // columns are exactly the applied edge sets, so their endpoints
-        // are exactly the nodes whose incident edges changed this commit.
-        if self.change_tracking {
-            for e in staged_activations.iter().chain(staged_deactivations.iter()) {
-                self.changed_nodes.push(e.a);
-                self.changed_nodes.push(e.b);
-            }
         }
 
         // Metrics bookkeeping. The initiator column records one entry per
@@ -790,10 +747,10 @@ impl Network {
         // is a sort + run-length scan. Initiators that crash-stopped this
         // round are excluded — a crashed node performs no edge
         // operations, consistent with its staged edges being dropped.
-        self.metrics.rounds += 1;
-        self.metrics.total_activations += activations;
-        self.metrics.total_deactivations += deactivations;
-        self.metrics.activations_per_round.push(activations);
+        self.ledger.metrics.rounds += 1;
+        self.ledger.metrics.total_activations += activations;
+        self.ledger.metrics.total_deactivations += deactivations;
+        self.ledger.metrics.push_round_activations(activations);
         let mut initiators = std::mem::take(&mut self.staged_initiators);
         initiators.sort_unstable();
         let mut max_per_node = 0usize;
@@ -811,27 +768,49 @@ impl Network {
             }
             max_per_node = max_per_node.max(run);
         }
-        self.metrics.max_node_activations_in_round =
-            self.metrics.max_node_activations_in_round.max(max_per_node);
+        self.ledger.metrics.max_node_activations_in_round = self
+            .ledger
+            .metrics
+            .max_node_activations_in_round
+            .max(max_per_node);
 
         let activated_now = self.activated_now;
-        self.metrics.max_activated_edges = self.metrics.max_activated_edges.max(activated_now);
-        self.metrics.max_active_edges_total = self
+        self.ledger.metrics.max_activated_edges =
+            self.ledger.metrics.max_activated_edges.max(activated_now);
+        self.ledger.metrics.max_active_edges_total = self
+            .ledger
             .metrics
             .max_active_edges_total
             .max(self.current.edge_count());
         // The total-degree maximum is sampled at commit instants. Only
-        // endpoints that gained an edge this round can raise it, so the
-        // full O(n) scan is needed solely for the per-round trace value
-        // (which may decrease round over round).
+        // endpoints that gained an edge this round can raise it.
         for &u in &grew {
-            self.metrics.max_total_degree =
-                self.metrics.max_total_degree.max(self.current.degree(u));
+            self.ledger.metrics.max_total_degree = self
+                .ledger
+                .metrics
+                .max_total_degree
+                .max(self.current.degree(u));
         }
         self.commit_touched = touched;
         self.commit_grew = grew;
-        let max_degree = if self.trace_enabled {
-            self.current.max_degree()
+        // The traced max_degree is sampled here — after the staged batches
+        // applied, before the DST tick injects next-round faults. The
+        // degree histogram serves it in O(1) amortized; the old O(n)
+        // from-scratch scan stays on as a debug-build differential oracle
+        // (and as the `set_trace_from_scratch` benchmark comparison path).
+        let max_degree = if self.ledger.trace_enabled {
+            if self.ledger.degrees.enabled() {
+                let incremental = self.ledger.degrees.max_degree();
+                debug_assert_eq!(
+                    incremental,
+                    self.current.max_degree(),
+                    "degree histogram departed from the from-scratch scan at round {}",
+                    self.round
+                );
+                incremental
+            } else {
+                self.current.max_degree()
+            }
         } else {
             0
         };
@@ -842,16 +821,20 @@ impl Network {
             deactivations,
             activated_edges_now: activated_now,
         };
-        if self.trace_enabled {
-            self.trace.push(RoundStats {
-                round: summary.round,
-                activations,
-                deactivations,
-                activated_edges: activated_now,
-                max_degree,
-                groups_alive: self.groups_alive,
-            });
-        }
+        // The round boundary closes this round's event run: its edge
+        // events precede it, the DST tick's fault events follow it.
+        self.bus.record(RoundEvent::RoundCommitted {
+            round: summary.round,
+            activations,
+            deactivations,
+        });
+        self.ledger.on_round_committed(
+            summary.round,
+            activations,
+            deactivations,
+            activated_now,
+            max_degree,
+        );
         self.round += 1;
         self.tick_dst();
         summary
@@ -874,8 +857,8 @@ impl Network {
         );
         for _ in 0..k {
             self.round += 1;
-            self.metrics.rounds += 1;
-            self.metrics.activations_per_round.push(0);
+            self.ledger.on_idle_rounds(1);
+            self.bus.record(RoundEvent::IdleRound);
             self.tick_dst();
         }
     }
@@ -896,43 +879,21 @@ impl Network {
     /// [`SimError::BrokenInvariant`] when the adjacency arena is corrupted
     /// (sever validates symmetry up front and mutates nothing on error).
     pub(crate) fn fault_crash_node(&mut self, node: NodeId) -> Result<usize, SimError> {
-        let initial = &self.initial;
-        let activated_degree = &mut self.activated_degree;
-        let activated_now = &mut self.activated_now;
-        let tracking = self.change_tracking;
-        let changed = &mut self.changed_nodes;
-        let delta_tracking = self.edge_delta_tracking;
-        let edge_deltas = &mut self.edge_deltas;
-        let dst_tracking = self.dst_event_tracking;
-        let dst_events = &mut self.dst_events;
+        let mut sink = EdgeSink {
+            initial: &self.initial,
+            activated_degree: &mut self.activated_degree,
+            activated_now: &mut self.activated_now,
+            bus: &mut self.bus,
+            ledger: &mut self.ledger,
+        };
         let severed = self.current.remove_incident_edges(node, |e| {
-            if tracking {
-                changed.push(e.a);
-                changed.push(e.b);
-            }
-            if delta_tracking {
-                edge_deltas.push(EdgeDelta {
-                    edge: e,
-                    added: false,
-                });
-            }
-            if dst_tracking {
-                dst_events.push(DstEvent::Edge {
-                    edge: e,
-                    added: false,
-                });
-            }
-            if !initial.has_edge(e.a, e.b) {
-                *activated_now -= 1;
-                activated_degree[e.a.index()] -= 1;
-                activated_degree[e.b.index()] -= 1;
-            }
+            sink.edge(e, false);
         })?;
         self.crashed[node.index()] = true;
         self.any_crashed = true;
-        if self.dst_event_tracking {
-            self.dst_events.push(DstEvent::NodeCrashed(node));
-        }
+        // Ordering contract: the severed-edge removals above precede the
+        // crash marker.
+        self.bus.record(RoundEvent::NodeCrashed(node));
         Ok(severed)
     }
 
@@ -979,26 +940,15 @@ impl Network {
     /// Removes an edge adversarially. Returns true if it was present.
     pub(crate) fn fault_remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
         let removed = self.current.remove_edge(u, v).unwrap_or(false);
-        if removed && self.change_tracking {
-            self.changed_nodes.push(u);
-            self.changed_nodes.push(v);
-        }
-        if removed && self.edge_delta_tracking {
-            self.edge_deltas.push(EdgeDelta {
-                edge: Edge::new(u, v),
-                added: false,
-            });
-        }
-        if removed && self.dst_event_tracking {
-            self.dst_events.push(DstEvent::Edge {
-                edge: Edge::new(u, v),
-                added: false,
-            });
-        }
-        if removed && !self.initial.has_edge(u, v) {
-            self.activated_now -= 1;
-            self.activated_degree[u.index()] -= 1;
-            self.activated_degree[v.index()] -= 1;
+        if removed {
+            let mut sink = EdgeSink {
+                initial: &self.initial,
+                activated_degree: &mut self.activated_degree,
+                activated_now: &mut self.activated_now,
+                bus: &mut self.bus,
+                ledger: &mut self.ledger,
+            };
+            sink.edge(Edge::new(u, v), false);
         }
         removed
     }
@@ -1006,31 +956,19 @@ impl Network {
     /// Inserts an edge adversarially. Returns true if it was absent.
     pub(crate) fn fault_insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
         let added = self.current.add_edge(u, v).unwrap_or(false);
-        if added && self.change_tracking {
-            self.changed_nodes.push(u);
-            self.changed_nodes.push(v);
-        }
-        if added && self.edge_delta_tracking {
-            self.edge_deltas.push(EdgeDelta {
-                edge: Edge::new(u, v),
-                added: true,
-            });
-        }
-        if added && self.dst_event_tracking {
-            self.dst_events.push(DstEvent::Edge {
-                edge: Edge::new(u, v),
-                added: true,
-            });
-        }
-        if added && !self.initial.has_edge(u, v) {
-            self.activated_now += 1;
-            self.activated_degree[u.index()] += 1;
-            self.activated_degree[v.index()] += 1;
-        }
         if added {
+            let mut sink = EdgeSink {
+                initial: &self.initial,
+                activated_degree: &mut self.activated_degree,
+                activated_now: &mut self.activated_now,
+                bus: &mut self.bus,
+                ledger: &mut self.ledger,
+            };
+            sink.edge(Edge::new(u, v), true);
             // The commit-time degree sampling only looks at endpoints of
             // staged activations; adversarial growth is accounted here.
-            self.metrics.max_total_degree = self
+            self.ledger.metrics.max_total_degree = self
+                .ledger
                 .metrics
                 .max_total_degree
                 .max(self.current.degree(u))
@@ -1046,9 +984,9 @@ impl Network {
         let node = self.current.add_node();
         self.activated_degree.push(0);
         self.crashed.push(false);
-        if self.dst_event_tracking {
-            self.dst_events.push(DstEvent::NodeJoined);
-        }
+        self.ledger.on_join();
+        // Ordering contract: the join precedes any attach edge insertion.
+        self.bus.record(RoundEvent::NodeJoined(node));
         node
     }
 
@@ -1056,9 +994,9 @@ impl Network {
     /// rounds pass, nothing happens, the metered round count grows.
     pub(crate) fn fault_skew(&mut self, k: usize) {
         self.round += k;
-        self.metrics.rounds += k;
+        self.ledger.on_idle_rounds(k);
         for _ in 0..k {
-            self.metrics.activations_per_round.push(0);
+            self.bus.record(RoundEvent::IdleRound);
         }
     }
 
@@ -1204,6 +1142,132 @@ mod tests {
         assert_eq!(net.metrics().rounds, 5);
         assert_eq!(net.metrics().total_activations, 0);
         assert_eq!(net.metrics().activations_per_round.len(), 5);
+    }
+
+    #[test]
+    fn idle_rounds_contribute_zero_activations() {
+        // Pin the documented accounting: idle communication rounds and
+        // adversarially skewed rounds each contribute an explicit 0 to
+        // `activations_per_round`, and the mean's denominator counts
+        // them (activations per *elapsed* round, not per committed one).
+        let mut net = Network::new(generators::line(4));
+        net.stage_activation(nid(0), nid(2)).unwrap();
+        net.commit_round();
+        net.advance_idle_rounds(2);
+        net.fault_skew(1);
+        net.stage_activation(nid(1), nid(3)).unwrap();
+        net.commit_round();
+        let m = net.metrics();
+        assert_eq!(m.activations_per_round, vec![1, 0, 0, 0, 1]);
+        assert_eq!(m.rounds, 5);
+        assert_eq!(m.recorded_rounds(), 5);
+        assert_eq!(m.total_activations, 2);
+        assert!((m.mean_activations_per_round() - 2.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn history_cap_keeps_network_metrics_exact() {
+        let mut net = Network::new(generators::star(6));
+        net.set_round_history_limit(Some(2));
+        for leaf in [1usize, 2, 3] {
+            net.stage_activation(nid(leaf), nid(leaf + 1)).unwrap();
+            net.commit_round();
+        }
+        net.advance_idle_rounds(2);
+        let m = net.metrics();
+        assert_eq!(m.activations_per_round, vec![1, 1], "capped prefix");
+        assert_eq!(m.round_records_dropped, 3);
+        assert_eq!(m.recorded_rounds(), 5);
+        assert_eq!(m.total_activations, 3);
+        assert_eq!(m.max_activations_in_round(), 1);
+    }
+
+    #[test]
+    fn event_recorder_streams_mutations_and_boundaries_in_order() {
+        let mut net = Network::new(generators::line(5));
+        net.stage_activation(nid(0), nid(2)).unwrap();
+        net.commit_round();
+        assert!(
+            net.take_events().is_empty(),
+            "recorder off by default: nothing recorded"
+        );
+        net.set_event_recording(true);
+        assert!(net.event_recording());
+        net.stage_activation(nid(2), nid(4)).unwrap();
+        net.stage_deactivation(nid(1), nid(2)).unwrap();
+        net.commit_round();
+        net.advance_idle_rounds(1);
+        let joined = net.inject_join();
+        net.fault_remove_edge(nid(0), nid(1));
+        net.inject_crash(nid(4)).unwrap();
+        let events = net.take_events();
+        assert_eq!(
+            events,
+            vec![
+                RoundEvent::Edge {
+                    edge: Edge::new(nid(2), nid(4)),
+                    added: true,
+                    initial: false,
+                },
+                RoundEvent::Edge {
+                    edge: Edge::new(nid(1), nid(2)),
+                    added: false,
+                    initial: true,
+                },
+                RoundEvent::RoundCommitted {
+                    round: 2,
+                    activations: 1,
+                    deactivations: 1,
+                },
+                RoundEvent::IdleRound,
+                RoundEvent::NodeJoined(joined),
+                RoundEvent::Edge {
+                    edge: Edge::new(nid(0), nid(1)),
+                    added: false,
+                    initial: true,
+                },
+                RoundEvent::Edge {
+                    edge: Edge::new(nid(2), nid(4)),
+                    added: false,
+                    initial: false,
+                },
+                RoundEvent::Edge {
+                    edge: Edge::new(nid(3), nid(4)),
+                    added: false,
+                    initial: true,
+                },
+                RoundEvent::NodeCrashed(nid(4)),
+            ],
+            "application order, crash removals before the crash marker"
+        );
+        assert!(net.take_events().is_empty(), "drain empties the tap");
+        net.set_event_recording(false);
+        assert!(!net.event_recording());
+    }
+
+    #[test]
+    fn traced_max_degree_matches_from_scratch_scan() {
+        let mut incremental = Network::new(generators::star(8));
+        let mut scratch = Network::new(generators::star(8));
+        incremental.set_trace_enabled(true);
+        scratch.set_trace_enabled(true);
+        scratch.set_trace_from_scratch(true);
+        for i in 1..7 {
+            incremental.stage_activation(nid(i), nid(i + 1)).unwrap();
+            scratch.stage_activation(nid(i), nid(i + 1)).unwrap();
+        }
+        incremental.commit_round();
+        scratch.commit_round();
+        incremental.stage_deactivation(nid(0), nid(4)).unwrap();
+        scratch.stage_deactivation(nid(0), nid(4)).unwrap();
+        incremental.commit_round();
+        scratch.commit_round();
+        incremental.fault_crash_node(nid(0)).unwrap();
+        scratch.fault_crash_node(nid(0)).unwrap();
+        incremental.commit_round();
+        scratch.commit_round();
+        assert_eq!(incremental.trace(), scratch.trace());
+        assert_eq!(incremental.trace()[0].max_degree, 7, "hub at 7 post-wave");
     }
 
     #[test]

@@ -91,7 +91,7 @@ pub mod prelude {
     pub use adn_sim::dst::{
         find_scenario, scenarios, DstReport, FaultEvent, FaultRecord, Scenario, TargetPolicy,
     };
-    pub use adn_sim::{EdgeMetrics, Network};
+    pub use adn_sim::{EdgeMetrics, Network, RoundEvent};
 
     // Deprecated pre-0.2 entry points, kept working for downstream code.
     #[allow(deprecated)]

@@ -126,6 +126,96 @@ fn flooding_token_accounting_balances_exactly() {
 }
 
 #[test]
+fn recorded_stream_accounting_matches_every_algorithms_outcome() {
+    // The outcome's meters are folds of the network's round-event bus.
+    // Running any registered algorithm on a recorder-armed network must
+    // yield a stream whose boundary events reproduce `rounds` and
+    // `total_activations` exactly, and whose edge events replayed over
+    // the initial graph land on the final graph edge for edge.
+    let mut rng = DetRng::seed_from_u64(0xEB_05);
+    for _ in 0..4 {
+        let n = rng.gen_range(8, 48);
+        let seed = rng.next_u64() % 1000;
+        let graph = generators::line(n);
+        for algorithm in registry() {
+            if !algorithm.supports(&graph) {
+                continue;
+            }
+            let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed });
+            let mut net = Network::new(graph.clone());
+            net.set_event_recording(true);
+            let outcome = algorithm
+                .execute(&mut net, &uids, &RunConfig::default())
+                .unwrap_or_else(|e| panic!("{} on line n={n}: {e}", algorithm.name()));
+            let label = format!("{} on line n={n} (seed {seed})", algorithm.name());
+            let mut mirror = graph.clone();
+            let mut boundaries = 0usize;
+            let mut idles = 0usize;
+            let mut activation_sum = 0usize;
+            for event in net.take_events() {
+                match event {
+                    RoundEvent::Edge { edge, added, .. } => {
+                        let changed = if added {
+                            mirror.add_edge(edge.a, edge.b)
+                        } else {
+                            mirror.remove_edge(edge.a, edge.b)
+                        };
+                        assert_eq!(changed, Ok(true), "{label}: {event:?} must mutate");
+                    }
+                    RoundEvent::RoundCommitted { activations, .. } => {
+                        boundaries += 1;
+                        activation_sum += activations;
+                    }
+                    RoundEvent::IdleRound => idles += 1,
+                    RoundEvent::NodeJoined(_) | RoundEvent::NodeCrashed(_) => {
+                        panic!("{label}: churn event {event:?} without faults")
+                    }
+                }
+            }
+            assert_eq!(outcome.rounds, boundaries + idles, "{label}: round fold");
+            assert_eq!(
+                outcome.metrics.total_activations, activation_sum,
+                "{label}: activation fold"
+            );
+            assert_eq!(mirror, outcome.final_graph, "{label}: replayed mirror");
+        }
+    }
+}
+
+#[test]
+fn flooding_recorded_stream_contains_no_edge_events() {
+    // Flooding is the no-reconfiguration baseline: its recorded stream
+    // must be pure round boundaries — not a single edge mutation — on
+    // every generated family, matching its zero activation meter.
+    let mut rng = DetRng::seed_from_u64(0xF_100D);
+    for _ in 0..6 {
+        let family = GraphFamily::ALL[rng.gen_range(0, GraphFamily::ALL.len())];
+        let size = rng.gen_range(6, 40);
+        let seed = rng.next_u64() % 1000;
+        let graph = family.generate(size, seed);
+        let n = graph.node_count();
+        let uids = UidMap::new(n, UidAssignment::RandomPermutation { seed });
+        let flooding = find_algorithm("flooding").expect("flooding is registered");
+        let mut net = Network::new(graph.clone());
+        net.set_event_recording(true);
+        let outcome = flooding
+            .execute(&mut net, &uids, &RunConfig::default())
+            .unwrap_or_else(|e| panic!("flooding on {family} n={n}: {e}"));
+        let events = net.take_events();
+        let label = format!("flooding on {family} (n={n}, seed={seed})");
+        assert!(!events.is_empty(), "{label}: flooding meters rounds");
+        assert!(
+            events
+                .iter()
+                .all(|e| matches!(e, RoundEvent::RoundCommitted { .. } | RoundEvent::IdleRound)),
+            "{label}: non-boundary event in {events:?}"
+        );
+        assert_eq!(events.len(), outcome.rounds, "{label}: one event per round");
+        assert_eq!(net.graph(), &graph, "{label}: flooding never touches edges");
+    }
+}
+
+#[test]
 fn non_disseminating_outcomes_report_no_tokens() {
     // The shared outcome type must not leak dissemination fields into
     // transformation-only runs.
